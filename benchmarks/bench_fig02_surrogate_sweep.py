@@ -1,0 +1,21 @@
+"""Figure 2 — llvm-mca vs the trained surrogate while sweeping DispatchWidth
+for a single-instruction block (`shrq $5, 16(%rsp)`)."""
+
+from conftest import record_result
+
+from repro.eval.experiments import run_figure2_surrogate_sweep
+from repro.eval.tables import format_table
+
+
+def bench_fig02_surrogate_sweep(benchmark, scale, haswell_dataset):
+    def run():
+        return run_figure2_surrogate_sweep(scale, dataset=haswell_dataset)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    simulator_curve = dict(results["llvm_mca"])
+    surrogate_curve = dict(results["surrogate"])
+    rows = [[width, f"{simulator_curve[width]:.2f}", f"{surrogate_curve[width]:.2f}"]
+            for width in sorted(simulator_curve)]
+    print("\n" + format_table(["DispatchWidth", "llvm-mca timing", "Surrogate timing"], rows,
+                              title=f"Figure 2 analogue: {results['block']}"))
+    record_result("fig02_surrogate_sweep", results)

@@ -1,0 +1,21 @@
+"""Section V-A — error of randomly sampled parameter tables on Haswell.
+
+The paper reports 171.4% ± 95.7% for tables drawn from the training sampling
+distribution; this benchmark regenerates that sanity number.
+"""
+
+from conftest import record_result
+
+from repro.eval.experiments import run_section5a_random_tables
+from repro.eval.tables import format_table
+
+
+def bench_sec5a_random_tables(benchmark, scale):
+    def run():
+        return run_section5a_random_tables(num_blocks=200, num_tables=8, seed=scale.seed)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[key, f"{value * 100:.1f}%"] for key, value in results.items()]
+    print("\n" + format_table(["Statistic", "Error"], rows,
+                              title="Section V-A analogue: random parameter tables (Haswell)"))
+    record_result("sec5a_random_tables", results)

@@ -1,0 +1,25 @@
+"""Table IV — error and Kendall's tau of every predictor on every target.
+
+One benchmark per microarchitecture so the per-target cost is visible in the
+pytest-benchmark output; each runs Default / DiffTune / Ithemal / IACA /
+OpenTuner on a freshly generated dataset for that target.
+"""
+
+import pytest
+from conftest import record_result
+
+from repro.eval.experiments import run_table4_for_uarch
+from repro.eval.tables import format_results_table
+
+
+@pytest.mark.parametrize("uarch", ["ivybridge", "haswell", "skylake", "zen2"])
+def bench_table04_main_results(benchmark, scale, uarch):
+    def run():
+        return run_table4_for_uarch(uarch, scale)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_results_table({uarch: results},
+                                 title=f"Table IV analogue ({uarch})")
+    print("\n" + table)
+    record_result(f"table04_{uarch}", {predictor: list(values)
+                                       for predictor, values in results.items()})

@@ -1,0 +1,26 @@
+"""Table V — per-application and per-category error on Haswell."""
+
+from conftest import record_result
+
+from repro.eval.experiments import run_table5
+from repro.eval.tables import format_table
+
+
+def bench_table05_per_application(benchmark, scale, haswell_dataset):
+    def run():
+        return run_table5(scale, dataset=haswell_dataset)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for group_kind in ("per_application", "per_category"):
+        default_groups = results[group_kind]["default"]
+        learned_groups = results[group_kind]["learned"]
+        for name in sorted(default_groups):
+            count, default_error = default_groups[name]
+            _count, learned_error = learned_groups.get(name, (0, float("nan")))
+            rows.append([name, count, f"{default_error * 100:.1f}%",
+                         f"{learned_error * 100:.1f}%"])
+    table = format_table(["Block type", "# Blocks", "Default error", "Learned error"], rows,
+                         title="Table V analogue: per-application / per-category error (Haswell)")
+    print("\n" + table)
+    record_result("table05_per_application", results)

@@ -1,0 +1,17 @@
+"""Table VIII (Appendix A) — llvm_sim with default vs learned parameters."""
+
+from conftest import record_result
+
+from repro.eval.experiments import run_table8_llvm_sim
+from repro.eval.tables import format_results_table
+
+
+def bench_table08_llvm_sim(benchmark, scale, haswell_dataset):
+    def run():
+        return run_table8_llvm_sim(scale, dataset=haswell_dataset)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_results_table({"Haswell (llvm_sim)": results},
+                                      title="Table VIII analogue: llvm_sim"))
+    record_result("table08_llvm_sim",
+                  {predictor: list(values) for predictor, values in results.items()})

@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+at a reduced, CPU-friendly scale (see DESIGN.md section 4 for the experiment
+index and EXPERIMENTS.md for recorded results).  Results are printed to
+stdout and appended to ``benchmarks/results/`` so they can be inspected after
+a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import pytest
+
+from repro.bhive import build_dataset
+from repro.core.config import fast_config
+from repro.eval.experiments import ExperimentScale
+
+RESULTS_DIRECTORY = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def benchmark_scale() -> ExperimentScale:
+    """The reduced scale every benchmark uses (documented in EXPERIMENTS.md)."""
+    config = fast_config()
+    config.simulated_dataset_size = 2200
+    config.surrogate_training.epochs = 3
+    config.table_optimization.epochs = 8
+    config.refinement_rounds = 2
+    config.refinement_dataset_size = 1000
+    config.refinement_epochs = 2
+    return ExperimentScale(num_blocks=480, difftune=config, opentuner_budget=25000,
+                           ithemal_epochs=5, seed=0)
+
+
+def record_result(name: str, payload: Dict) -> None:
+    """Persist a benchmark's output rows under benchmarks/results/."""
+    os.makedirs(RESULTS_DIRECTORY, exist_ok=True)
+    path = os.path.join(RESULTS_DIRECTORY, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return benchmark_scale()
+
+
+@pytest.fixture(scope="session")
+def haswell_dataset(scale):
+    """One Haswell dataset shared by every Haswell-only benchmark."""
+    return build_dataset("haswell", num_blocks=scale.num_blocks, seed=scale.seed)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Compare every predictor from Table IV on one microarchitecture.
+
+Runs the expert default table, DiffTune, the Ithemal-style learned baseline,
+the IACA-like analytical model, and the OpenTuner-style black-box tuner on a
+freshly generated dataset for the chosen target, and prints a Table IV style
+summary.
+
+Example:
+    python examples/compare_baselines.py --uarch zen2 --blocks 300
+"""
+
+import argparse
+
+from repro.eval.experiments import ExperimentScale, run_table4_for_uarch
+from repro.eval.tables import format_results_table
+from repro.targets import get_uarch
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--uarch", default="haswell",
+                        choices=["ivybridge", "haswell", "skylake", "zen2"])
+    parser.add_argument("--blocks", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--skip-opentuner", action="store_true",
+                        help="skip the black-box tuning baseline (the slowest step)")
+    parser.add_argument("--skip-ithemal", action="store_true",
+                        help="skip the learned Ithemal baseline")
+    arguments = parser.parse_args()
+
+    scale = ExperimentScale.benchmark()
+    scale.num_blocks = arguments.blocks
+    scale.seed = arguments.seed
+
+    name = get_uarch(arguments.uarch).name
+    print(f"Running the Table IV comparison on {name} "
+          f"({arguments.blocks} blocks, seed {arguments.seed})...")
+    results = run_table4_for_uarch(arguments.uarch, scale,
+                                   include_opentuner=not arguments.skip_opentuner,
+                                   include_ithemal=not arguments.skip_ithemal)
+    print()
+    print(format_results_table({name: results}, title="Table IV analogue"))
+    print("\nExpected shape (paper, Table IV): Ithemal < IACA < DiffTune <= Default "
+          "<< OpenTuner; IACA is N/A on Zen 2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — a reproduction of DiffTune (Renda et al., MICRO 2020).
+
+DiffTune learns the parameters of basic-block CPU simulators from end-to-end
+measurements by optimizing them through a learned differentiable surrogate.
+This package contains the complete system: the autodiff/NN substrate, an
+x86-like ISA layer, llvm-mca and llvm_sim style simulators, a BHive-like
+synthetic dataset with a reference hardware model, the DiffTune optimization
+pipeline, the baselines the paper compares against, and the evaluation
+drivers that regenerate every table and figure.
+
+Quickstart::
+
+    from repro.bhive import build_dataset
+    from repro.core import MCAAdapter, DiffTune, fast_config
+    from repro.targets import HASWELL
+
+    dataset = build_dataset("haswell", num_blocks=500)
+    adapter = MCAAdapter(HASWELL, narrow_sampling=True)
+    difftune = DiffTune(adapter, fast_config())
+    train = dataset.train_examples
+    result = difftune.learn([e.block for e in train], [e.timing for e in train])
+    learned_table = adapter.table_from_arrays(result.learned_arrays)
+
+See ``examples/`` for runnable end-to-end scripts and ``benchmarks/`` for the
+per-table/figure reproduction harness.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "autodiff",
+    "isa",
+    "llvm_mca",
+    "llvm_sim",
+    "targets",
+    "bhive",
+    "core",
+    "baselines",
+    "eval",
+]

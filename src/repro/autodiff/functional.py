@@ -1,0 +1,128 @@
+"""Functional interface to differentiable operations.
+
+Thin wrappers around :class:`~repro.autodiff.tensor.Tensor` methods plus a few
+composite operations (losses, activations) used throughout the DiffTune
+surrogate and parameter-table optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, concat, stack
+
+ArrayLike = Union[Tensor, np.ndarray, float, int]
+
+
+def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    return as_tensor(a).matmul(b)
+
+
+def exp(x: Tensor) -> Tensor:
+    return as_tensor(x).exp()
+
+
+def log(x: Tensor) -> Tensor:
+    return as_tensor(x).log()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def softplus(x: Tensor) -> Tensor:
+    return as_tensor(x).softplus()
+
+
+def absolute(x: Tensor) -> Tensor:
+    return as_tensor(x).abs()
+
+
+def sqrt(x: Tensor) -> Tensor:
+    return as_tensor(x).sqrt()
+
+
+def clamp_min(x: Tensor, minimum: float) -> Tensor:
+    return as_tensor(x).clamp_min(minimum)
+
+
+def mean(x: Tensor, axis: Optional[int] = None) -> Tensor:
+    return as_tensor(x).mean(axis=axis)
+
+
+def total(x: Tensor, axis: Optional[int] = None) -> Tensor:
+    """Sum of all elements (named ``total`` to avoid shadowing built-in sum)."""
+    return as_tensor(x).sum(axis=axis)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    return concat(list(tensors), axis=axis)
+
+
+def stack_tensors(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    return stack(list(tensors), axis=axis)
+
+
+def dot(a: Tensor, b: Tensor) -> Tensor:
+    """Inner product of two 1-D tensors."""
+    return (as_tensor(a) * as_tensor(b)).sum()
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def mse_loss(prediction: Tensor, target: ArrayLike) -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target: ArrayLike) -> Tensor:
+    """Mean absolute error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def mape_loss(prediction: Tensor, target: ArrayLike, epsilon: float = 1e-6) -> Tensor:
+    """Mean absolute percentage error — the loss used throughout DiffTune.
+
+    ``|prediction - target| / max(target, epsilon)`` averaged over the batch.
+    Matches the paper's error definition (Section V-A).
+    """
+    prediction = as_tensor(prediction)
+    target_array = np.maximum(np.asarray(as_tensor(target).data, dtype=np.float64), epsilon)
+    diff = (prediction - Tensor(target_array)).abs()
+    return (diff / Tensor(target_array)).mean()
+
+
+def huber_loss(prediction: Tensor, target: ArrayLike, delta: float = 1.0) -> Tensor:
+    """Huber (smooth L1) loss, occasionally useful for robust surrogate fits."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = (diff * diff) * 0.5
+    linear = abs_diff * delta - 0.5 * delta * delta
+    mask = (abs_diff.data <= delta).astype(np.float64)
+    combined = quadratic * Tensor(mask) + linear * Tensor(1.0 - mask)
+    return combined.mean()

@@ -1,0 +1,140 @@
+"""Numerical gradient checking for the autodiff engine.
+
+The DiffTune pipeline relies on the gradients the surrogate produces with
+respect to both its weights (phase 3, surrogate training) and its parameter
+inputs (phase 4, parameter-table training).  :func:`gradcheck` verifies those
+gradients against central finite differences, which is how the autodiff
+engine's correctness is established in the test suite and how new operations
+should be validated when they are added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+@dataclass
+class GradCheckResult:
+    """Outcome of a gradient check for a single input tensor.
+
+    Attributes:
+        max_absolute_error: Largest absolute difference between analytic and
+            numeric gradient entries.
+        max_relative_error: Largest relative difference (absolute difference
+            over the larger of the two magnitudes, with a floor).
+        analytic: The gradient produced by reverse-mode differentiation.
+        numeric: The gradient estimated by central finite differences.
+    """
+
+    max_absolute_error: float
+    max_relative_error: float
+    analytic: np.ndarray
+    numeric: np.ndarray
+
+    def passed(self, absolute_tolerance: float = 1e-5,
+               relative_tolerance: float = 1e-3) -> bool:
+        """Whether the analytic gradient matches the numeric estimate."""
+        return (self.max_absolute_error <= absolute_tolerance
+                or self.max_relative_error <= relative_tolerance)
+
+
+def numeric_gradient(function: Callable[[Sequence[Tensor]], Tensor],
+                     inputs: Sequence[Tensor], index: int,
+                     epsilon: float = 1e-6) -> np.ndarray:
+    """Estimate ``d function(inputs) / d inputs[index]`` by central differences.
+
+    Args:
+        function: Maps the input tensors to a scalar :class:`Tensor`.
+        inputs: The input tensors; only ``inputs[index]`` is perturbed.
+        index: Which input to differentiate with respect to.
+        epsilon: Perturbation step.
+
+    Returns:
+        An array with the same shape as ``inputs[index].data``.
+    """
+    target = inputs[index]
+    gradient = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    flat_gradient = gradient.reshape(-1)
+    for position in range(flat.size):
+        original = flat[position]
+        flat[position] = original + epsilon
+        plus = float(function(inputs).data.sum())
+        flat[position] = original - epsilon
+        minus = float(function(inputs).data.sum())
+        flat[position] = original
+        flat_gradient[position] = (plus - minus) / (2.0 * epsilon)
+    return gradient
+
+
+def analytic_gradients(function: Callable[[Sequence[Tensor]], Tensor],
+                       inputs: Sequence[Tensor]) -> List[Optional[np.ndarray]]:
+    """Compute reverse-mode gradients of ``function`` for every input tensor."""
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = function(inputs)
+    summed = output.sum() if output.size > 1 else output
+    summed.backward()
+    return [None if tensor.grad is None else tensor.grad.copy() for tensor in inputs]
+
+
+def gradcheck(function: Callable[[Sequence[Tensor]], Tensor],
+              inputs: Sequence[Tensor], epsilon: float = 1e-6
+              ) -> Dict[int, GradCheckResult]:
+    """Compare analytic and numeric gradients for every differentiable input.
+
+    Args:
+        function: Maps the input tensors to a (scalar or reducible) tensor.
+            The function must be deterministic and must rebuild its graph on
+            every call (i.e. be a pure function of the inputs).
+        inputs: Input tensors.  Only those with ``requires_grad=True`` are
+            checked.
+        epsilon: Finite-difference step.
+
+    Returns:
+        A mapping from input index to its :class:`GradCheckResult`.
+    """
+    analytic = analytic_gradients(function, inputs)
+    results: Dict[int, GradCheckResult] = {}
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic_grad = analytic[index]
+        if analytic_grad is None:
+            analytic_grad = np.zeros_like(tensor.data)
+        numeric = numeric_gradient(function, inputs, index, epsilon=epsilon)
+        absolute = np.abs(analytic_grad - numeric)
+        denominator = np.maximum(np.maximum(np.abs(analytic_grad), np.abs(numeric)), 1e-8)
+        relative = absolute / denominator
+        results[index] = GradCheckResult(
+            max_absolute_error=float(absolute.max()) if absolute.size else 0.0,
+            max_relative_error=float(relative.max()) if relative.size else 0.0,
+            analytic=analytic_grad,
+            numeric=numeric,
+        )
+    return results
+
+
+def assert_gradients_close(function: Callable[[Sequence[Tensor]], Tensor],
+                           inputs: Sequence[Tensor], epsilon: float = 1e-6,
+                           absolute_tolerance: float = 1e-5,
+                           relative_tolerance: float = 1e-3) -> None:
+    """Raise :class:`AssertionError` if any checked gradient disagrees.
+
+    Convenience wrapper used by the test suite; failure messages include the
+    offending input index and the observed errors.
+    """
+    results = gradcheck(function, inputs, epsilon=epsilon)
+    failures = []
+    for index, result in results.items():
+        if not result.passed(absolute_tolerance, relative_tolerance):
+            failures.append(
+                f"input {index}: max abs err {result.max_absolute_error:.3e}, "
+                f"max rel err {result.max_relative_error:.3e}")
+    if failures:
+        raise AssertionError("gradient check failed: " + "; ".join(failures))

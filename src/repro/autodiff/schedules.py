@@ -1,0 +1,116 @@
+"""Learning-rate schedules for the autodiff optimizers.
+
+The paper trains with fixed learning rates (0.001 for the surrogate, 0.05 for
+the parameter table), but the reduced-scale experiments in this reproduction
+benefit from decaying schedules, and the ablation benchmarks sweep them.  All
+schedules mutate ``optimizer.lr`` in place and follow the same protocol:
+``step()`` advances one unit (epoch or optimizer step, as the caller decides)
+and returns the new learning rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.autodiff.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class for learning-rate schedules attached to one optimizer."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        if not hasattr(optimizer, "lr"):
+            raise TypeError("optimizer has no learning-rate attribute")
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.last_step = 0
+
+    def get_lr(self, step: int) -> float:
+        """Learning rate at ``step`` (0 is the pre-training value)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one schedule unit and update the optimizer in place."""
+        self.last_step += 1
+        new_lr = float(self.get_lr(self.last_step))
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    def history(self, num_steps: int) -> List[float]:
+        """Learning rates the schedule would produce for ``num_steps`` steps."""
+        return [float(self.get_lr(step)) for step in range(1, num_steps + 1)]
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if gamma <= 0.0:
+            raise ValueError("gamma must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr * (self.gamma ** (step // self.step_size))
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` after every step."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if gamma <= 0.0:
+            raise ValueError("gamma must be positive")
+        self.gamma = gamma
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr * (self.gamma ** step)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if min_lr < 0.0:
+            raise ValueError("min_lr must be non-negative")
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def get_lr(self, step: int) -> float:
+        progress = min(step, self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class LinearWarmup(LRScheduler):
+    """Linear warmup to the base rate, then delegate to an optional schedule.
+
+    During the first ``warmup_steps`` steps the learning rate ramps linearly
+    from ``base_lr / warmup_steps`` to ``base_lr``; afterwards the wrapped
+    schedule (if any) takes over, with its step count starting at zero once
+    warmup completes.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int,
+                 after: Optional[LRScheduler] = None) -> None:
+        super().__init__(optimizer)
+        if warmup_steps < 1:
+            raise ValueError("warmup_steps must be >= 1")
+        if after is not None and after.optimizer is not optimizer:
+            raise ValueError("the wrapped schedule must drive the same optimizer")
+        self.warmup_steps = warmup_steps
+        self.after = after
+
+    def get_lr(self, step: int) -> float:
+        if step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        if self.after is None:
+            return self.base_lr
+        return self.after.get_lr(step - self.warmup_steps)

@@ -1,0 +1,35 @@
+"""Saving and loading of module state dicts.
+
+State is stored as a compressed ``.npz`` archive so that trained surrogates
+and learned parameter tables can be checkpointed between the two optimization
+phases of DiffTune (surrogate training and parameter-table training).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.autodiff.modules import Module
+
+
+def save_state_dict(module: Module, path: str) -> None:
+    """Serialize ``module.state_dict()`` to ``path`` as an .npz archive."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    # npz keys cannot contain certain characters reliably across versions, so
+    # keys are stored verbatim — NumPy handles dotted names fine.
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict(module: Module, path: str) -> Module:
+    """Load an .npz archive produced by :func:`save_state_dict` into ``module``."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,43 @@
+"""Baselines the paper compares DiffTune against (Table IV).
+
+* :mod:`~repro.baselines.opentuner` — black-box global optimization with a
+  multi-armed bandit over an ensemble of search techniques, standing in for
+  OpenTuner (Section V-C).
+* :mod:`~repro.baselines.random_search` — plain random search, a weaker
+  black-box reference point and the initialization sanity check.
+* :mod:`~repro.baselines.ithemal` — a learned basic-block throughput model
+  trained directly on the ground-truth measurements (the accuracy lower bound
+  in Table IV).
+* :mod:`~repro.baselines.iaca` — an IACA-like analytical throughput/latency
+  bound model with Intel-specific special cases (N/A on AMD, as in the paper).
+"""
+
+from repro.baselines.opentuner import OpenTunerBaseline, OpenTunerConfig, BanditEnsemble
+from repro.baselines.random_search import random_search
+from repro.baselines.genetic import GeneticConfig, GeneticResult, GeneticTuner
+from repro.baselines.annealing import (AnnealingConfig, AnnealingResult,
+                                       SimulatedAnnealingTuner)
+from repro.baselines.coordinate_descent import (CoordinateDescentConfig,
+                                                CoordinateDescentResult,
+                                                CoordinateDescentTuner)
+from repro.baselines.ithemal import IthemalBaseline, IthemalConfig
+from repro.baselines.iaca import IACAModel
+
+__all__ = [
+    "OpenTunerBaseline",
+    "OpenTunerConfig",
+    "BanditEnsemble",
+    "random_search",
+    "GeneticTuner",
+    "GeneticConfig",
+    "GeneticResult",
+    "SimulatedAnnealingTuner",
+    "AnnealingConfig",
+    "AnnealingResult",
+    "CoordinateDescentTuner",
+    "CoordinateDescentConfig",
+    "CoordinateDescentResult",
+    "IthemalBaseline",
+    "IthemalConfig",
+    "IACAModel",
+]

@@ -1,0 +1,193 @@
+"""Genetic-algorithm baseline over simulator parameter tables.
+
+A population-based black-box optimizer in the spirit of PMEvo (Ritter & Hack,
+2020), which the paper discusses as the closest prior work on inferring port
+mappings by evolutionary optimization (Section VIII-A).  Unlike PMEvo the
+genome here is the *entire* flat parameter vector of the simulator, so the
+baseline answers the same question OpenTuner does — how far does a black-box
+method get with DiffTune's evaluation budget? — with a different search bias
+(recombination of good tables instead of a bandit over point mutations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adapters import SimulatorAdapter
+from repro.core.losses import mape_loss_value
+from repro.core.parameters import ParameterArrays, ParameterSpec
+from repro.isa.basic_block import BasicBlock
+
+
+@dataclass
+class GeneticConfig:
+    """Hyper-parameters of the genetic-algorithm baseline.
+
+    Attributes:
+        population_size: Number of candidate tables per generation.
+        elite_fraction: Fraction of the population copied unchanged into the
+            next generation (elitism).
+        tournament_size: Candidates drawn per tournament when selecting
+            parents.
+        crossover_rate: Probability a child mixes two parents (otherwise it is
+            a mutated copy of one).
+        mutation_rate: Per-gene probability of being resampled.
+        mutation_scale: Width of the Gaussian perturbation applied to mutated
+            genes, as a fraction of the gene's sampling range.
+        evaluation_budget: Total number of block evaluations allowed
+            (generations stop once the budget is exhausted) — the same budget
+            parity rule Section V-C applies to OpenTuner.
+        blocks_per_evaluation: Blocks drawn per fitness evaluation.
+        seed: Random seed.
+    """
+
+    population_size: int = 16
+    elite_fraction: float = 0.25
+    tournament_size: int = 3
+    crossover_rate: float = 0.7
+    mutation_rate: float = 0.05
+    mutation_scale: float = 0.35
+    evaluation_budget: int = 20_000
+    blocks_per_evaluation: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 0.0 <= self.elite_fraction < 1.0:
+            raise ValueError("elite_fraction must be in [0, 1)")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be >= 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 < self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in (0, 1]")
+
+
+@dataclass
+class GeneticResult:
+    """Outcome of a genetic-algorithm run."""
+
+    best_arrays: ParameterArrays
+    best_error: float
+    generations: int
+    evaluations: int
+    error_history: List[float]
+
+
+class GeneticTuner:
+    """Tunes a simulator's parameters with a generational genetic algorithm."""
+
+    def __init__(self, adapter: SimulatorAdapter, config: Optional[GeneticConfig] = None,
+                 log: Optional[Callable[[str], None]] = None) -> None:
+        self.adapter = adapter
+        self.config = config or GeneticConfig()
+        self._log = log or (lambda message: None)
+
+    # ------------------------------------------------------------------
+    # Genome helpers
+    # ------------------------------------------------------------------
+    def _bounds(self, spec: ParameterSpec) -> Tuple[np.ndarray, np.ndarray]:
+        global_low = np.concatenate([np.full(field.size, field.sample_low, dtype=np.float64)
+                                     for field in spec.global_fields]) \
+            if spec.global_fields else np.zeros(0)
+        global_high = np.concatenate([np.full(field.size, field.sample_high, dtype=np.float64)
+                                      for field in spec.global_fields]) \
+            if spec.global_fields else np.zeros(0)
+        per_low = np.concatenate([np.full(field.size, field.sample_low, dtype=np.float64)
+                                  for field in spec.per_instruction_fields])
+        per_high = np.concatenate([np.full(field.size, field.sample_high, dtype=np.float64)
+                                   for field in spec.per_instruction_fields])
+        low = np.concatenate([global_low, np.tile(per_low, spec.num_opcodes)])
+        high = np.concatenate([global_high, np.tile(per_high, spec.num_opcodes)])
+        return low, high
+
+    @staticmethod
+    def _to_arrays(spec: ParameterSpec, genome: np.ndarray) -> ParameterArrays:
+        return ParameterArrays.from_flat_vector(
+            np.round(genome), spec.global_dim, spec.num_opcodes, spec.per_instruction_dim)
+
+    # ------------------------------------------------------------------
+    # Genetic operators
+    # ------------------------------------------------------------------
+    def _tournament(self, fitness: np.ndarray, rng: np.random.Generator) -> int:
+        """Index of the fittest individual among a random tournament draw."""
+        contenders = rng.integers(0, len(fitness), size=self.config.tournament_size)
+        return int(contenders[np.argmin(fitness[contenders])])
+
+    def _crossover(self, first: np.ndarray, second: np.ndarray,
+                   rng: np.random.Generator) -> np.ndarray:
+        """Uniform crossover: each gene comes from either parent."""
+        take_first = rng.random(first.shape) < 0.5
+        return np.where(take_first, first, second)
+
+    def _mutate(self, genome: np.ndarray, low: np.ndarray, high: np.ndarray,
+                rng: np.random.Generator) -> np.ndarray:
+        mutated = genome.copy()
+        mask = rng.random(genome.shape) < self.config.mutation_rate
+        scale = (high - low) * self.config.mutation_scale
+        noise = rng.normal(0.0, 1.0, size=genome.shape) * scale
+        mutated[mask] = mutated[mask] + noise[mask]
+        return np.clip(mutated, low, high)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def tune(self, blocks: Sequence[BasicBlock], true_timings: np.ndarray) -> GeneticResult:
+        """Evolve parameter tables to minimize MAPE on ``blocks``."""
+        if not blocks:
+            raise ValueError("need at least one evaluation block")
+        spec = self.adapter.parameter_spec()
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        low, high = self._bounds(spec)
+        true_timings = np.asarray(true_timings, dtype=np.float64)
+
+        def evaluate(genome: np.ndarray) -> float:
+            batch = rng.integers(0, len(blocks),
+                                 size=min(config.blocks_per_evaluation, len(blocks)))
+            arrays = self._to_arrays(spec, genome)
+            predictions = self.adapter.predict_timings(
+                arrays, [blocks[int(index)] for index in batch])
+            return mape_loss_value(predictions, true_timings[batch])
+
+        population = [spec.sample(rng).to_flat_vector() for _ in range(config.population_size)]
+        population = [np.clip(genome, low, high) for genome in population]
+        fitness = np.array([evaluate(genome) for genome in population])
+        evaluations = config.population_size * min(config.blocks_per_evaluation, len(blocks))
+
+        history: List[float] = [float(fitness.min())]
+        generations = 0
+        elite_count = max(1, int(config.elite_fraction * config.population_size))
+        per_generation_cost = config.population_size * min(config.blocks_per_evaluation,
+                                                           len(blocks))
+        while evaluations + per_generation_cost <= config.evaluation_budget:
+            generations += 1
+            order = np.argsort(fitness)
+            elites = [population[int(index)].copy() for index in order[:elite_count]]
+            children: List[np.ndarray] = list(elites)
+            while len(children) < config.population_size:
+                parent = population[self._tournament(fitness, rng)]
+                if rng.random() < config.crossover_rate:
+                    other = population[self._tournament(fitness, rng)]
+                    child = self._crossover(parent, other, rng)
+                else:
+                    child = parent.copy()
+                children.append(self._mutate(child, low, high, rng))
+            population = children
+            fitness = np.array([evaluate(genome) for genome in population])
+            evaluations += per_generation_cost
+            history.append(float(fitness.min()))
+            self._log(f"generation {generations}: best batch error {fitness.min():.3f}")
+
+        best_index = int(np.argmin(fitness))
+        best_arrays = spec.clip_to_bounds(
+            spec.round_to_integers(self._to_arrays(spec, population[best_index])))
+        best_error = mape_loss_value(self.adapter.predict_timings(best_arrays, list(blocks)),
+                                     true_timings)
+        return GeneticResult(best_arrays=best_arrays, best_error=best_error,
+                             generations=generations, evaluations=evaluations,
+                             error_history=history)

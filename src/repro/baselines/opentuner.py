@@ -1,0 +1,213 @@
+"""Black-box global optimization baseline (OpenTuner stand-in).
+
+Section V-C of the paper compares DiffTune against OpenTuner, an autotuning
+framework that runs a multi-armed bandit over an ensemble of search
+techniques, each of which proposes new parameter settings that are then
+evaluated by running the actual program.  The implementation here mirrors
+that structure:
+
+* an ensemble of search techniques — random sampling, coordinate hill
+  climbing, Gaussian mutation, differential-evolution-style recombination,
+  and simulated annealing;
+* a UCB1 multi-armed bandit that, on every iteration, picks the technique
+  expected to make the most progress, evaluates its proposal on a batch of
+  basic blocks with the *original* simulator, and credits the technique when
+  the proposal improves on the best configuration so far.
+
+For budget parity with DiffTune (as in the paper), the baseline is given a
+budget measured in *block evaluations*: the same number of basic-block
+simulations DiffTune spends building its simulated dataset plus evaluating
+the learned table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adapters import SimulatorAdapter
+from repro.core.losses import mape_loss_value
+from repro.core.parameters import ParameterArrays, ParameterSpec
+from repro.isa.basic_block import BasicBlock
+
+
+@dataclass
+class OpenTunerConfig:
+    """Configuration of the black-box tuner."""
+
+    evaluation_budget: int = 100000   # total block evaluations
+    blocks_per_evaluation: int = 200  # blocks sampled to score one proposal
+    seed: int = 0
+    exploration: float = 1.4          # UCB exploration constant
+
+
+class _SearchTechnique:
+    """Base class: proposes a new parameter vector from the current best."""
+
+    name = "base"
+
+    def propose(self, best: np.ndarray, spec_low: np.ndarray, spec_high: np.ndarray,
+                rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _RandomSearch(_SearchTechnique):
+    name = "random"
+
+    def propose(self, best, spec_low, spec_high, rng):
+        return rng.uniform(spec_low, spec_high)
+
+
+class _HillClimb(_SearchTechnique):
+    """Perturb a small random subset of coordinates by +/- 1."""
+
+    name = "hillclimb"
+
+    def propose(self, best, spec_low, spec_high, rng):
+        proposal = best.copy()
+        count = max(1, int(0.01 * len(best)))
+        indices = rng.choice(len(best), size=count, replace=False)
+        proposal[indices] = proposal[indices] + rng.choice([-1.0, 1.0], size=count)
+        return np.clip(proposal, spec_low, spec_high)
+
+
+class _GaussianMutation(_SearchTechnique):
+    name = "gaussian"
+
+    def propose(self, best, spec_low, spec_high, rng):
+        scale = (spec_high - spec_low) * 0.1
+        proposal = best + rng.normal(0.0, 1.0, size=best.shape) * scale
+        return np.clip(proposal, spec_low, spec_high)
+
+
+class _DifferentialEvolution(_SearchTechnique):
+    """Recombine the best vector with two random vectors (DE/best/1 style)."""
+
+    name = "differential"
+
+    def propose(self, best, spec_low, spec_high, rng):
+        a = rng.uniform(spec_low, spec_high)
+        b = rng.uniform(spec_low, spec_high)
+        proposal = best + 0.5 * (a - b)
+        crossover = rng.random(best.shape) < 0.2
+        proposal = np.where(crossover, proposal, best)
+        return np.clip(proposal, spec_low, spec_high)
+
+
+class _SimulatedAnnealing(_SearchTechnique):
+    """Gaussian perturbation whose magnitude shrinks as the budget is spent."""
+
+    name = "annealing"
+
+    def __init__(self) -> None:
+        self.temperature = 1.0
+
+    def propose(self, best, spec_low, spec_high, rng):
+        scale = (spec_high - spec_low) * 0.3 * self.temperature
+        self.temperature = max(0.05, self.temperature * 0.995)
+        proposal = best + rng.normal(0.0, 1.0, size=best.shape) * scale
+        return np.clip(proposal, spec_low, spec_high)
+
+
+class BanditEnsemble:
+    """UCB1 bandit over the search-technique ensemble."""
+
+    def __init__(self, techniques: Sequence[_SearchTechnique], exploration: float = 1.4) -> None:
+        if not techniques:
+            raise ValueError("need at least one search technique")
+        self.techniques = list(techniques)
+        self.exploration = exploration
+        self.pulls = np.zeros(len(self.techniques))
+        self.rewards = np.zeros(len(self.techniques))
+        self._total = 0
+
+    def select(self) -> int:
+        """Pick the next technique index by UCB1."""
+        self._total += 1
+        for index in range(len(self.techniques)):
+            if self.pulls[index] == 0:
+                return index
+        means = self.rewards / self.pulls
+        bonus = self.exploration * np.sqrt(np.log(self._total) / self.pulls)
+        return int(np.argmax(means + bonus))
+
+    def update(self, index: int, reward: float) -> None:
+        self.pulls[index] += 1
+        self.rewards[index] += reward
+
+
+class OpenTunerBaseline:
+    """Black-box tuner over a simulator's flat parameter vector."""
+
+    def __init__(self, adapter: SimulatorAdapter, config: Optional[OpenTunerConfig] = None,
+                 log: Optional[Callable[[str], None]] = None) -> None:
+        self.adapter = adapter
+        self.config = config or OpenTunerConfig()
+        self._log = log or (lambda message: None)
+
+    def _bounds(self, spec: ParameterSpec) -> Tuple[np.ndarray, np.ndarray]:
+        """Search bounds per flat dimension (the paper constrains the search
+        to the same ranges DiffTune samples from)."""
+        global_low = np.concatenate([np.full(field.size, field.sample_low, dtype=np.float64)
+                                     for field in spec.global_fields]) \
+            if spec.global_fields else np.zeros(0)
+        global_high = np.concatenate([np.full(field.size, field.sample_high, dtype=np.float64)
+                                      for field in spec.global_fields]) \
+            if spec.global_fields else np.zeros(0)
+        per_low = np.concatenate([np.full(field.size, field.sample_low, dtype=np.float64)
+                                  for field in spec.per_instruction_fields])
+        per_high = np.concatenate([np.full(field.size, field.sample_high, dtype=np.float64)
+                                   for field in spec.per_instruction_fields])
+        low = np.concatenate([global_low, np.tile(per_low, spec.num_opcodes)])
+        high = np.concatenate([global_high, np.tile(per_high, spec.num_opcodes)])
+        return low, high
+
+    def tune(self, blocks: Sequence[BasicBlock], true_timings: np.ndarray) -> ParameterArrays:
+        """Search for parameters minimizing MAPE on ``blocks``."""
+        spec = self.adapter.parameter_spec()
+        rng = np.random.default_rng(self.config.seed)
+        low, high = self._bounds(spec)
+        true_timings = np.asarray(true_timings, dtype=np.float64)
+
+        def to_arrays(vector: np.ndarray) -> ParameterArrays:
+            return ParameterArrays.from_flat_vector(
+                np.round(vector), spec.global_dim, spec.num_opcodes, spec.per_instruction_dim)
+
+        def evaluate(vector: np.ndarray, batch_indices: np.ndarray) -> float:
+            arrays = to_arrays(vector)
+            batch_blocks = [blocks[int(index)] for index in batch_indices]
+            predictions = self.adapter.predict_timings(arrays, batch_blocks)
+            return mape_loss_value(predictions, true_timings[batch_indices])
+
+        techniques: List[_SearchTechnique] = [
+            _RandomSearch(), _HillClimb(), _GaussianMutation(),
+            _DifferentialEvolution(), _SimulatedAnnealing(),
+        ]
+        bandit = BanditEnsemble(techniques, exploration=self.config.exploration)
+
+        best_vector = rng.uniform(low, high)
+        batch = rng.integers(0, len(blocks),
+                             size=min(self.config.blocks_per_evaluation, len(blocks)))
+        best_score = evaluate(best_vector, batch)
+        evaluations = len(batch)
+        iteration = 0
+        while evaluations + self.config.blocks_per_evaluation <= self.config.evaluation_budget:
+            iteration += 1
+            technique_index = bandit.select()
+            proposal = techniques[technique_index].propose(best_vector, low, high, rng)
+            batch = rng.integers(0, len(blocks),
+                                 size=min(self.config.blocks_per_evaluation, len(blocks)))
+            score = evaluate(proposal, batch)
+            evaluations += len(batch)
+            improved = score < best_score
+            bandit.update(technique_index, 1.0 if improved else 0.0)
+            if improved:
+                best_vector, best_score = proposal, score
+                self._log(f"iteration {iteration}: {techniques[technique_index].name} "
+                          f"improved error to {score:.3f}")
+        self._log(f"finished after {evaluations} block evaluations, "
+                  f"best batch error {best_score:.3f}")
+        return spec.clip_to_bounds(spec.round_to_integers(to_arrays(best_vector)))

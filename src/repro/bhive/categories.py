@@ -1,0 +1,77 @@
+"""Block categorization by hardware resources used.
+
+BHive's validation methodology groups blocks into clusters based on the
+hardware resources they exercise; Table V of the paper reports per-category
+error for six of those clusters.  The classification here follows the same
+descriptions:
+
+* ``Scalar``      — scalar ALU operations only;
+* ``Vec``         — purely vector instructions;
+* ``Scalar/Vec``  — both scalar and vector arithmetic;
+* ``Ld``          — mostly loads;
+* ``St``          — mostly stores;
+* ``Ld/St``       — a mix of loads and stores.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.opcodes import UopClass
+
+
+class BlockCategory(str, enum.Enum):
+    """The six BHive resource-usage categories used in Table V."""
+
+    SCALAR = "Scalar"
+    VEC = "Vec"
+    SCALAR_VEC = "Scalar/Vec"
+    LD = "Ld"
+    ST = "St"
+    LD_ST = "Ld/St"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_SCALAR_ARITH_CLASSES = {UopClass.ALU, UopClass.SHIFT, UopClass.MUL, UopClass.DIV,
+                         UopClass.LEA, UopClass.CMOV, UopClass.SETCC}
+_VECTOR_ARITH_CLASSES = {UopClass.VEC_ALU, UopClass.VEC_MUL, UopClass.VEC_DIV, UopClass.CVT}
+
+
+def categorize_block(block: BasicBlock) -> BlockCategory:
+    """Assign a block to one of the six BHive categories.
+
+    Memory behaviour takes precedence: blocks dominated by loads and/or
+    stores fall into the Ld / St / Ld-St buckets; otherwise the scalar /
+    vector arithmetic mix decides.
+    """
+    num_instructions = len(block)
+    num_loads = block.num_loads()
+    num_stores = block.num_stores()
+    memory_fraction = (num_loads + num_stores) / num_instructions
+
+    has_scalar_arith = any(
+        instruction.opcode.uop_class in _SCALAR_ARITH_CLASSES and not instruction.opcode.is_vector
+        for instruction in block)
+    has_vector_arith = any(
+        instruction.opcode.uop_class in _VECTOR_ARITH_CLASSES or
+        (instruction.opcode.is_vector and instruction.opcode.uop_class != UopClass.VEC_MOV)
+        for instruction in block)
+    all_vector = all(instruction.opcode.is_vector for instruction in block)
+
+    if memory_fraction >= 0.5:
+        load_share = num_loads / max(1, num_loads + num_stores)
+        if load_share >= 0.7:
+            return BlockCategory.LD
+        if load_share <= 0.3:
+            return BlockCategory.ST
+        return BlockCategory.LD_ST
+    if all_vector and num_instructions > 0:
+        return BlockCategory.VEC
+    if has_scalar_arith and has_vector_arith:
+        return BlockCategory.SCALAR_VEC
+    if has_vector_arith:
+        return BlockCategory.VEC
+    return BlockCategory.SCALAR

@@ -1,0 +1,200 @@
+"""Dataset filters mirroring BHive's measurement-quality screens.
+
+Chen et al. filter their measured blocks before using them to validate
+performance models — most importantly they "remove all basic blocks
+potentially affected by virtual page aliasing" (Section V-A of the DiffTune
+paper), and they discard blocks whose repeated measurements disagree.  The
+synthetic dataset in this reproduction is generated rather than measured, but
+the same screens are still meaningful (and the measurement harness injects
+noise), so this module provides them:
+
+* :func:`filter_page_aliasing_risk` — drop blocks whose memory operands touch
+  distinct addresses that alias in the low page-offset bits (the condition
+  under which BHive's unrolled measurement loop suffers 4K aliasing stalls).
+* :func:`filter_unstable_measurements` — drop blocks whose repeated
+  measurements have a high coefficient of variation.
+* :func:`filter_timing_outliers` — drop blocks whose timing is implausibly far
+  from the per-length trend (harness failures in BHive; generator or hardware
+  model artifacts here).
+* :func:`filter_block_length` — keep blocks within a length range.
+* :class:`FilterReport` — bookkeeping of what each filter removed, so dataset
+  statistics tables can report the screening exactly like BHive does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bhive.dataset import LabeledBlock
+from repro.isa.basic_block import BasicBlock
+
+#: Page size whose low-order offset bits govern 4K aliasing.
+PAGE_SIZE_BYTES = 4096
+
+#: Two memory accesses whose page offsets fall within this many bytes of each
+#: other (but at different addresses) are treated as an aliasing risk.
+ALIASING_WINDOW_BYTES = 64
+
+
+@dataclass
+class FilterReport:
+    """What a filtering pass kept and removed.
+
+    Attributes:
+        kept: Examples that survived every filter.
+        removed: Mapping from filter name to the examples that filter dropped.
+    """
+
+    kept: List[LabeledBlock]
+    removed: Dict[str, List[LabeledBlock]] = field(default_factory=dict)
+
+    @property
+    def num_removed(self) -> int:
+        return sum(len(examples) for examples in self.removed.values())
+
+    def removal_summary(self) -> Dict[str, int]:
+        """Filter name -> number of removed blocks (for dataset tables)."""
+        return {name: len(examples) for name, examples in self.removed.items()}
+
+
+# ----------------------------------------------------------------------
+# Individual predicates
+# ----------------------------------------------------------------------
+def has_page_aliasing_risk(block: BasicBlock) -> bool:
+    """Whether two memory operands in the block may alias in the same page offset.
+
+    BHive times blocks by unrolling them in a loop over a small mapped arena;
+    two accesses to *different* locations whose addresses share low-order bits
+    contend for the same cache set / store buffer entry and produce timings
+    that do not reflect steady-state behaviour.  The generator's memory
+    operands use explicit base registers and displacements, so the page offset
+    is simply the displacement modulo the page size.
+    """
+    offsets: List[Tuple[int, Optional[str], Optional[str], int]] = []
+    for instruction in block:
+        location = instruction.memory_location()
+        if location is None:
+            continue
+        offsets.append(location)
+    for first_index in range(len(offsets)):
+        for second_index in range(first_index + 1, len(offsets)):
+            first, second = offsets[first_index], offsets[second_index]
+            if first == second:
+                continue  # same location: a real dependency, not aliasing noise
+            first_offset = first[0] % PAGE_SIZE_BYTES
+            second_offset = second[0] % PAGE_SIZE_BYTES
+            if abs(first_offset - second_offset) < ALIASING_WINDOW_BYTES \
+                    and (first[1] != second[1] or first[2] != second[2]):
+                return True
+    return False
+
+
+def measurement_instability(timings: Sequence[float]) -> float:
+    """Coefficient of variation of repeated measurements of one block."""
+    values = np.asarray(list(timings), dtype=np.float64)
+    if values.size < 2:
+        return 0.0
+    mean = float(values.mean())
+    if mean <= 0.0:
+        return float("inf")
+    return float(values.std() / mean)
+
+
+# ----------------------------------------------------------------------
+# Filters over example lists
+# ----------------------------------------------------------------------
+def filter_page_aliasing_risk(examples: Sequence[LabeledBlock]
+                              ) -> Tuple[List[LabeledBlock], List[LabeledBlock]]:
+    """Split examples into (kept, removed-for-aliasing-risk)."""
+    kept, removed = [], []
+    for example in examples:
+        (removed if has_page_aliasing_risk(example.block) else kept).append(example)
+    return kept, removed
+
+
+def filter_unstable_measurements(examples: Sequence[LabeledBlock],
+                                 repeated_timings: Dict[int, Sequence[float]],
+                                 max_coefficient_of_variation: float = 0.10
+                                 ) -> Tuple[List[LabeledBlock], List[LabeledBlock]]:
+    """Drop examples whose repeated measurements disagree too much.
+
+    Args:
+        examples: Candidate examples.
+        repeated_timings: Index into ``examples`` -> the per-run timings the
+            measurement harness recorded for that block.  Examples without an
+            entry are kept (they were measured once).
+        max_coefficient_of_variation: Stability threshold.
+    """
+    if max_coefficient_of_variation <= 0.0:
+        raise ValueError("max_coefficient_of_variation must be positive")
+    kept, removed = [], []
+    for index, example in enumerate(examples):
+        runs = repeated_timings.get(index)
+        if runs is not None and measurement_instability(runs) > max_coefficient_of_variation:
+            removed.append(example)
+        else:
+            kept.append(example)
+    return kept, removed
+
+
+def filter_timing_outliers(examples: Sequence[LabeledBlock],
+                           max_cycles_per_instruction: float = 25.0,
+                           min_timing: float = 0.05
+                           ) -> Tuple[List[LabeledBlock], List[LabeledBlock]]:
+    """Drop blocks whose timing is implausible for their length."""
+    if max_cycles_per_instruction <= 0.0 or min_timing <= 0.0:
+        raise ValueError("outlier thresholds must be positive")
+    kept, removed = [], []
+    for example in examples:
+        per_instruction = example.timing / max(len(example.block), 1)
+        if example.timing < min_timing or per_instruction > max_cycles_per_instruction:
+            removed.append(example)
+        else:
+            kept.append(example)
+    return kept, removed
+
+
+def filter_block_length(examples: Sequence[LabeledBlock], min_length: int = 1,
+                        max_length: int = 256
+                        ) -> Tuple[List[LabeledBlock], List[LabeledBlock]]:
+    """Keep blocks whose length is within ``[min_length, max_length]``.
+
+    256 is the longest block in the BHive dataset (Table III).
+    """
+    if min_length < 1 or max_length < min_length:
+        raise ValueError("invalid length range")
+    kept, removed = [], []
+    for example in examples:
+        if min_length <= len(example.block) <= max_length:
+            kept.append(example)
+        else:
+            removed.append(example)
+    return kept, removed
+
+
+def apply_bhive_filters(examples: Sequence[LabeledBlock],
+                        repeated_timings: Optional[Dict[int, Sequence[float]]] = None,
+                        max_coefficient_of_variation: float = 0.10,
+                        max_cycles_per_instruction: float = 25.0,
+                        max_length: int = 256) -> FilterReport:
+    """Apply the full BHive-style screening pipeline in the published order.
+
+    Length screening first (it is a static property), then aliasing risk,
+    then measurement stability, then the timing-plausibility screen.
+    """
+    report = FilterReport(kept=list(examples))
+    report.kept, removed = filter_block_length(report.kept, max_length=max_length)
+    report.removed["length"] = removed
+    report.kept, removed = filter_page_aliasing_risk(report.kept)
+    report.removed["page_aliasing"] = removed
+    if repeated_timings is not None:
+        report.kept, removed = filter_unstable_measurements(
+            report.kept, repeated_timings, max_coefficient_of_variation)
+        report.removed["unstable_measurement"] = removed
+    report.kept, removed = filter_timing_outliers(
+        report.kept, max_cycles_per_instruction=max_cycles_per_instruction)
+    report.removed["timing_outlier"] = removed
+    return report

@@ -1,0 +1,78 @@
+"""Measurement harness: timing blocks on the hardware substitute.
+
+In BHive, each block is mapped into a loop, its memory accesses are warmed
+into L1, and the loop is timed with performance counters several times; the
+reported timing is a robust aggregate of those runs, and blocks whose
+measurements are unstable (e.g. affected by virtual page aliasing) are
+discarded.  The harness here mirrors that protocol against the
+:class:`~repro.targets.hardware.HardwareModel`: every block is "run" several
+times with measurement noise, the median is reported, and blocks whose runs
+disagree too much are filtered out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.targets.hardware import HardwareModel
+
+
+@dataclass
+class MeasurementResult:
+    """Timing measurement of one block."""
+
+    timing: float
+    runs: Tuple[float, ...]
+    stable: bool
+
+
+class MeasurementHarness:
+    """Times basic blocks on a hardware model, BHive-style."""
+
+    def __init__(self, hardware: HardwareModel, runs: int = 3,
+                 stability_threshold: float = 0.25, seed: int = 0) -> None:
+        """Create a harness.
+
+        Args:
+            hardware: The hardware model standing in for the physical CPU.
+            runs: Number of repeated timing runs per block.
+            stability_threshold: Maximum allowed relative spread
+                (max-min)/median across runs before a block is discarded,
+                mirroring BHive's filtering of unreliable measurements.
+            seed: Seed for the measurement-noise generator.
+        """
+        if runs < 1:
+            raise ValueError("need at least one measurement run")
+        self.hardware = hardware
+        self.runs = runs
+        self.stability_threshold = stability_threshold
+        self._rng = np.random.default_rng(seed)
+
+    def measure_block(self, block: BasicBlock) -> MeasurementResult:
+        """Measure one block; ``stable`` is False if runs disagree too much."""
+        runs = tuple(self.hardware.measure(block, noisy=True, rng=self._rng)
+                     for _ in range(self.runs))
+        median = float(np.median(runs))
+        spread = (max(runs) - min(runs)) / max(median, 1e-9)
+        return MeasurementResult(timing=median, runs=runs,
+                                 stable=spread <= self.stability_threshold)
+
+    def measure_blocks(self, blocks: Sequence[BasicBlock],
+                       drop_unstable: bool = True) -> Tuple[List[BasicBlock], np.ndarray]:
+        """Measure many blocks, optionally dropping unstable measurements.
+
+        Returns the (possibly filtered) blocks and their timings, aligned.
+        """
+        kept_blocks: List[BasicBlock] = []
+        timings: List[float] = []
+        for block in blocks:
+            result = self.measure_block(block)
+            if drop_unstable and not result.stable:
+                continue
+            kept_blocks.append(block)
+            timings.append(result.timing)
+        return kept_blocks, np.array(timings, dtype=np.float64)

@@ -1,0 +1,174 @@
+"""Simulated hardware performance counters.
+
+Fine-grained measurement frameworks (Agner Fog's scripts, uops.info) rely on
+per-event hardware performance counters; the paper's related-work discussion
+(Section VIII-A) notes that such counters are not always present — AMD Zen
+lacks per-port counters — and are not always reliable (Weaver & McKee).  This
+module models that measurement substrate on top of the reference hardware
+model so the repository can also reproduce the *measurement-based* route to
+parameter values that Section II-B compares DiffTune against:
+
+* :class:`CounterSpec` describes which events a microarchitecture exposes.
+* :class:`PerformanceCounterUnit` measures a block and returns event counts
+  (cycles, retired instructions and micro-ops, per-port dispatch counts), with
+  optional sampling noise and multiplexing error, mirroring how real counters
+  misbehave.
+* :func:`measure_instruction_latency` recovers an instruction's latency the
+  way measurement frameworks do — by timing a dependency chain of copies of
+  the instruction — which is exactly the methodology whose mismatch with
+  llvm-mca's WriteLatency semantics motivates DiffTune (Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import Instruction
+from repro.llvm_mca.params import NUM_PORTS
+from repro.targets.hardware import HardwareModel
+from repro.targets.uarch import UarchSpec
+
+
+@dataclass(frozen=True)
+class CounterSpec:
+    """Which counter events a microarchitecture exposes.
+
+    Attributes:
+        has_cycle_counter: Core clock cycles (every target has this).
+        has_uop_counters: Retired micro-op counts.
+        has_port_counters: Per-execution-port dispatch counts.  False for the
+            AMD targets, matching the lack of per-port counters on Zen that
+            the paper points out.
+        multiplexed: Whether reading many events at once requires time
+            multiplexing, which introduces scaling error.
+    """
+
+    has_cycle_counter: bool = True
+    has_uop_counters: bool = True
+    has_port_counters: bool = True
+    multiplexed: bool = False
+
+    @classmethod
+    def for_uarch(cls, spec: UarchSpec) -> "CounterSpec":
+        """Counter availability for one of the modeled microarchitectures."""
+        is_amd = spec.vendor.lower() == "amd"
+        return cls(has_cycle_counter=True, has_uop_counters=True,
+                   has_port_counters=not is_amd, multiplexed=is_amd)
+
+
+@dataclass
+class CounterReading:
+    """One measurement of a block's counter events.
+
+    Attributes:
+        cycles: Measured core cycles per block iteration.
+        instructions_retired: Instructions retired per iteration.
+        uops_retired: Micro-ops retired per iteration (None if unsupported).
+        port_dispatch: Micro-ops dispatched per port per iteration (None if
+            the target has no per-port counters).
+    """
+
+    cycles: float
+    instructions_retired: float
+    uops_retired: Optional[float]
+    port_dispatch: Optional[List[float]]
+
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions_retired / max(self.cycles, 1e-9)
+
+
+class PerformanceCounterUnit:
+    """Measures blocks on the hardware model through simulated counters."""
+
+    def __init__(self, hardware: HardwareModel, spec: Optional[CounterSpec] = None,
+                 noise: float = 0.01, seed: int = 0) -> None:
+        """Create a counter unit.
+
+        Args:
+            hardware: The reference hardware model being "measured".
+            spec: Counter availability; defaults to the hardware's uarch.
+            noise: Relative sampling noise applied to every event count.
+            multiplexing adds further error when the spec says so.
+            seed: Noise generator seed.
+        """
+        if noise < 0.0:
+            raise ValueError("noise must be non-negative")
+        self.hardware = hardware
+        self.spec = spec or CounterSpec.for_uarch(hardware.spec)
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Event synthesis
+    # ------------------------------------------------------------------
+    def _noisy(self, value: float, extra_noise: float = 0.0) -> float:
+        total_noise = self.noise + extra_noise
+        if total_noise <= 0.0:
+            return float(value)
+        return float(value * (1.0 + self._rng.normal(0.0, total_noise)))
+
+    def _port_distribution(self, block: BasicBlock) -> List[float]:
+        """Micro-ops dispatched per port per iteration, from the uarch's mapping."""
+        per_port = [0.0] * NUM_PORTS
+        for instruction in block:
+            documented = self.hardware.spec.documented_for(instruction.opcode.uop_class)
+            port_indices = [port for port, _cycles in documented.ports] or [0]
+            share = max(documented.micro_ops, 1) / len(port_indices)
+            for port in port_indices:
+                if port < NUM_PORTS:
+                    per_port[port] += share
+        return per_port
+
+    def read(self, block: BasicBlock) -> CounterReading:
+        """Measure one block and return its (noisy) counter events."""
+        cycles = self.hardware.measure(block, noisy=True, rng=self._rng)
+        multiplex_error = 0.03 if self.spec.multiplexed else 0.0
+        instructions = self._noisy(len(block), multiplex_error)
+        uops = None
+        if self.spec.has_uop_counters:
+            true_uops = sum(max(self.hardware.spec.true_for(
+                instruction.opcode.uop_class).micro_ops, 1.0) for instruction in block)
+            uops = self._noisy(true_uops, multiplex_error)
+        ports = None
+        if self.spec.has_port_counters:
+            ports = [self._noisy(value, multiplex_error)
+                     for value in self._port_distribution(block)]
+        if not self.spec.has_cycle_counter:
+            raise RuntimeError("target exposes no cycle counter")
+        return CounterReading(cycles=float(cycles), instructions_retired=instructions,
+                              uops_retired=uops, port_dispatch=ports)
+
+    def read_many(self, blocks: Sequence[BasicBlock]) -> List[CounterReading]:
+        return [self.read(block) for block in blocks]
+
+
+def measure_instruction_latency(hardware: HardwareModel, instruction: Instruction,
+                                chain_length: int = 8, runs: int = 3,
+                                seed: int = 0) -> Dict[str, float]:
+    """Measure an instruction's latency with a dependency-chain microbenchmark.
+
+    This is the methodology of Agner Fog's tables and uops.info: build a chain
+    of ``chain_length`` copies of the instruction, each consuming the previous
+    copy's result, time it, and divide by the chain length.  Returns the
+    minimum, median and maximum over ``runs`` repetitions — the three summary
+    statistics whose disagreement with llvm-mca's single WriteLatency value
+    Section II-B quantifies (103% / 150% / 218% error).
+    """
+    if chain_length < 1 or runs < 1:
+        raise ValueError("chain_length and runs must be >= 1")
+    block = BasicBlock(instructions=tuple([instruction] * chain_length))
+    rng = np.random.default_rng(seed)
+    per_copy: List[float] = []
+    for _ in range(runs):
+        timing = hardware.measure(block, noisy=True, rng=rng)
+        per_copy.append(timing / chain_length)
+    return {
+        "min": float(np.min(per_copy)),
+        "median": float(np.median(per_copy)),
+        "max": float(np.max(per_copy)),
+    }

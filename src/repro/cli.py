@@ -1,0 +1,299 @@
+"""Command-line interface for the DiffTune reproduction.
+
+Seven subcommands cover the day-to-day workflow:
+
+* ``dataset``  — generate and measure a BHive-like dataset and save it to JSON.
+* ``learn``    — run DiffTune on a dataset (or a freshly generated one) and
+  save the learned parameter table.
+* ``evaluate`` — report error / Kendall's tau of a parameter table (default or
+  learned) on a dataset's test split.
+* ``compare``  — run the full Table IV comparison for one microarchitecture.
+* ``timeline`` — print the llvm-mca style timeline / bottleneck report for a
+  basic block under a (default or learned) parameter table.
+* ``sweep``    — sweep one global parameter and report the error curve
+  (the Figure 5 analysis) as a text plot.
+* ``tune-baseline`` — run one of the black-box baselines (OpenTuner-style,
+  genetic, annealing, coordinate descent) for comparison with DiffTune.
+
+Examples::
+
+    python -m repro.cli dataset --uarch haswell --blocks 500 --output haswell.json
+    python -m repro.cli learn --dataset haswell.json --output learned.json
+    python -m repro.cli evaluate --dataset haswell.json --table learned.json
+    python -m repro.cli compare --uarch zen2 --blocks 300
+    python -m repro.cli timeline --block "addq %rax, %rbx; imulq %rbx, %rcx"
+    python -m repro.cli sweep --dataset haswell.json --field DispatchWidth
+    python -m repro.cli tune-baseline --dataset haswell.json --method genetic
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bhive import BasicBlockDataset, build_dataset
+from repro.core import DiffTune, MCAAdapter, fast_config, paper_config
+from repro.eval.experiments import ExperimentScale, run_table4_for_uarch
+from repro.eval.metrics import error_and_tau
+from repro.eval.plots import Series, ascii_line_plot
+from repro.eval.tables import format_results_table
+from repro.llvm_mca import MCAParameterTable, MCASimulator, TimelineView
+from repro.targets import get_uarch
+
+
+def _load_dataset(path: str) -> BasicBlockDataset:
+    return BasicBlockDataset.load_json(path)
+
+
+def _split(dataset: BasicBlockDataset):
+    train = dataset.train_examples
+    test = dataset.test_examples
+    return ([example.block for example in train],
+            np.array([example.timing for example in train]),
+            [example.block for example in test],
+            np.array([example.timing for example in test]))
+
+
+def _command_dataset(arguments: argparse.Namespace) -> int:
+    dataset = build_dataset(arguments.uarch, num_blocks=arguments.blocks, seed=arguments.seed)
+    dataset.save_json(arguments.output)
+    stats = dataset.summary_statistics()
+    print(f"Wrote {stats['num_blocks_total']} measured blocks for {dataset.uarch_name} "
+          f"to {arguments.output}")
+    print(f"  median length {stats['block_length_median']:.1f}, "
+          f"median timing {stats['median_block_timing']:.2f} cycles/iteration, "
+          f"{stats['unique_opcodes_total']} unique opcodes")
+    return 0
+
+
+def _command_learn(arguments: argparse.Namespace) -> int:
+    if arguments.dataset:
+        dataset = _load_dataset(arguments.dataset)
+        uarch = get_uarch(dataset.uarch_name)
+    else:
+        uarch = get_uarch(arguments.uarch)
+        dataset = build_dataset(arguments.uarch, num_blocks=arguments.blocks,
+                                seed=arguments.seed)
+    train_blocks, train_timings, test_blocks, test_timings = _split(dataset)
+
+    adapter = MCAAdapter(uarch, narrow_sampling=not arguments.paper_sampling,
+                         learn_fields=arguments.learn_fields)
+    config = paper_config(arguments.seed) if arguments.paper_config else fast_config(arguments.seed)
+    difftune = DiffTune(adapter, config, log=lambda message: print(f"[difftune] {message}"))
+    result = difftune.learn(train_blocks, train_timings)
+
+    table = adapter.table_from_arrays(result.learned_arrays)
+    table.save_json(arguments.output)
+    default_error, _ = error_and_tau(
+        adapter.predict_timings(adapter.default_arrays(), test_blocks), test_timings)
+    learned_error, _ = error_and_tau(
+        adapter.predict_timings(result.learned_arrays, test_blocks), test_timings)
+    print(f"Saved learned table to {arguments.output}")
+    print(f"Test error: default {default_error * 100:.1f}%, learned {learned_error * 100:.1f}%")
+    return 0
+
+
+def _command_evaluate(arguments: argparse.Namespace) -> int:
+    dataset = _load_dataset(arguments.dataset)
+    uarch = get_uarch(dataset.uarch_name)
+    adapter = MCAAdapter(uarch)
+    _train_blocks, _train_timings, test_blocks, test_timings = _split(dataset)
+    if arguments.table:
+        table = MCAParameterTable.load_json(arguments.table, adapter.opcode_table)
+        label = arguments.table
+    else:
+        table = adapter.default_table()
+        label = "default parameters"
+    predictions = MCASimulator(table).predict_many(test_blocks)
+    error, tau = error_and_tau(predictions, test_timings)
+    print(f"{dataset.uarch_name} test split ({len(test_blocks)} blocks), {label}:")
+    print(f"  error {error * 100:.1f}%, Kendall's tau {tau:.3f}")
+    return 0
+
+
+def _command_compare(arguments: argparse.Namespace) -> int:
+    scale = ExperimentScale.benchmark()
+    scale.num_blocks = arguments.blocks
+    scale.seed = arguments.seed
+    results = run_table4_for_uarch(arguments.uarch, scale,
+                                   include_opentuner=not arguments.skip_opentuner,
+                                   include_ithemal=not arguments.skip_ithemal)
+    name = get_uarch(arguments.uarch).name
+    print(format_results_table({name: results}, title="Table IV analogue"))
+    return 0
+
+
+def _load_table_or_default(adapter: MCAAdapter, table_path: Optional[str]) -> MCAParameterTable:
+    if table_path:
+        return MCAParameterTable.load_json(table_path, adapter.opcode_table)
+    return adapter.default_table()
+
+
+def _command_timeline(arguments: argparse.Namespace) -> int:
+    from repro.isa.parser import parse_block
+
+    uarch = get_uarch(arguments.uarch)
+    adapter = MCAAdapter(uarch)
+    table = _load_table_or_default(adapter, arguments.table)
+    text = arguments.block.replace(";", "\n")
+    block = parse_block(text, adapter.opcode_table)
+    view = TimelineView(table)
+    print(view.summary(block))
+    return 0
+
+
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    dataset = _load_dataset(arguments.dataset)
+    uarch = get_uarch(dataset.uarch_name)
+    adapter = MCAAdapter(uarch)
+    table = _load_table_or_default(adapter, arguments.table)
+    _train_blocks, _train_timings, test_blocks, test_timings = _split(dataset)
+
+    field = arguments.field
+    values = list(range(arguments.low, arguments.high + 1, arguments.step))
+    errors = []
+    for value in values:
+        candidate = table.copy()
+        if field == "DispatchWidth":
+            candidate.dispatch_width = max(1, int(value))
+        elif field == "ReorderBufferSize":
+            candidate.reorder_buffer_size = max(1, int(value))
+        else:
+            raise SystemExit(f"unsupported sweep field: {field}")
+        predictions = MCASimulator(candidate).predict_many(test_blocks)
+        error, _ = error_and_tau(predictions, test_timings)
+        errors.append(error * 100.0)
+    series = Series(field, x=[float(value) for value in values], y=errors)
+    print(ascii_line_plot([series], title=f"{field} sensitivity ({dataset.uarch_name})",
+                          x_label=field, y_label="error %"))
+    best = values[int(np.argmin(errors))]
+    print(f"Best {field}: {best} (error {min(errors):.1f}%)")
+    return 0
+
+
+def _command_tune_baseline(arguments: argparse.Namespace) -> int:
+    from repro.baselines import (AnnealingConfig, CoordinateDescentConfig, GeneticConfig,
+                                 GeneticTuner, OpenTunerBaseline, OpenTunerConfig,
+                                 SimulatedAnnealingTuner, CoordinateDescentTuner)
+
+    dataset = _load_dataset(arguments.dataset)
+    uarch = get_uarch(dataset.uarch_name)
+    adapter = MCAAdapter(uarch, narrow_sampling=True)
+    train_blocks, train_timings, test_blocks, test_timings = _split(dataset)
+    budget = arguments.budget
+
+    if arguments.method == "opentuner":
+        tuner = OpenTunerBaseline(adapter, OpenTunerConfig(evaluation_budget=budget,
+                                                           seed=arguments.seed))
+        arrays = tuner.tune(train_blocks, train_timings)
+    elif arguments.method == "genetic":
+        result = GeneticTuner(adapter, GeneticConfig(evaluation_budget=budget,
+                                                     seed=arguments.seed)).tune(
+            train_blocks, train_timings)
+        arrays = result.best_arrays
+    elif arguments.method == "annealing":
+        result = SimulatedAnnealingTuner(adapter, AnnealingConfig(
+            evaluation_budget=budget, seed=arguments.seed)).tune(train_blocks, train_timings)
+        arrays = result.best_arrays
+    else:
+        result = CoordinateDescentTuner(adapter, CoordinateDescentConfig(
+            evaluation_budget=budget, seed=arguments.seed)).tune(train_blocks, train_timings)
+        arrays = result.best_arrays
+
+    error, tau = error_and_tau(adapter.predict_timings(arrays, test_blocks), test_timings)
+    default_error, _ = error_and_tau(
+        adapter.predict_timings(adapter.default_arrays(), test_blocks), test_timings)
+    print(f"{arguments.method} on {dataset.uarch_name}: "
+          f"test error {error * 100:.1f}% (tau {tau:.3f}), "
+          f"default parameters {default_error * 100:.1f}%")
+    if arguments.output:
+        adapter.table_from_arrays(arrays).save_json(arguments.output)
+        print(f"Saved tuned table to {arguments.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    dataset_parser = subparsers.add_parser("dataset", help="generate and measure a dataset")
+    dataset_parser.add_argument("--uarch", default="haswell")
+    dataset_parser.add_argument("--blocks", type=int, default=500)
+    dataset_parser.add_argument("--seed", type=int, default=0)
+    dataset_parser.add_argument("--output", required=True)
+    dataset_parser.set_defaults(handler=_command_dataset)
+
+    learn_parser = subparsers.add_parser("learn", help="run DiffTune and save the learned table")
+    learn_parser.add_argument("--dataset", help="dataset JSON produced by the dataset command")
+    learn_parser.add_argument("--uarch", default="haswell",
+                              help="target (used when no dataset file is given)")
+    learn_parser.add_argument("--blocks", type=int, default=400)
+    learn_parser.add_argument("--seed", type=int, default=0)
+    learn_parser.add_argument("--output", required=True)
+    learn_parser.add_argument("--paper-config", action="store_true",
+                              help="use the paper-faithful (slow) configuration")
+    learn_parser.add_argument("--paper-sampling", action="store_true",
+                              help="use the paper's wide sampling ranges")
+    learn_parser.add_argument("--learn-fields", nargs="*", default=None,
+                              help="subset of fields to learn (e.g. WriteLatency)")
+    learn_parser.set_defaults(handler=_command_learn)
+
+    evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a parameter table")
+    evaluate_parser.add_argument("--dataset", required=True)
+    evaluate_parser.add_argument("--table", help="learned table JSON (defaults to expert table)")
+    evaluate_parser.set_defaults(handler=_command_evaluate)
+
+    compare_parser = subparsers.add_parser("compare", help="run the Table IV comparison")
+    compare_parser.add_argument("--uarch", default="haswell",
+                                choices=["ivybridge", "haswell", "skylake", "zen2"])
+    compare_parser.add_argument("--blocks", type=int, default=300)
+    compare_parser.add_argument("--seed", type=int, default=0)
+    compare_parser.add_argument("--skip-opentuner", action="store_true")
+    compare_parser.add_argument("--skip-ithemal", action="store_true")
+    compare_parser.set_defaults(handler=_command_compare)
+
+    timeline_parser = subparsers.add_parser(
+        "timeline", help="print the timeline / bottleneck report for a basic block")
+    timeline_parser.add_argument("--uarch", default="haswell")
+    timeline_parser.add_argument("--table", help="learned table JSON (defaults to expert table)")
+    timeline_parser.add_argument("--block", required=True,
+                                 help="assembly text; separate instructions with ';'")
+    timeline_parser.set_defaults(handler=_command_timeline)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="sweep a global parameter and plot the error curve (Figure 5)")
+    sweep_parser.add_argument("--dataset", required=True)
+    sweep_parser.add_argument("--table", help="learned table JSON (defaults to expert table)")
+    sweep_parser.add_argument("--field", default="DispatchWidth",
+                              choices=["DispatchWidth", "ReorderBufferSize"])
+    sweep_parser.add_argument("--low", type=int, default=1)
+    sweep_parser.add_argument("--high", type=int, default=10)
+    sweep_parser.add_argument("--step", type=int, default=1)
+    sweep_parser.set_defaults(handler=_command_sweep)
+
+    baseline_parser = subparsers.add_parser(
+        "tune-baseline", help="run a black-box baseline tuner for comparison with DiffTune")
+    baseline_parser.add_argument("--dataset", required=True)
+    baseline_parser.add_argument("--method", default="opentuner",
+                                 choices=["opentuner", "genetic", "annealing", "coordinate"])
+    baseline_parser.add_argument("--budget", type=int, default=5000,
+                                 help="total block evaluations allowed")
+    baseline_parser.add_argument("--seed", type=int, default=0)
+    baseline_parser.add_argument("--output", help="where to save the tuned table JSON")
+    baseline_parser.set_defaults(handler=_command_tune_baseline)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

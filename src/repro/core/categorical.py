@@ -1,0 +1,248 @@
+"""Categorical and boolean parameter support.
+
+The paper's DiffTune implementation only handles *ordinal* parameters
+(Section VII, "Non-ordinal parameters"): integers relaxed to reals during
+optimization and rounded back afterwards.  The same section identifies
+categorical and boolean parameters as the natural next step and names one-hot
+encoding as a candidate relaxation.  This module implements that extension:
+
+* :class:`CategoricalField` describes one categorical (or boolean) parameter:
+  its name, its legal choices, and whether it is global or per-instruction.
+* :class:`CategoricalRelaxation` maps between discrete choices and continuous
+  *logit* vectors.  During optimization a categorical parameter is represented
+  by a real-valued logit per choice; the surrogate receives the softmax of the
+  logits (a point on the probability simplex), so gradients flow into every
+  logit.  Extraction takes the arg-max choice, mirroring how ordinal
+  parameters are rounded.
+* :class:`CategoricalTable` holds the logits for a set of fields and supports
+  sampling (uniform or Dirichlet-concentrated), extraction, and simulator-side
+  encoding.
+
+The llvm-mca model in this repository has no categorical parameters, so the
+extension is exercised by the custom-simulator example and its tests; it is
+deliberately independent of :class:`~repro.core.parameters.ParameterSpec` so
+that it can wrap any simulator adapter that needs mixed parameter types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Choice = Union[str, bool, int]
+
+
+@dataclass(frozen=True)
+class CategoricalField:
+    """One categorical parameter.
+
+    Attributes:
+        name: Field name (e.g. ``"SchedulerPolicy"``).
+        choices: The legal values, in a fixed order.  Booleans are expressed
+            as ``(False, True)``.
+        per_instruction: Whether the field has one value per opcode (``True``)
+            or a single global value (``False``).
+    """
+
+    name: str
+    choices: Tuple[Choice, ...]
+    per_instruction: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.choices) < 2:
+            raise ValueError(f"{self.name}: a categorical field needs >= 2 choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"{self.name}: choices must be unique")
+
+    @property
+    def num_choices(self) -> int:
+        return len(self.choices)
+
+    def index_of(self, choice: Choice) -> int:
+        """Position of ``choice`` in the choice tuple."""
+        try:
+            return self.choices.index(choice)
+        except ValueError:
+            raise KeyError(f"{self.name}: unknown choice {choice!r}") from None
+
+    @classmethod
+    def boolean(cls, name: str, per_instruction: bool = False) -> "CategoricalField":
+        """A boolean parameter encoded as the two-way categorical (False, True)."""
+        return cls(name=name, choices=(False, True), per_instruction=per_instruction)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / np.sum(exponentials, axis=axis, keepdims=True)
+
+
+def one_hot(index: int, num_choices: int) -> np.ndarray:
+    """A one-hot vector of length ``num_choices`` with a 1 at ``index``."""
+    if not 0 <= index < num_choices:
+        raise IndexError(f"index {index} out of range for {num_choices} choices")
+    vector = np.zeros(num_choices, dtype=np.float64)
+    vector[index] = 1.0
+    return vector
+
+
+class CategoricalRelaxation:
+    """Continuous relaxation of one categorical field.
+
+    The relaxation stores one logit per choice (per opcode for
+    per-instruction fields).  ``probabilities()`` is what the surrogate sees;
+    ``extract()`` is what the simulator receives.
+    """
+
+    def __init__(self, field_: CategoricalField, num_opcodes: int = 1,
+                 temperature: float = 1.0) -> None:
+        if num_opcodes < 1:
+            raise ValueError("num_opcodes must be >= 1")
+        if temperature <= 0.0:
+            raise ValueError("temperature must be positive")
+        self.field = field_
+        self.num_opcodes = num_opcodes if field_.per_instruction else 1
+        self.temperature = temperature
+
+    @property
+    def logit_shape(self) -> Tuple[int, int]:
+        return (self.num_opcodes, self.field.num_choices)
+
+    def initial_logits(self, rng: np.random.Generator, scale: float = 0.1) -> np.ndarray:
+        """Small random logits — a nearly uniform starting distribution."""
+        return rng.normal(0.0, scale, size=self.logit_shape)
+
+    def logits_for_choices(self, choices: Sequence[Choice], confidence: float = 4.0
+                           ) -> np.ndarray:
+        """Logits that put most probability mass on the given choices."""
+        if len(choices) != self.num_opcodes:
+            raise ValueError(
+                f"{self.field.name}: expected {self.num_opcodes} choices, got {len(choices)}")
+        logits = np.zeros(self.logit_shape)
+        for row, choice in enumerate(choices):
+            logits[row, self.field.index_of(choice)] = confidence
+        return logits
+
+    def probabilities(self, logits: np.ndarray) -> np.ndarray:
+        """Simplex encoding the surrogate receives (softmax with temperature)."""
+        logits = np.asarray(logits, dtype=np.float64).reshape(self.logit_shape)
+        return softmax(logits / self.temperature, axis=-1)
+
+    def extract(self, logits: np.ndarray) -> List[Choice]:
+        """Discrete choices (arg-max per row), mirroring ordinal rounding."""
+        logits = np.asarray(logits, dtype=np.float64).reshape(self.logit_shape)
+        indices = np.argmax(logits, axis=-1)
+        return [self.field.choices[int(index)] for index in indices]
+
+    def sample_choices(self, rng: np.random.Generator) -> List[Choice]:
+        """Uniformly sample a discrete choice per row (the 𝐷 distribution)."""
+        indices = rng.integers(0, self.field.num_choices, size=self.num_opcodes)
+        return [self.field.choices[int(index)] for index in indices]
+
+    def encode_choices(self, choices: Sequence[Choice]) -> np.ndarray:
+        """One-hot encoding of discrete choices (surrogate-training inputs)."""
+        if len(choices) != self.num_opcodes:
+            raise ValueError(
+                f"{self.field.name}: expected {self.num_opcodes} choices, got {len(choices)}")
+        return np.stack([one_hot(self.field.index_of(choice), self.field.num_choices)
+                         for choice in choices])
+
+
+class CategoricalTable:
+    """The logits for a set of categorical fields, with sampling and extraction.
+
+    This plays the same role for categorical parameters that
+    :class:`~repro.core.parameters.ParameterArrays` plays for ordinal ones:
+    a concrete assignment in optimization layout.
+    """
+
+    def __init__(self, fields: Sequence[CategoricalField], num_opcodes: int = 1,
+                 temperature: float = 1.0) -> None:
+        names = [field_.name for field_ in fields]
+        if len(set(names)) != len(names):
+            raise ValueError("categorical field names must be unique")
+        self.fields: List[CategoricalField] = list(fields)
+        self.num_opcodes = num_opcodes
+        self.relaxations: Dict[str, CategoricalRelaxation] = {
+            field_.name: CategoricalRelaxation(field_, num_opcodes, temperature)
+            for field_ in fields}
+        self.logits: Dict[str, np.ndarray] = {
+            name: np.zeros(relaxation.logit_shape)
+            for name, relaxation in self.relaxations.items()}
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def field_names(self) -> List[str]:
+        return [field_.name for field_ in self.fields]
+
+    def relaxation(self, name: str) -> CategoricalRelaxation:
+        if name not in self.relaxations:
+            raise KeyError(f"unknown categorical field: {name}")
+        return self.relaxations[name]
+
+    def set_logits(self, name: str, logits: np.ndarray) -> None:
+        relaxation = self.relaxation(name)
+        logits = np.asarray(logits, dtype=np.float64).reshape(relaxation.logit_shape)
+        self.logits[name] = logits.copy()
+
+    def set_choices(self, name: str, choices: Sequence[Choice]) -> None:
+        """Pin a field to concrete discrete choices (high-confidence logits)."""
+        relaxation = self.relaxation(name)
+        self.logits[name] = relaxation.logits_for_choices(choices)
+
+    # ------------------------------------------------------------------
+    # Sampling, surrogate inputs and extraction
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> Dict[str, List[Choice]]:
+        """Sample discrete choices for every field (for simulated datasets)."""
+        return {name: relaxation.sample_choices(rng)
+                for name, relaxation in self.relaxations.items()}
+
+    def randomize_logits(self, rng: np.random.Generator, scale: float = 0.1) -> None:
+        """Re-initialize every field's logits near the uniform distribution."""
+        for name, relaxation in self.relaxations.items():
+            self.logits[name] = relaxation.initial_logits(rng, scale=scale)
+
+    def surrogate_inputs(self) -> Dict[str, np.ndarray]:
+        """Simplex encodings of the current logits, keyed by field name."""
+        return {name: relaxation.probabilities(self.logits[name])
+                for name, relaxation in self.relaxations.items()}
+
+    def encode_assignment(self, assignment: Mapping[str, Sequence[Choice]]
+                          ) -> Dict[str, np.ndarray]:
+        """One-hot encodings of a discrete assignment (surrogate training)."""
+        encoded = {}
+        for name, relaxation in self.relaxations.items():
+            if name not in assignment:
+                raise KeyError(f"assignment missing categorical field {name}")
+            encoded[name] = relaxation.encode_choices(assignment[name])
+        return encoded
+
+    def extract(self) -> Dict[str, List[Choice]]:
+        """Discrete choices for every field from the current logits."""
+        return {name: relaxation.extract(self.logits[name])
+                for name, relaxation in self.relaxations.items()}
+
+    def flat_vector(self) -> np.ndarray:
+        """All logits flattened in field order (for black-box baselines)."""
+        return np.concatenate([self.logits[field_.name].ravel() for field_ in self.fields]) \
+            if self.fields else np.zeros(0)
+
+    def load_flat_vector(self, vector: np.ndarray) -> None:
+        """Inverse of :meth:`flat_vector`."""
+        vector = np.asarray(vector, dtype=np.float64)
+        expected = sum(int(np.prod(self.relaxations[field_.name].logit_shape))
+                       for field_ in self.fields)
+        if vector.size != expected:
+            raise ValueError(f"expected {expected} values, got {vector.size}")
+        cursor = 0
+        for field_ in self.fields:
+            relaxation = self.relaxations[field_.name]
+            size = int(np.prod(relaxation.logit_shape))
+            self.logits[field_.name] = vector[cursor:cursor + size].reshape(
+                relaxation.logit_shape).copy()
+            cursor += size

@@ -1,0 +1,70 @@
+"""Configuration presets scaling DiffTune to different compute budgets.
+
+The paper trains a 4-stack-LSTM surrogate on 2.3M simulated examples for 60
+epoch-equivalents on a V100.  The presets here scale every knob so the same
+pipeline runs on a laptop CPU:
+
+* :func:`paper_config` — the faithful configuration (Ithemal surrogate,
+  4-layer stacks, the paper's learning rates).  Usable for small datasets or
+  long runs.
+* :func:`fast_config` — the default for the benchmark harness: the pooled
+  surrogate, moderate simulated-dataset size.  Every code path of the paper's
+  pipeline is exercised; only scale changes.
+* :func:`test_config` — a tiny configuration for unit/integration tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.difftune import DiffTuneConfig
+from repro.core.surrogate import SurrogateConfig
+from repro.core.surrogate_training import SurrogateTrainingConfig
+from repro.core.table_optimization import TableOptimizationConfig
+
+
+def paper_config(seed: int = 0) -> DiffTuneConfig:
+    """The configuration closest to the paper (expensive on CPU)."""
+    return DiffTuneConfig(
+        surrogate=SurrogateConfig(kind="ithemal", embedding_size=64, hidden_size=128,
+                                  num_lstm_layers=4, seed=seed),
+        surrogate_training=SurrogateTrainingConfig(learning_rate=0.001, batch_size=32,
+                                                   epochs=6, seed=seed),
+        table_optimization=TableOptimizationConfig(learning_rate=0.05, batch_size=32,
+                                                   epochs=1, seed=seed),
+        simulated_dataset_size=20000,
+        blocks_per_table=8,
+        seed=seed,
+    )
+
+
+def fast_config(seed: int = 0) -> DiffTuneConfig:
+    """CPU-budget configuration used by the benchmark harness."""
+    return DiffTuneConfig(
+        surrogate=SurrogateConfig(kind="analytical", embedding_size=24, hidden_size=32,
+                                  num_lstm_layers=2, seed=seed),
+        surrogate_training=SurrogateTrainingConfig(learning_rate=0.002, batch_size=16,
+                                                   epochs=4, seed=seed),
+        table_optimization=TableOptimizationConfig(learning_rate=0.05, batch_size=32,
+                                                   epochs=6, seed=seed),
+        simulated_dataset_size=3000,
+        blocks_per_table=16,
+        refinement_rounds=2,
+        refinement_dataset_size=1500,
+        refinement_spread=0.25,
+        refinement_epochs=2,
+        seed=seed,
+    )
+
+
+def test_config(seed: int = 0) -> DiffTuneConfig:
+    """Tiny configuration for the test suite (seconds, not minutes)."""
+    return DiffTuneConfig(
+        surrogate=SurrogateConfig(kind="analytical", embedding_size=8, hidden_size=16,
+                                  num_lstm_layers=1, seed=seed),
+        surrogate_training=SurrogateTrainingConfig(learning_rate=0.005, batch_size=8,
+                                                   epochs=1, seed=seed),
+        table_optimization=TableOptimizationConfig(learning_rate=0.05, batch_size=8,
+                                                   epochs=1, seed=seed),
+        simulated_dataset_size=64,
+        blocks_per_table=8,
+        seed=seed,
+    )

@@ -1,0 +1,294 @@
+"""Dependent-parameter constraints.
+
+llvm-mca accepts any integer in ``[lower_bound, inf)`` for every parameter, so
+the paper's DiffTune implementation only needs per-parameter lower bounds.
+Section VII ("Dependent parameters") points out that richer simulators — gem5
+is the example the paper gives — assert relationships *between* parameters
+(e.g. one width must not exceed another, a set of sub-budgets must not exceed
+a total).  This module provides the machinery needed to extend DiffTune to
+such simulators:
+
+* constraint classes describing a relation over named parameter fields;
+* a :class:`ConstraintSet` that validates an assignment, *repairs* (projects)
+  an assignment onto the feasible region, and rejection-samples feasible
+  assignments from an unconstrained sampler;
+* helpers for reporting which constraints an assignment violates.
+
+Constraints operate on plain ``{field name: float | np.ndarray}`` mappings so
+they can be applied both to global parameter vectors and to per-opcode rows,
+and so they are usable by the black-box baselines as well as by DiffTune's
+extraction step.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, MutableMapping, Optional, Sequence
+
+import numpy as np
+
+Assignment = MutableMapping[str, np.ndarray]
+
+
+def _as_array(value) -> np.ndarray:
+    return np.atleast_1d(np.asarray(value, dtype=np.float64))
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """A single violated constraint, with a human-readable explanation."""
+
+    constraint: "Constraint"
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class Constraint(abc.ABC):
+    """A relation over named parameter fields that valid tables must satisfy."""
+
+    #: Names of the fields the constraint reads.
+    fields: Sequence[str]
+
+    @abc.abstractmethod
+    def check(self, assignment: Mapping[str, np.ndarray]) -> Optional[ConstraintViolation]:
+        """Return a violation if ``assignment`` breaks the constraint, else None."""
+
+    @abc.abstractmethod
+    def repair(self, assignment: Assignment) -> None:
+        """Minimally adjust ``assignment`` in place so the constraint holds."""
+
+    def _require(self, assignment: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        resolved = {}
+        for name in self.fields:
+            if name not in assignment:
+                raise KeyError(f"constraint needs field {name!r} which is missing")
+            resolved[name] = _as_array(assignment[name])
+        return resolved
+
+
+class BoundConstraint(Constraint):
+    """``lower <= field <= upper`` element-wise (either bound optional)."""
+
+    def __init__(self, field: str, lower: Optional[float] = None,
+                 upper: Optional[float] = None) -> None:
+        if lower is None and upper is None:
+            raise ValueError("BoundConstraint needs a lower or an upper bound")
+        if lower is not None and upper is not None and lower > upper:
+            raise ValueError("lower bound must not exceed upper bound")
+        self.field = field
+        self.lower = lower
+        self.upper = upper
+        self.fields = (field,)
+
+    def check(self, assignment: Mapping[str, np.ndarray]) -> Optional[ConstraintViolation]:
+        values = self._require(assignment)[self.field]
+        if self.lower is not None and np.any(values < self.lower):
+            return ConstraintViolation(self, f"{self.field} has values below {self.lower}")
+        if self.upper is not None and np.any(values > self.upper):
+            return ConstraintViolation(self, f"{self.field} has values above {self.upper}")
+        return None
+
+    def repair(self, assignment: Assignment) -> None:
+        values = _as_array(assignment[self.field])
+        assignment[self.field] = np.clip(values, self.lower, self.upper)
+
+
+class LessEqualConstraint(Constraint):
+    """``left <= right + slack`` element-wise between two fields.
+
+    This is the shape of gem5's width assertions (e.g. a decode width must not
+    exceed the fetch width that feeds it).  Repair lowers the left field to
+    the bound, which preserves the right field's value.
+    """
+
+    def __init__(self, left: str, right: str, slack: float = 0.0) -> None:
+        self.left = left
+        self.right = right
+        self.slack = float(slack)
+        self.fields = (left, right)
+
+    def check(self, assignment: Mapping[str, np.ndarray]) -> Optional[ConstraintViolation]:
+        resolved = self._require(assignment)
+        left, right = resolved[self.left], resolved[self.right]
+        if np.any(left > right + self.slack + 1e-9):
+            return ConstraintViolation(
+                self, f"{self.left} exceeds {self.right} + {self.slack}")
+        return None
+
+    def repair(self, assignment: Assignment) -> None:
+        left = _as_array(assignment[self.left])
+        right = _as_array(assignment[self.right])
+        assignment[self.left] = np.minimum(left, right + self.slack)
+
+
+class SumAtMostConstraint(Constraint):
+    """``sum(parts) <= total`` where ``parts`` are fields and ``total`` a field or constant.
+
+    Models budget-style assertions (e.g. per-type queue entries must fit in a
+    shared physical queue).  Repair rescales the parts proportionally.
+    """
+
+    def __init__(self, parts: Sequence[str], total: Optional[str] = None,
+                 constant_total: Optional[float] = None) -> None:
+        if (total is None) == (constant_total is None):
+            raise ValueError("provide exactly one of total (field) or constant_total")
+        if not parts:
+            raise ValueError("SumAtMostConstraint needs at least one part")
+        self.parts = tuple(parts)
+        self.total = total
+        self.constant_total = constant_total
+        self.fields = tuple(parts) + ((total,) if total is not None else ())
+
+    def _budget(self, assignment: Mapping[str, np.ndarray]) -> np.ndarray:
+        if self.total is not None:
+            return _as_array(assignment[self.total])
+        return np.asarray(self.constant_total, dtype=np.float64)
+
+    def check(self, assignment: Mapping[str, np.ndarray]) -> Optional[ConstraintViolation]:
+        resolved = self._require(assignment)
+        combined = sum(resolved[name] for name in self.parts)
+        budget = self._budget(assignment)
+        if np.any(combined > budget + 1e-9):
+            return ConstraintViolation(
+                self, f"sum of {list(self.parts)} exceeds its budget")
+        return None
+
+    def repair(self, assignment: Assignment) -> None:
+        values = {name: _as_array(assignment[name]) for name in self.parts}
+        combined = sum(values.values())
+        budget = self._budget(assignment)
+        overflow = combined > budget
+        if not np.any(overflow):
+            return
+        scale = np.ones_like(combined)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(overflow & (combined > 0), budget / combined, scale)
+        for name in self.parts:
+            assignment[name] = values[name] * scale
+
+
+class RelationConstraint(Constraint):
+    """An arbitrary predicate with an explicit repair function.
+
+    Escape hatch for simulator-specific assertions that do not fit the shapes
+    above; the caller supplies both the check predicate and the projection.
+    """
+
+    def __init__(self, fields: Sequence[str],
+                 predicate: Callable[[Mapping[str, np.ndarray]], bool],
+                 repair_function: Callable[[Assignment], None],
+                 description: str = "custom relation") -> None:
+        if not fields:
+            raise ValueError("RelationConstraint needs at least one field")
+        self.fields = tuple(fields)
+        self.predicate = predicate
+        self.repair_function = repair_function
+        self.description = description
+
+    def check(self, assignment: Mapping[str, np.ndarray]) -> Optional[ConstraintViolation]:
+        self._require(assignment)
+        if not self.predicate(assignment):
+            return ConstraintViolation(self, f"violated: {self.description}")
+        return None
+
+    def repair(self, assignment: Assignment) -> None:
+        self.repair_function(assignment)
+
+
+class ConstraintSet:
+    """A collection of constraints with validation, repair and sampling."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self.constraints: List[Constraint] = list(constraints)
+
+    def add(self, constraint: Constraint) -> "ConstraintSet":
+        self.constraints.append(constraint)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def violations(self, assignment: Mapping[str, np.ndarray]) -> List[ConstraintViolation]:
+        """All constraints violated by ``assignment``."""
+        found = []
+        for constraint in self.constraints:
+            violation = constraint.check(assignment)
+            if violation is not None:
+                found.append(violation)
+        return found
+
+    def is_satisfied(self, assignment: Mapping[str, np.ndarray]) -> bool:
+        return not self.violations(assignment)
+
+    def validate(self, assignment: Mapping[str, np.ndarray]) -> None:
+        """Raise :class:`ValueError` listing every violated constraint."""
+        violations = self.violations(assignment)
+        if violations:
+            details = "; ".join(str(violation) for violation in violations)
+            raise ValueError(f"constraint violations: {details}")
+
+    # ------------------------------------------------------------------
+    # Repair (projection onto the feasible region)
+    # ------------------------------------------------------------------
+    def repair(self, assignment: Assignment, max_passes: int = 8) -> Assignment:
+        """Apply each constraint's repair until the assignment is feasible.
+
+        Constraint repairs can interact (repairing one may re-violate
+        another), so repairs are applied in rounds until a fixed point or the
+        pass limit.  Raises if the assignment is still infeasible afterwards,
+        which indicates the constraints are mutually inconsistent.
+        """
+        for _ in range(max_passes):
+            if self.is_satisfied(assignment):
+                return assignment
+            for constraint in self.constraints:
+                if constraint.check(assignment) is not None:
+                    constraint.repair(assignment)
+        self.validate(assignment)
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def rejection_sample(self, sampler: Callable[[np.random.Generator], Assignment],
+                         rng: np.random.Generator, max_attempts: int = 200,
+                         repair_on_failure: bool = True) -> Assignment:
+        """Draw from ``sampler`` until the constraints hold.
+
+        The paper notes that sampling valid configurations efficiently is an
+        open problem for richly constrained simulators; rejection sampling
+        with a repair fallback is the simple baseline this reproduction
+        provides.  If no feasible sample is drawn within ``max_attempts`` and
+        ``repair_on_failure`` is set, the last sample is repaired instead.
+        """
+        last: Optional[Assignment] = None
+        for _ in range(max_attempts):
+            candidate = sampler(rng)
+            last = candidate
+            if self.is_satisfied(candidate):
+                return candidate
+        if last is None:
+            raise ValueError("sampler produced no assignments")
+        if repair_on_failure:
+            return self.repair(last)
+        raise ValueError(f"no feasible sample within {max_attempts} attempts")
+
+    def acceptance_rate(self, sampler: Callable[[np.random.Generator], Assignment],
+                        rng: np.random.Generator, num_samples: int = 100) -> float:
+        """Fraction of raw samples that already satisfy every constraint."""
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        accepted = 0
+        for _ in range(num_samples):
+            if self.is_satisfied(sampler(rng)):
+                accepted += 1
+        return accepted / num_samples

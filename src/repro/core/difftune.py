@@ -1,0 +1,192 @@
+"""The end-to-end DiffTune driver.
+
+Ties the four stages of Figure 1 together:
+
+1. collect the ground-truth dataset (provided by the caller, usually a
+   :class:`~repro.bhive.dataset.BasicBlockDataset`);
+2. collect the simulated dataset by running the original simulator with
+   sampled parameter tables;
+3. train the differentiable surrogate on the simulated dataset;
+4. train the parameter table against the ground truth through the frozen
+   surrogate, then extract the learned table back into the simulator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.adapters import SimulatorAdapter
+from repro.core.extraction import extract_parameter_arrays
+from repro.core.losses import mape_loss_value
+from repro.core.parameters import ParameterArrays
+from repro.core.simulated_dataset import SimulatedExample, collect_simulated_dataset
+from repro.core.surrogate import BlockFeaturizer, SurrogateConfig, build_surrogate
+from repro.core.surrogate_training import (SurrogateTrainingConfig, SurrogateTrainingResult,
+                                           evaluate_surrogate, train_surrogate)
+from repro.core.table_optimization import (TableOptimizationConfig, TableOptimizationResult,
+                                           optimize_parameter_table)
+from repro.isa.basic_block import BasicBlock
+
+
+@dataclass
+class DiffTuneConfig:
+    """All hyper-parameters of a DiffTune run.
+
+    ``refinement_rounds`` enables iterative local-surrogate refinement: after
+    the initial (global-distribution) run, additional rounds re-collect a
+    simulated dataset sampled *near* the current parameter estimate, fine-tune
+    the surrogate on it, and re-optimize the table starting from the current
+    estimate.  This is the strategy the paper points to (Shirobokov et al.) for
+    keeping the surrogate accurate in the region the optimizer actually visits;
+    at this reproduction's reduced scale it is what makes learned tables
+    consistently competitive with the expert defaults.
+    """
+
+    surrogate: SurrogateConfig = field(default_factory=SurrogateConfig)
+    surrogate_training: SurrogateTrainingConfig = field(default_factory=SurrogateTrainingConfig)
+    table_optimization: TableOptimizationConfig = field(default_factory=TableOptimizationConfig)
+    simulated_dataset_size: int = 2000
+    blocks_per_table: int = 16
+    refinement_rounds: int = 0
+    refinement_dataset_size: int = 1500
+    refinement_spread: float = 0.25
+    refinement_epochs: int = 2
+    seed: int = 0
+
+
+@dataclass
+class DiffTuneResult:
+    """Everything produced by one DiffTune run."""
+
+    learned_arrays: ParameterArrays
+    surrogate_result: SurrogateTrainingResult
+    table_result: TableOptimizationResult
+    simulated_dataset_size: int
+    train_error: float
+    elapsed_seconds: float
+
+
+class DiffTune:
+    """Learns a simulator's parameters from end-to-end measurements."""
+
+    def __init__(self, adapter: SimulatorAdapter, config: Optional[DiffTuneConfig] = None,
+                 log: Optional[Callable[[str], None]] = None) -> None:
+        self.adapter = adapter
+        self.config = config or DiffTuneConfig()
+        self.featurizer = BlockFeaturizer(adapter.opcode_table)
+        self._log = log or (lambda message: None)
+
+    # ------------------------------------------------------------------
+    # Individual stages (exposed for tests and ablations)
+    # ------------------------------------------------------------------
+    def collect_simulated_dataset(self, blocks: Sequence[BasicBlock],
+                                  rng: np.random.Generator) -> List[SimulatedExample]:
+        self._log(f"collecting simulated dataset ({self.config.simulated_dataset_size} examples)")
+        spec = self.adapter.parameter_spec()
+        return collect_simulated_dataset(
+            self.adapter, blocks, self.config.simulated_dataset_size, rng,
+            blocks_per_table=self.config.blocks_per_table,
+            table_sampler=lambda generator: self.adapter.freeze_unlearned_fields(
+                spec.sample(generator)))
+
+    def build_surrogate(self):
+        return build_surrogate(self.adapter.parameter_spec(), self.featurizer,
+                               self.config.surrogate)
+
+    # ------------------------------------------------------------------
+    # End-to-end run
+    # ------------------------------------------------------------------
+    def learn(self, blocks: Sequence[BasicBlock], true_timings: np.ndarray,
+              simulated_examples: Optional[Sequence[SimulatedExample]] = None
+              ) -> DiffTuneResult:
+        """Run DiffTune end to end on a ground-truth training set.
+
+        Args:
+            blocks: Training basic blocks.
+            true_timings: Measured timings aligned with ``blocks``.
+            simulated_examples: Optionally a pre-collected simulated dataset
+                (used by tests and by experiments that reuse one simulated
+                dataset across ablations).
+        """
+        start_time = time.time()
+        true_timings = np.asarray(true_timings, dtype=np.float64)
+        if len(blocks) != len(true_timings):
+            raise ValueError("blocks and true_timings must be aligned")
+        rng = np.random.default_rng(self.config.seed)
+
+        if simulated_examples is None:
+            simulated_examples = self.collect_simulated_dataset(blocks, rng)
+
+        surrogate = self.build_surrogate()
+        self._log(f"training surrogate on {len(simulated_examples)} simulated examples")
+        surrogate_result = train_surrogate(surrogate, simulated_examples,
+                                           self.config.surrogate_training)
+        self._log(f"surrogate training error: {surrogate_result.final_training_error:.3f}")
+
+        self._log("optimizing the parameter table through the frozen surrogate")
+        spec = self.adapter.parameter_spec()
+        per_mask, global_mask = self.adapter.unlearned_dimension_masks()
+        initial_arrays = self.adapter.freeze_unlearned_fields(spec.sample(rng))
+        table_result = optimize_parameter_table(surrogate, blocks, true_timings,
+                                                self.config.table_optimization,
+                                                initial_arrays=initial_arrays,
+                                                frozen_per_instruction_mask=per_mask,
+                                                frozen_global_mask=global_mask)
+        learned_arrays = extract_parameter_arrays(self.adapter.parameter_spec(),
+                                                  table_result.learned_arrays)
+        predictions = self.adapter.predict_timings(learned_arrays, blocks)
+        train_error = mape_loss_value(predictions, true_timings)
+        self._log(f"round 0 learned-table training error: {train_error:.3f}")
+
+        best_arrays, best_error = learned_arrays, train_error
+        for round_index in range(self.config.refinement_rounds):
+            self._log(f"refinement round {round_index + 1}: resampling near the estimate")
+            local_examples = collect_simulated_dataset(
+                self.adapter, blocks, self.config.refinement_dataset_size, rng,
+                blocks_per_table=self.config.blocks_per_table,
+                table_sampler=lambda generator: self.adapter.freeze_unlearned_fields(
+                    spec.sample_near(best_arrays, generator, self.config.refinement_spread)))
+            refinement_training = SurrogateTrainingConfig(
+                learning_rate=self.config.surrogate_training.learning_rate,
+                batch_size=self.config.surrogate_training.batch_size,
+                epochs=self.config.refinement_epochs,
+                gradient_clip=self.config.surrogate_training.gradient_clip,
+                seed=self.config.surrogate_training.seed + round_index + 1)
+            surrogate_result = train_surrogate(surrogate, local_examples, refinement_training)
+            self._log(f"refined surrogate error: {surrogate_result.final_training_error:.3f}")
+            table_result = optimize_parameter_table(
+                surrogate, blocks, true_timings, self.config.table_optimization,
+                initial_arrays=best_arrays,
+                frozen_per_instruction_mask=per_mask,
+                frozen_global_mask=global_mask)
+            candidate = extract_parameter_arrays(spec, table_result.learned_arrays)
+            candidate_error = mape_loss_value(
+                self.adapter.predict_timings(candidate, blocks), true_timings)
+            self._log(f"refinement round {round_index + 1} training error: "
+                      f"{candidate_error:.3f}")
+            if candidate_error < best_error:
+                best_arrays, best_error = candidate, candidate_error
+
+        learned_arrays, train_error = best_arrays, best_error
+        elapsed = time.time() - start_time
+        self._log(f"learned-table training error: {train_error:.3f} "
+                  f"({elapsed:.1f}s end to end)")
+        return DiffTuneResult(learned_arrays=learned_arrays,
+                              surrogate_result=surrogate_result,
+                              table_result=table_result,
+                              simulated_dataset_size=len(simulated_examples),
+                              train_error=train_error,
+                              elapsed_seconds=elapsed)
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def evaluate(self, arrays: ParameterArrays, blocks: Sequence[BasicBlock],
+                 true_timings: np.ndarray) -> float:
+        """MAPE of the original simulator under ``arrays`` on a dataset."""
+        predictions = self.adapter.predict_timings(arrays, blocks)
+        return mape_loss_value(predictions, np.asarray(true_timings, dtype=np.float64))

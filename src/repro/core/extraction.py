@@ -1,0 +1,34 @@
+"""Parameter extraction: learned continuous values → valid integer tables.
+
+Section IV ("Parameter extraction") of the paper: after the parameter table
+has been optimized through the surrogate, lower-bounded parameters are mapped
+back with ``|value| + lower_bound`` and integer parameters are rounded to the
+nearest integer.  Opcodes never seen during training keep whatever values the
+randomly initialized table gave them (no special handling).
+
+The heavy lifting of the bound/abs convention is done in
+:class:`~repro.core.table_optimization._TrainableTable` (which already returns
+values in simulator units); this module finishes the job — rounding, clipping,
+and handing the arrays to the adapter for conversion into a native table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.adapters import SimulatorAdapter
+from repro.core.parameters import ParameterArrays, ParameterSpec
+
+
+def extract_parameter_arrays(spec: ParameterSpec, learned: ParameterArrays) -> ParameterArrays:
+    """Round and clip learned values so they satisfy every constraint."""
+    rounded = spec.round_to_integers(learned)
+    return spec.clip_to_bounds(rounded)
+
+
+def extract_native_table(adapter: SimulatorAdapter, learned: ParameterArrays):
+    """Extract a native parameter table (MCA or llvm_sim) from learned values."""
+    arrays = extract_parameter_arrays(adapter.parameter_spec(), learned)
+    return adapter.table_from_arrays(arrays)

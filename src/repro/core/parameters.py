@@ -1,0 +1,269 @@
+"""Generic description of a simulator's ordinal parameter space.
+
+DiffTune treats the program under optimization as a black box with two kinds
+of parameters (Section IV of the paper):
+
+* *global* parameters — a single vector associated with overall simulator
+  behaviour (e.g. DispatchWidth, ReorderBufferSize);
+* *per-instruction* parameters — a uniform-length vector associated with each
+  opcode (e.g. WriteLatency, NumMicroOps, ReadAdvanceCycles, PortMap).
+
+Each parameter carries two constraint kinds: a lower bound and an
+integer-valuedness flag.  During optimization everything is represented as
+floating point; the surrogate receives ``value - lower_bound`` during
+surrogate training and ``|value|`` during parameter-table training, and
+extraction maps back with ``|value| + lower_bound`` rounded to integers
+(Section IV, "Parameter extraction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Name used for the PortMap field; it gets a structured sampling distribution
+#: (cycles spread over a small random subset of ports) rather than a plain
+#: per-entry uniform draw.
+PORT_MAP_FIELD_NAME = "PortMap"
+
+
+@dataclass(frozen=True)
+class ParameterField:
+    """One named group of parameters.
+
+    Attributes:
+        name: Field name ("WriteLatency", "DispatchWidth", ...).
+        size: Vector width.  For per-instruction fields this is the width per
+            opcode (e.g. 10 for the PortMap); for global fields the width of
+            the global vector entry (usually 1).
+        lower_bound: Minimum legal value (0 or 1 for every llvm-mca field).
+        integer: Whether legal values are integers (true for every field the
+            paper considers; kept explicit for extensibility).
+        sample_low: Inclusive lower end of the training sampling distribution.
+        sample_high: Inclusive upper end of the training sampling distribution.
+    """
+
+    name: str
+    size: int
+    lower_bound: int
+    integer: bool
+    sample_low: int
+    sample_high: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("field size must be >= 1")
+        if self.sample_low > self.sample_high:
+            raise ValueError("sample_low must be <= sample_high")
+        if self.sample_low < self.lower_bound:
+            raise ValueError(f"{self.name}: sampling range must respect the lower bound")
+
+    @property
+    def scale(self) -> float:
+        """Normalization scale used when feeding the field to the surrogate."""
+        return float(max(self.sample_high - self.lower_bound, 1))
+
+
+@dataclass
+class ParameterArrays:
+    """Concrete parameter values in optimization layout.
+
+    Attributes:
+        global_values: ``(global_dim,)`` float vector of global parameters.
+        per_instruction_values: ``(num_opcodes, per_instruction_dim)`` float
+            matrix of per-instruction parameters.
+    """
+
+    global_values: np.ndarray
+    per_instruction_values: np.ndarray
+
+    def copy(self) -> "ParameterArrays":
+        return ParameterArrays(self.global_values.copy(), self.per_instruction_values.copy())
+
+    def to_flat_vector(self) -> np.ndarray:
+        return np.concatenate([self.global_values.ravel(),
+                               self.per_instruction_values.ravel()])
+
+    @classmethod
+    def from_flat_vector(cls, vector: np.ndarray, global_dim: int,
+                         num_opcodes: int, per_instruction_dim: int) -> "ParameterArrays":
+        vector = np.asarray(vector, dtype=np.float64)
+        expected = global_dim + num_opcodes * per_instruction_dim
+        if vector.size != expected:
+            raise ValueError(f"expected {expected} values, got {vector.size}")
+        return cls(global_values=vector[:global_dim].copy(),
+                   per_instruction_values=vector[global_dim:].reshape(
+                       num_opcodes, per_instruction_dim).copy())
+
+
+class ParameterSpec:
+    """The full parameter-space description for one simulator."""
+
+    def __init__(self, global_fields: Sequence[ParameterField],
+                 per_instruction_fields: Sequence[ParameterField],
+                 num_opcodes: int) -> None:
+        if num_opcodes < 1:
+            raise ValueError("num_opcodes must be >= 1")
+        self.global_fields: List[ParameterField] = list(global_fields)
+        self.per_instruction_fields: List[ParameterField] = list(per_instruction_fields)
+        self.num_opcodes = num_opcodes
+
+    # ------------------------------------------------------------------
+    # Dimensions and layout
+    # ------------------------------------------------------------------
+    @property
+    def global_dim(self) -> int:
+        return sum(field.size for field in self.global_fields)
+
+    @property
+    def per_instruction_dim(self) -> int:
+        return sum(field.size for field in self.per_instruction_fields)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total scalar parameter count of the simulator."""
+        return self.global_dim + self.num_opcodes * self.per_instruction_dim
+
+    def _offsets(self, fields: Sequence[ParameterField]) -> Dict[str, Tuple[int, int]]:
+        offsets: Dict[str, Tuple[int, int]] = {}
+        cursor = 0
+        for field_ in fields:
+            offsets[field_.name] = (cursor, cursor + field_.size)
+            cursor += field_.size
+        return offsets
+
+    def global_field_slice(self, name: str) -> slice:
+        start, end = self._offsets(self.global_fields)[name]
+        return slice(start, end)
+
+    def per_instruction_field_slice(self, name: str) -> slice:
+        start, end = self._offsets(self.per_instruction_fields)[name]
+        return slice(start, end)
+
+    def field_by_name(self, name: str) -> ParameterField:
+        for field_ in list(self.global_fields) + list(self.per_instruction_fields):
+            if field_.name == name:
+                return field_
+        raise KeyError(f"unknown parameter field: {name}")
+
+    # ------------------------------------------------------------------
+    # Bounds in optimization layout
+    # ------------------------------------------------------------------
+    def global_lower_bounds(self) -> np.ndarray:
+        return np.concatenate([
+            np.full(field_.size, field_.lower_bound, dtype=np.float64)
+            for field_ in self.global_fields]) if self.global_fields else np.zeros(0)
+
+    def per_instruction_lower_bounds(self) -> np.ndarray:
+        return np.concatenate([
+            np.full(field_.size, field_.lower_bound, dtype=np.float64)
+            for field_ in self.per_instruction_fields]) if self.per_instruction_fields \
+            else np.zeros(0)
+
+    def global_scales(self) -> np.ndarray:
+        return np.concatenate([
+            np.full(field_.size, field_.scale, dtype=np.float64)
+            for field_ in self.global_fields]) if self.global_fields else np.ones(0)
+
+    def per_instruction_scales(self) -> np.ndarray:
+        return np.concatenate([
+            np.full(field_.size, field_.scale, dtype=np.float64)
+            for field_ in self.per_instruction_fields]) if self.per_instruction_fields \
+            else np.ones(0)
+
+    # ------------------------------------------------------------------
+    # Sampling (the 𝐷 distribution of the paper)
+    # ------------------------------------------------------------------
+    def _sample_field(self, field_: ParameterField, rows: int,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Sample one field for ``rows`` opcodes (or one global row)."""
+        if field_.name == PORT_MAP_FIELD_NAME:
+            # The paper samples each PortMap as "0 to 2 cycles to between 0 and
+            # 2 randomly selected ports" — most entries are zero.  The cycle
+            # range follows the field's sampling bounds so narrower sampling
+            # configurations stay consistent.
+            values = np.zeros((rows, field_.size), dtype=np.float64)
+            num_ports_used = rng.integers(0, 3, size=rows)
+            for row in range(rows):
+                ports = rng.choice(field_.size, size=int(num_ports_used[row]), replace=False)
+                for port in ports:
+                    values[row, port] = float(rng.integers(field_.sample_low,
+                                                           field_.sample_high + 1))
+            return values
+        return rng.integers(field_.sample_low, field_.sample_high + 1,
+                            size=(rows, field_.size)).astype(np.float64)
+
+    def sample(self, rng: np.random.Generator) -> ParameterArrays:
+        """Sample a full parameter table from the training distribution."""
+        global_parts = [self._sample_field(field_, 1, rng).reshape(-1)
+                        for field_ in self.global_fields]
+        per_instruction_parts = [self._sample_field(field_, self.num_opcodes, rng)
+                                 for field_ in self.per_instruction_fields]
+        global_values = np.concatenate(global_parts) if global_parts else np.zeros(0)
+        per_instruction_values = (np.concatenate(per_instruction_parts, axis=1)
+                                  if per_instruction_parts
+                                  else np.zeros((self.num_opcodes, 0)))
+        return ParameterArrays(global_values=global_values,
+                               per_instruction_values=per_instruction_values)
+
+    def sample_near(self, center: ParameterArrays, rng: np.random.Generator,
+                    spread: float = 0.25) -> ParameterArrays:
+        """Sample a table near ``center`` (local-surrogate refinement).
+
+        Each value is perturbed by a uniform offset of up to ``spread`` times
+        the field's scale, then clipped to the field's sampling range.  Used
+        by the iterative refinement rounds, which re-train the surrogate in a
+        neighbourhood of the current parameter estimate (the local-surrogate
+        strategy the paper points to in its discussion of sampling
+        distributions).
+        """
+        global_scales = self.global_scales()
+        per_scales = self.per_instruction_scales()
+        global_low = self.global_lower_bounds()
+        per_low = self.per_instruction_lower_bounds()
+        global_values = center.global_values + rng.uniform(
+            -spread, spread, size=center.global_values.shape) * global_scales
+        per_values = center.per_instruction_values + rng.uniform(
+            -spread, spread, size=center.per_instruction_values.shape) * per_scales
+        global_values = np.clip(global_values, global_low, global_low + global_scales)
+        per_values = np.clip(per_values, per_low, per_low + per_scales)
+        return ParameterArrays(global_values=global_values,
+                               per_instruction_values=per_values)
+
+    # ------------------------------------------------------------------
+    # Surrogate input transforms
+    # ------------------------------------------------------------------
+    def normalize_for_surrogate_training(self, arrays: ParameterArrays) -> ParameterArrays:
+        """Transform sampled values into surrogate inputs (subtract lower bound)."""
+        global_values = (arrays.global_values - self.global_lower_bounds()) / self.global_scales()
+        per_instruction = ((arrays.per_instruction_values - self.per_instruction_lower_bounds())
+                           / self.per_instruction_scales())
+        return ParameterArrays(global_values=global_values,
+                               per_instruction_values=per_instruction)
+
+    def clip_to_bounds(self, arrays: ParameterArrays) -> ParameterArrays:
+        """Clip values to their lower bounds (used by black-box baselines)."""
+        global_values = np.maximum(arrays.global_values, self.global_lower_bounds())
+        per_instruction = np.maximum(arrays.per_instruction_values,
+                                     self.per_instruction_lower_bounds())
+        return ParameterArrays(global_values=global_values,
+                               per_instruction_values=per_instruction)
+
+    def round_to_integers(self, arrays: ParameterArrays) -> ParameterArrays:
+        """Round integer-constrained fields (all llvm-mca fields are integer)."""
+        rounded = arrays.copy()
+        cursor = 0
+        for field_ in self.global_fields:
+            if field_.integer:
+                rounded.global_values[cursor:cursor + field_.size] = np.round(
+                    rounded.global_values[cursor:cursor + field_.size])
+            cursor += field_.size
+        cursor = 0
+        for field_ in self.per_instruction_fields:
+            if field_.integer:
+                rounded.per_instruction_values[:, cursor:cursor + field_.size] = np.round(
+                    rounded.per_instruction_values[:, cursor:cursor + field_.size])
+            cursor += field_.size
+        return rounded

@@ -1,0 +1,126 @@
+"""Phase one of DiffTune: training the surrogate on the simulated dataset.
+
+Solves Equation (2) of the paper: fit the differentiable surrogate so that
+``surrogate(theta, x) ≈ simulator(theta, x)`` over the simulated dataset, with
+Adam and MAPE loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff.optim import Adam
+from repro.autodiff.tensor import no_grad
+from repro.core.losses import mape_loss_value, surrogate_loss
+from repro.core.parameters import ParameterArrays, ParameterSpec
+from repro.core.simulated_dataset import SimulatedExample
+from repro.core.surrogate import _SurrogateBase
+
+
+@dataclass
+class SurrogateTrainingConfig:
+    """Hyper-parameters for surrogate training.
+
+    Defaults follow the paper where feasible (Adam, learning rate 0.001,
+    batch-based updates); batch size and epoch count are scaled down for CPU
+    training and can be overridden.
+    """
+
+    learning_rate: float = 0.001
+    batch_size: int = 16
+    epochs: int = 2
+    gradient_clip: float = 5.0
+    shuffle: bool = True
+    seed: int = 0
+    log_every: int = 0  # batches; 0 disables logging callbacks
+
+
+@dataclass
+class SurrogateTrainingResult:
+    """Summary of a surrogate training run."""
+
+    epoch_losses: List[float]
+    final_training_error: float
+
+
+def _normalized_inputs(spec: ParameterSpec, example: SimulatedExample,
+                       opcode_indices: Sequence[int]) -> tuple:
+    """Surrogate inputs for one example during surrogate training."""
+    normalized = spec.normalize_for_surrogate_training(example.arrays)
+    per_instruction = normalized.per_instruction_values[list(opcode_indices)]
+    return per_instruction, normalized.global_values
+
+
+def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExample],
+                    config: SurrogateTrainingConfig,
+                    progress: Optional[Callable[[int, int, float], None]] = None
+                    ) -> SurrogateTrainingResult:
+    """Train ``surrogate`` to mimic the simulator on ``examples``.
+
+    Args:
+        surrogate: The surrogate model (weights are updated in place).
+        examples: The simulated dataset.
+        config: Training hyper-parameters.
+        progress: Optional callback ``(epoch, batch, loss)``.
+
+    Returns:
+        Per-epoch mean losses and the final full-pass training error.
+    """
+    if not examples:
+        raise ValueError("cannot train the surrogate on an empty dataset")
+    spec = surrogate.spec
+    optimizer = Adam(surrogate.parameters(), lr=config.learning_rate)
+    rng = np.random.default_rng(config.seed)
+    order = np.arange(len(examples))
+    epoch_losses: List[float] = []
+
+    surrogate.train()
+    for epoch in range(config.epochs):
+        if config.shuffle:
+            rng.shuffle(order)
+        batch_losses: List[float] = []
+        for batch_start in range(0, len(order), config.batch_size):
+            batch_indices = order[batch_start:batch_start + config.batch_size]
+            predictions = []
+            targets = []
+            for example_index in batch_indices:
+                example = examples[int(example_index)]
+                featurized = surrogate.featurizer.featurize(example.block)
+                per_instruction, global_values = _normalized_inputs(
+                    spec, example, featurized.opcode_indices)
+                predictions.append(surrogate.forward(featurized, per_instruction, global_values))
+                targets.append(example.simulated_timing)
+            loss = surrogate_loss(predictions, targets)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.clip_grad_norm(config.gradient_clip)
+            optimizer.step()
+            batch_losses.append(loss.item())
+            if progress is not None and config.log_every and \
+                    (batch_start // config.batch_size) % config.log_every == 0:
+                progress(epoch, batch_start // config.batch_size, batch_losses[-1])
+        epoch_losses.append(float(np.mean(batch_losses)))
+
+    surrogate.eval()
+    final_error = evaluate_surrogate(surrogate, examples)
+    return SurrogateTrainingResult(epoch_losses=epoch_losses, final_training_error=final_error)
+
+
+def evaluate_surrogate(surrogate: _SurrogateBase,
+                       examples: Sequence[SimulatedExample]) -> float:
+    """MAPE of the surrogate against the simulator on ``examples``."""
+    spec = surrogate.spec
+    predictions = []
+    targets = []
+    with no_grad():
+        for example in examples:
+            featurized = surrogate.featurizer.featurize(example.block)
+            per_instruction, global_values = _normalized_inputs(
+                spec, example, featurized.opcode_indices)
+            predictions.append(surrogate.forward(featurized, per_instruction,
+                                                 global_values).item())
+            targets.append(example.simulated_timing)
+    return mape_loss_value(np.array(predictions), np.array(targets))

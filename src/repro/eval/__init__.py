@@ -1,0 +1,45 @@
+"""Evaluation: metrics, error analyses, and per-table/figure experiment drivers.
+
+* :mod:`~repro.eval.metrics` — mean absolute percentage error and Kendall's
+  tau rank correlation, the two measures used throughout the paper's
+  evaluation.
+* :mod:`~repro.eval.analysis` — per-application and per-category error
+  breakdowns (Table V), parameter-distribution histograms (Figure 4),
+  sensitivity sweeps over global parameters (Figure 5), and the case studies
+  of Section VI-C.
+* :mod:`~repro.eval.tables` — plain-text rendering of result tables.
+* :mod:`~repro.eval.experiments` — one driver function per paper table or
+  figure; the benchmark harness and the examples call these.
+"""
+
+from repro.eval.metrics import mean_absolute_percentage_error, kendall_tau, error_and_tau
+from repro.eval.analysis import (per_application_error, per_category_error,
+                                 parameter_histograms, global_parameter_sensitivity,
+                                 case_study_report)
+from repro.eval.tables import format_table, format_results_table
+from repro.eval.plots import (Series, ascii_bar_chart, ascii_histogram, ascii_line_plot,
+                              read_series_csv, write_histogram_csv, write_series_csv)
+from repro.eval.reports import load_results, render_report, write_report
+
+__all__ = [
+    "mean_absolute_percentage_error",
+    "kendall_tau",
+    "error_and_tau",
+    "per_application_error",
+    "per_category_error",
+    "parameter_histograms",
+    "global_parameter_sensitivity",
+    "case_study_report",
+    "format_table",
+    "format_results_table",
+    "Series",
+    "ascii_line_plot",
+    "ascii_histogram",
+    "ascii_bar_chart",
+    "write_series_csv",
+    "write_histogram_csv",
+    "read_series_csv",
+    "load_results",
+    "render_report",
+    "write_report",
+]

@@ -1,0 +1,59 @@
+"""Evaluation metrics: MAPE and Kendall's tau.
+
+The paper evaluates predictors with two numbers (Section V-A / Table IV):
+
+* **Error** — mean absolute percentage error of the predicted timing against
+  the measured timing;
+* **Kendall's tau** — the rank correlation coefficient over all pairs of test
+  blocks, measuring how often the predictor orders two blocks the same way
+  the measurements do (what matters when a model is used to compare code
+  alternatives rather than to predict absolute cycle counts).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def mean_absolute_percentage_error(predictions: Sequence[float], targets: Sequence[float],
+                                   epsilon: float = 1e-9) -> float:
+    """MAPE as defined in Section V-A: mean of |prediction - target| / target."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    if predictions.size == 0:
+        raise ValueError("cannot compute error over an empty set")
+    return float(np.mean(np.abs(predictions - targets) / np.maximum(np.abs(targets), epsilon)))
+
+
+def kendall_tau(predictions: Sequence[float], targets: Sequence[float]) -> float:
+    """Kendall's tau-a rank correlation between predictions and targets.
+
+    Implemented as the normalized difference between concordant and
+    discordant pairs; the O(n^2) pair enumeration is vectorized and perfectly
+    adequate for the test-set sizes used here.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    n = predictions.size
+    if n < 2:
+        raise ValueError("Kendall's tau requires at least two observations")
+    prediction_sign = np.sign(predictions[:, None] - predictions[None, :])
+    target_sign = np.sign(targets[:, None] - targets[None, :])
+    upper = np.triu_indices(n, k=1)
+    products = prediction_sign[upper] * target_sign[upper]
+    concordant = np.sum(products > 0)
+    discordant = np.sum(products < 0)
+    total_pairs = n * (n - 1) / 2
+    return float((concordant - discordant) / total_pairs)
+
+
+def error_and_tau(predictions: Sequence[float], targets: Sequence[float]) -> Tuple[float, float]:
+    """Convenience: both Table IV metrics at once."""
+    return (mean_absolute_percentage_error(predictions, targets),
+            kendall_tau(predictions, targets))

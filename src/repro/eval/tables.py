@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment results.
+
+The benchmark harness prints the same rows the paper's tables report; these
+helpers keep the formatting consistent and readable in terminal output and in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render a simple aligned text table."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_percent(value: Optional[float]) -> str:
+    """Format a fractional error as a percentage string (or N/A)."""
+    if value is None:
+        return "N/A"
+    return f"{100.0 * value:.1f}%"
+
+
+def format_results_table(results: Dict[str, Dict[str, Tuple[Optional[float], Optional[float]]]],
+                         title: str = "") -> str:
+    """Render a Table IV style results table.
+
+    Args:
+        results: ``{architecture: {predictor: (error, kendall_tau)}}``.
+        title: Optional title line.
+    """
+    rows = []
+    for architecture, predictors in results.items():
+        for predictor, (error, tau) in predictors.items():
+            rows.append([architecture, predictor, format_percent(error),
+                         "N/A" if tau is None else f"{tau:.3f}"])
+    return format_table(["Architecture", "Predictor", "Error", "Kendall's Tau"], rows, title)

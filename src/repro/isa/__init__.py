@@ -1,0 +1,45 @@
+"""x86-like instruction-set substrate.
+
+This package models the part of x86-64 that basic-block CPU simulators care
+about: opcodes with operand forms, register operands and their widths, memory
+operands, and straight-line basic blocks.  It also provides a small AT&T-style
+assembly parser/formatter and the Ithemal-style canonicalization that turns a
+basic block into a token stream for the learned surrogate.
+
+It intentionally does *not* model instruction semantics (values); the
+simulators only need structural information — which registers and memory
+locations each instruction reads and writes, and which opcode it is — to build
+dependency chains and look up scheduling parameters.
+"""
+
+from repro.isa.registers import Register, REGISTERS, register_by_name, canonical_register
+from repro.isa.opcodes import Opcode, OpcodeTable, OperandForm, UopClass, build_default_opcode_table
+from repro.isa.operands import Operand, RegisterOperand, ImmediateOperand, MemoryOperand
+from repro.isa.instruction import Instruction
+from repro.isa.basic_block import BasicBlock
+from repro.isa.parser import parse_block, parse_instruction, format_instruction, ParseError
+from repro.isa.canonicalize import TokenVocabulary, canonicalize_block
+
+__all__ = [
+    "Register",
+    "REGISTERS",
+    "register_by_name",
+    "canonical_register",
+    "Opcode",
+    "OpcodeTable",
+    "OperandForm",
+    "UopClass",
+    "build_default_opcode_table",
+    "Operand",
+    "RegisterOperand",
+    "ImmediateOperand",
+    "MemoryOperand",
+    "Instruction",
+    "BasicBlock",
+    "parse_block",
+    "parse_instruction",
+    "format_instruction",
+    "ParseError",
+    "TokenVocabulary",
+    "canonicalize_block",
+]

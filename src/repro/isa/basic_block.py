@@ -1,0 +1,121 @@
+"""Basic blocks: straight-line sequences of instructions.
+
+A :class:`BasicBlock` is the unit of simulation and measurement throughout
+the reproduction, exactly as in llvm-mca and the BHive dataset: a sequence of
+assembly instructions with no branches, jumps, or loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import UopClass
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """An immutable straight-line sequence of instructions.
+
+    Attributes:
+        instructions: The instructions in program order.
+        source_applications: Optional labels naming the applications this
+            block was drawn from (mirrors BHive's per-application grouping —
+            a block may belong to several applications).
+    """
+
+    instructions: Tuple[Instruction, ...]
+    source_applications: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.instructions, tuple):
+            object.__setattr__(self, "instructions", tuple(self.instructions))
+        if not isinstance(self.source_applications, tuple):
+            object.__setattr__(self, "source_applications", tuple(self.source_applications))
+        if len(self.instructions) == 0:
+            raise ValueError("a basic block must contain at least one instruction")
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    # ------------------------------------------------------------------
+    # Structural summaries
+    # ------------------------------------------------------------------
+    def opcode_names(self) -> List[str]:
+        return [instruction.opcode.name for instruction in self.instructions]
+
+    def unique_opcode_names(self) -> Set[str]:
+        return set(self.opcode_names())
+
+    def num_loads(self) -> int:
+        return sum(1 for instruction in self.instructions if instruction.is_load)
+
+    def num_stores(self) -> int:
+        return sum(1 for instruction in self.instructions if instruction.is_store)
+
+    def num_vector_instructions(self) -> int:
+        return sum(1 for instruction in self.instructions if instruction.is_vector)
+
+    def num_scalar_arithmetic(self) -> int:
+        scalar_classes = {UopClass.ALU, UopClass.SHIFT, UopClass.MUL, UopClass.DIV,
+                          UopClass.LEA, UopClass.CMOV, UopClass.SETCC}
+        return sum(1 for instruction in self.instructions
+                   if instruction.opcode.uop_class in scalar_classes
+                   and not instruction.opcode.is_vector)
+
+    def to_assembly(self) -> str:
+        """Render the block as newline-separated AT&T assembly."""
+        return "\n".join(instruction.to_assembly() for instruction in self.instructions)
+
+    def __str__(self) -> str:
+        return self.to_assembly()
+
+    def structural_key(self) -> Tuple[str, ...]:
+        """A hashable identity used to keep dataset splits block-wise disjoint."""
+        return tuple(instruction.to_assembly() for instruction in self.instructions)
+
+    # ------------------------------------------------------------------
+    # Dependency analysis helpers
+    # ------------------------------------------------------------------
+    def register_dependencies(self) -> List[Tuple[int, int, str]]:
+        """Use-def register dependencies within one iteration of the block.
+
+        Returns a list of ``(producer_index, consumer_index, register)``
+        triples where the consumer reads a register last written by the
+        producer, considering instructions in program order.
+        """
+        dependencies: List[Tuple[int, int, str]] = []
+        last_writer: Dict[str, int] = {}
+        for index, instruction in enumerate(self.instructions):
+            for register in instruction.source_registers():
+                if register in last_writer:
+                    dependencies.append((last_writer[register], index, register))
+            for register in instruction.destination_registers():
+                last_writer[register] = index
+        return dependencies
+
+    def loop_carried_registers(self) -> Set[str]:
+        """Registers read before being written (live-in under loop execution).
+
+        BHive measures blocks executed repeatedly in a loop, so a register
+        that is read at the top of the block and written at the bottom forms a
+        loop-carried dependency chain; the simulators model this by unrolling.
+        """
+        read_first: Set[str] = set()
+        written: Set[str] = set()
+        for instruction in self.instructions:
+            for register in instruction.source_registers():
+                if register not in written:
+                    read_first.add(register)
+            written.update(instruction.destination_registers())
+        return read_first & written

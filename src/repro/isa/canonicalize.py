@@ -1,0 +1,110 @@
+"""Ithemal-style canonicalization of basic blocks into token streams.
+
+The DiffTune surrogate (Section IV, Figure 3 of the paper) consumes each
+instruction as a token sequence::
+
+    ( opcode <S> source-tokens... <D> destination-tokens... <E> )
+
+where register operands map to register tokens, immediates map to a shared
+``CONST`` token, and memory operands map to a ``MEM`` token followed by their
+address-register tokens.  A :class:`TokenVocabulary` assigns stable integer
+ids to every token so the surrogate's embedding table can look them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import DEFAULT_OPCODE_TABLE, OpcodeTable
+from repro.isa.operands import ImmediateOperand, MemoryOperand, RegisterOperand
+from repro.isa.registers import REGISTERS
+
+#: Structural marker tokens used by the canonicalization.
+MARKER_TOKENS: Tuple[str, ...] = ("<BLOCK>", "<S>", "<D>", "<E>", "CONST", "MEM", "<UNK>")
+
+
+class TokenVocabulary:
+    """Maps canonicalization tokens (opcodes, registers, markers) to ids."""
+
+    def __init__(self, opcode_table: Optional[OpcodeTable] = None) -> None:
+        self.opcode_table = opcode_table or DEFAULT_OPCODE_TABLE
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for token in MARKER_TOKENS:
+            self._intern(token)
+        for register_name in sorted(REGISTERS):
+            self._intern(f"REG:{REGISTERS[register_name].canonical}")
+        for opcode in self.opcode_table:
+            self._intern(f"OP:{opcode.name}")
+
+    def _intern(self, token: str) -> int:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def token_id(self, token: str) -> int:
+        """Return the id of ``token``, falling back to ``<UNK>`` if unseen."""
+        return self._token_to_id.get(token, self._token_to_id["<UNK>"])
+
+    def token(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    def opcode_token_id(self, opcode_name: str) -> int:
+        return self.token_id(f"OP:{opcode_name}")
+
+    def register_token_id(self, canonical_register: str) -> int:
+        return self.token_id(f"REG:{canonical_register}")
+
+
+@dataclass(frozen=True)
+class CanonicalInstruction:
+    """Token-id sequence for one instruction plus its opcode index."""
+
+    token_ids: Tuple[int, ...]
+    opcode_index: int
+    opcode_name: str
+
+
+def canonicalize_instruction(instruction: Instruction,
+                             vocabulary: TokenVocabulary) -> CanonicalInstruction:
+    """Canonicalize one instruction into its surrogate token-id sequence."""
+    tokens: List[int] = [vocabulary.opcode_token_id(instruction.opcode.name)]
+    tokens.append(vocabulary.token_id("<S>"))
+    destination = instruction.operands[-1] if instruction.operands else None
+    sources = instruction.operands[:-1] if len(instruction.operands) > 1 else ()
+    # Single-operand forms are both source and destination.
+    if len(instruction.operands) == 1:
+        sources = instruction.operands
+
+    def emit(operand) -> None:
+        if isinstance(operand, RegisterOperand):
+            tokens.append(vocabulary.register_token_id(operand.canonical))
+        elif isinstance(operand, ImmediateOperand):
+            tokens.append(vocabulary.token_id("CONST"))
+        elif isinstance(operand, MemoryOperand):
+            tokens.append(vocabulary.token_id("MEM"))
+            for register in operand.address_registers():
+                tokens.append(vocabulary.register_token_id(register))
+
+    for operand in sources:
+        emit(operand)
+    tokens.append(vocabulary.token_id("<D>"))
+    if destination is not None:
+        emit(destination)
+    tokens.append(vocabulary.token_id("<E>"))
+    opcode_index = vocabulary.opcode_table.index_of(instruction.opcode.name)
+    return CanonicalInstruction(token_ids=tuple(tokens), opcode_index=opcode_index,
+                                opcode_name=instruction.opcode.name)
+
+
+def canonicalize_block(block: BasicBlock,
+                       vocabulary: TokenVocabulary) -> List[CanonicalInstruction]:
+    """Canonicalize every instruction of a basic block."""
+    return [canonicalize_instruction(instruction, vocabulary) for instruction in block]

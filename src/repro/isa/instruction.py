@@ -1,0 +1,160 @@
+"""Instructions: an opcode plus concrete operands.
+
+An :class:`Instruction` knows, structurally, which canonical registers it
+reads and writes (explicit operands plus implicit uses/defs from the opcode),
+whether it loads or stores, and the identity of the memory location it
+touches.  That is all the information the simulators need to build use-def
+dependency chains and to model the load/store unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.opcodes import Opcode, OperandForm, UopClass
+from repro.isa.operands import ImmediateOperand, MemoryOperand, Operand, RegisterOperand
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single assembly instruction.
+
+    Operands are stored in AT&T order: sources first, destination last.  For
+    two-operand forms such as ``addl %eax, %ebx`` the destination register is
+    also a source (read-modify-write), which the dependency analysis accounts
+    for.
+    """
+
+    opcode: Opcode
+    operands: Tuple[Operand, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.opcode.reads_memory
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.writes_memory
+
+    @property
+    def is_vector(self) -> bool:
+        return self.opcode.is_vector
+
+    def memory_operand(self) -> Optional[MemoryOperand]:
+        """Return the memory operand, if any."""
+        for operand in self.operands:
+            if isinstance(operand, MemoryOperand):
+                return operand
+        return None
+
+    def register_operands(self) -> List[RegisterOperand]:
+        return [operand for operand in self.operands if isinstance(operand, RegisterOperand)]
+
+    def is_zero_idiom(self) -> bool:
+        """Whether this instruction is a dependency-breaking zero idiom.
+
+        True for register-register forms of xor-like opcodes whose two
+        register operands are the same architectural register (e.g.
+        ``xorl %r13d, %r13d``).
+        """
+        if not self.opcode.can_zero_idiom:
+            return False
+        registers = self.register_operands()
+        if len(registers) != 2:
+            return False
+        return registers[0].canonical == registers[1].canonical
+
+    # ------------------------------------------------------------------
+    # Dependency information
+    # ------------------------------------------------------------------
+    def _destination_operand(self) -> Optional[Operand]:
+        """The destination operand under AT&T ordering, if the form has one."""
+        form = self.opcode.form
+        if not self.operands:
+            return None
+        if form in (OperandForm.RR, OperandForm.RI, OperandForm.RM, OperandForm.MR,
+                    OperandForm.MI, OperandForm.RRI):
+            return self.operands[-1]
+        if form in (OperandForm.R, OperandForm.M):
+            return self.operands[0]
+        return None
+
+    def source_registers(self) -> Tuple[str, ...]:
+        """Canonical registers read by this instruction (explicit + implicit)."""
+        reads: List[str] = []
+        form = self.opcode.form
+        destination = self._destination_operand()
+        for operand in self.operands:
+            if isinstance(operand, RegisterOperand):
+                is_destination = operand is destination
+                is_read_modify_write = self._destination_is_also_source()
+                if not is_destination or is_read_modify_write:
+                    reads.extend(operand.read_registers())
+            elif isinstance(operand, MemoryOperand):
+                reads.extend(operand.address_registers())
+        reads.extend(self.opcode.implicit_uses)
+        # A pure register write of a sub-register (32-bit writes zero-extend,
+        # but 8/16-bit writes merge) would also read the destination; that
+        # detail is beyond the simulators' modeling granularity, so we ignore
+        # it, exactly as llvm-mca's scheduling model does.
+        return tuple(dict.fromkeys(reads))
+
+    def destination_registers(self) -> Tuple[str, ...]:
+        """Canonical registers written by this instruction (explicit + implicit)."""
+        writes: List[str] = []
+        destination = self._destination_operand()
+        if isinstance(destination, RegisterOperand) and self._writes_register_destination():
+            writes.extend(destination.written_registers())
+        writes.extend(self.opcode.implicit_defs)
+        if self._writes_flags():
+            writes.append("rflags")
+        return tuple(dict.fromkeys(writes))
+
+    def _destination_is_also_source(self) -> bool:
+        """Whether the destination operand is also read (read-modify-write)."""
+        mnemonic = self.opcode.mnemonic
+        if mnemonic in ("mov", "movaps", "movups", "movapd", "movdqa", "movdqu",
+                        "movss", "movsd", "movsx", "movzx", "lea", "pop"):
+            return False
+        if self.opcode.uop_class in (UopClass.CMOV,):
+            return True
+        if self.opcode.uop_class in (UopClass.SETCC, UopClass.CVT, UopClass.LOAD,
+                                     UopClass.STORE, UopClass.NOP):
+            return False
+        return True
+
+    def _writes_register_destination(self) -> bool:
+        """Whether the destination operand (if a register) is actually written."""
+        if self.opcode.mnemonic in ("cmp", "test", "push"):
+            return False
+        return True
+
+    def _writes_flags(self) -> bool:
+        return self.opcode.uop_class in (UopClass.ALU, UopClass.SHIFT, UopClass.MUL,
+                                         UopClass.DIV) or self.opcode.mnemonic in ("cmp", "test")
+
+    def memory_location(self) -> Optional[Tuple[int, Optional[str], Optional[str], int]]:
+        """Identity of the memory location touched, for store-to-load forwarding."""
+        memory = self.memory_operand()
+        if memory is None:
+            if self.opcode.uop_class in (UopClass.PUSH, UopClass.POP):
+                # Stack accesses through the implicit stack pointer.
+                return (0, "rsp", None, 1)
+            return None
+        return memory.location_key()
+
+    # ------------------------------------------------------------------
+    # Formatting
+    # ------------------------------------------------------------------
+    def to_assembly(self) -> str:
+        """Render the instruction in AT&T-style assembly."""
+        from repro.isa.parser import format_instruction
+
+        return format_instruction(self)
+
+    def __str__(self) -> str:
+        return self.to_assembly()

@@ -1,0 +1,332 @@
+"""The opcode universe used by the simulators and the dataset generator.
+
+Opcodes are named in LLVM's style — mnemonic, operand width, operand form —
+for example ``ADD32rr`` (register-register 32-bit add), ``ADD32mr`` (add a
+register into memory) or ``PUSH64r``.  Each opcode carries the structural
+metadata the simulators need:
+
+* how many explicit source/destination operands it has and of which kind,
+* whether it reads and/or writes memory,
+* its :class:`UopClass`, a coarse execution-resource class used by the target
+  descriptions (`repro.targets`) to derive default latencies, port maps and
+  micro-op counts,
+* whether a register-register form can act as a *zero idiom* (``xor %eax,
+  %eax``), which the reference hardware model dispatches with zero latency.
+
+The default table built by :func:`build_default_opcode_table` contains on the
+order of 800 opcodes, mirroring the 837-opcode vocabulary of the BHive dataset
+used in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class OperandForm(str, enum.Enum):
+    """Encoding of an opcode's explicit operand shapes (LLVM suffix style)."""
+
+    RR = "rr"    # reg (src), reg (src+dst)
+    RI = "ri"    # imm (src), reg (src+dst)
+    RM = "rm"    # mem (src), reg (src+dst)           -- load + op
+    MR = "mr"    # reg (src), mem (src+dst)           -- load + op + store
+    MI = "mi"    # imm (src), mem (src+dst)           -- load + op + store
+    R = "r"      # single reg operand
+    M = "m"      # single mem operand
+    I = "i"      # single immediate operand
+    RRI = "rri"  # reg, reg, imm (e.g. three-operand imul)
+
+
+class UopClass(str, enum.Enum):
+    """Coarse execution-resource class of an opcode."""
+
+    ALU = "alu"                # simple integer ALU (add, sub, logic, cmp, test)
+    MOV = "mov"                # register moves / sign extensions
+    SHIFT = "shift"            # shifts and rotates
+    MUL = "mul"                # integer multiply
+    DIV = "div"                # integer divide
+    LEA = "lea"                # address generation
+    LOAD = "load"              # pure loads
+    STORE = "store"            # pure stores
+    PUSH = "push"              # push (store + stack-pointer update)
+    POP = "pop"                # pop (load + stack-pointer update)
+    CMOV = "cmov"              # conditional moves
+    SETCC = "setcc"            # flag-to-register
+    VEC_ALU = "vec_alu"        # vector integer/fp add, logic, compare, blend
+    VEC_MUL = "vec_mul"        # vector multiply / FMA
+    VEC_DIV = "vec_div"        # vector divide / sqrt
+    VEC_MOV = "vec_mov"        # vector register moves / loads / stores / shuffles
+    CVT = "cvt"                # int<->float conversions
+    NOP = "nop"                # no-ops
+
+
+#: Uop classes whose register-register form zeroes the destination when both
+#: operands are the same register (zero idioms on Intel hardware).
+_ZERO_IDIOM_MNEMONICS = {"xor", "sub", "pxor", "xorps", "xorpd", "psubb", "psubd"}
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """A single opcode with structural metadata.
+
+    Attributes:
+        name: LLVM-style opcode name, e.g. ``"ADD32mr"``.
+        mnemonic: Assembly mnemonic without width suffix, e.g. ``"add"``.
+        form: The operand form (see :class:`OperandForm`).
+        width: Operand width in bits.
+        uop_class: Coarse execution class used to derive target parameters.
+        reads_memory: Whether the instruction loads from memory.
+        writes_memory: Whether the instruction stores to memory.
+        is_vector: Whether operands are vector registers.
+        can_zero_idiom: Whether the rr form with identical operands is a
+            dependency-breaking zero idiom on real hardware.
+        implicit_uses: Canonical register names read implicitly (e.g. ``rsp``).
+        implicit_defs: Canonical register names written implicitly.
+    """
+
+    name: str
+    mnemonic: str
+    form: OperandForm
+    width: int
+    uop_class: UopClass
+    reads_memory: bool = False
+    writes_memory: bool = False
+    is_vector: bool = False
+    can_zero_idiom: bool = False
+    implicit_uses: Tuple[str, ...] = ()
+    implicit_defs: Tuple[str, ...] = ()
+
+    @property
+    def is_load(self) -> bool:
+        return self.reads_memory
+
+    @property
+    def is_store(self) -> bool:
+        return self.writes_memory
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class OpcodeTable:
+    """An ordered collection of opcodes with lookup by name.
+
+    The table assigns each opcode a stable integer index used by the parameter
+    tables (per-instruction parameter vectors) and by the surrogate's token
+    vocabulary.
+    """
+
+    def __init__(self, opcodes: Iterable[Opcode]) -> None:
+        self._opcodes: List[Opcode] = []
+        self._by_name: Dict[str, int] = {}
+        for opcode in opcodes:
+            self.add(opcode)
+
+    def add(self, opcode: Opcode) -> None:
+        if opcode.name in self._by_name:
+            raise ValueError(f"duplicate opcode: {opcode.name}")
+        self._by_name[opcode.name] = len(self._opcodes)
+        self._opcodes.append(opcode)
+
+    def __len__(self) -> int:
+        return len(self._opcodes)
+
+    def __iter__(self) -> Iterator[Opcode]:
+        return iter(self._opcodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, key) -> Opcode:
+        if isinstance(key, str):
+            return self._opcodes[self._by_name[key]]
+        return self._opcodes[key]
+
+    def get(self, name: str) -> Optional[Opcode]:
+        index = self._by_name.get(name)
+        return None if index is None else self._opcodes[index]
+
+    def index_of(self, name: str) -> int:
+        """Return the stable integer index of an opcode name."""
+        try:
+            return self._by_name[name]
+        except KeyError as error:
+            raise KeyError(f"unknown opcode: {name!r}") from error
+
+    def names(self) -> List[str]:
+        return [opcode.name for opcode in self._opcodes]
+
+    def by_class(self, uop_class: UopClass) -> List[Opcode]:
+        return [opcode for opcode in self._opcodes if opcode.uop_class == uop_class]
+
+
+# ----------------------------------------------------------------------
+# Default opcode table construction
+# ----------------------------------------------------------------------
+_WIDTH_SUFFIX = {8: "8", 16: "16", 32: "32", 64: "64"}
+
+_INT_ALU_MNEMONICS = ["add", "sub", "and", "or", "xor", "cmp", "test", "adc", "sbb"]
+_INT_SHIFT_MNEMONICS = ["shl", "shr", "sar", "rol", "ror"]
+_INT_WIDTHS = [8, 16, 32, 64]
+_MAIN_WIDTHS = [16, 32, 64]
+
+_VEC_ALU_MNEMONICS = ["addps", "addpd", "subps", "subpd", "addss", "addsd", "subss", "subsd",
+                      "minps", "maxps", "andps", "orps", "xorps", "paddd", "paddq", "psubd",
+                      "pand", "por", "pxor", "pcmpeqd", "blendps"]
+_VEC_MUL_MNEMONICS = ["mulps", "mulpd", "mulss", "mulsd", "pmulld",
+                      "vfmadd213ps", "vfmadd213pd", "vfmadd231ss", "vfmadd231sd"]
+_VEC_DIV_MNEMONICS = ["divps", "divpd", "divss", "divsd", "sqrtps", "sqrtpd", "sqrtss", "sqrtsd"]
+_VEC_MOV_MNEMONICS = ["movaps", "movups", "movapd", "movdqa", "movdqu", "movss", "movsd",
+                      "unpcklps", "shufps", "pshufd", "palignr", "insertps"]
+_CVT_MNEMONICS = ["cvtsi2ss", "cvtsi2sd", "cvtss2si", "cvtsd2si", "cvttss2si", "cvttsd2si",
+                  "cvtps2pd", "cvtpd2ps"]
+_CMOV_CONDITIONS = ["e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae", "s", "ns"]
+_SETCC_CONDITIONS = ["e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae"]
+
+
+def _int_forms_for(mnemonic: str) -> List[OperandForm]:
+    if mnemonic in ("cmp", "test"):
+        # Compare/test do not write a register destination but use the same forms.
+        return [OperandForm.RR, OperandForm.RI, OperandForm.RM, OperandForm.MR, OperandForm.MI]
+    return [OperandForm.RR, OperandForm.RI, OperandForm.RM, OperandForm.MR, OperandForm.MI]
+
+
+def build_default_opcode_table() -> OpcodeTable:
+    """Build the default ~800-opcode table used throughout the reproduction."""
+    opcodes: List[Opcode] = []
+
+    def add(name: str, mnemonic: str, form: OperandForm, width: int, uop_class: UopClass,
+            reads_memory: bool = False, writes_memory: bool = False, is_vector: bool = False,
+            can_zero_idiom: bool = False, implicit_uses: Tuple[str, ...] = (),
+            implicit_defs: Tuple[str, ...] = ()) -> None:
+        opcodes.append(Opcode(
+            name=name, mnemonic=mnemonic, form=form, width=width, uop_class=uop_class,
+            reads_memory=reads_memory, writes_memory=writes_memory, is_vector=is_vector,
+            can_zero_idiom=can_zero_idiom, implicit_uses=implicit_uses,
+            implicit_defs=implicit_defs))
+
+    # Integer ALU ops in every width and form.
+    for mnemonic in _INT_ALU_MNEMONICS:
+        for width in _INT_WIDTHS:
+            for form in _int_forms_for(mnemonic):
+                name = f"{mnemonic.upper()}{_WIDTH_SUFFIX[width]}{form.value}"
+                add(name, mnemonic, form, width, UopClass.ALU,
+                    reads_memory=form in (OperandForm.RM, OperandForm.MR, OperandForm.MI),
+                    writes_memory=form in (OperandForm.MR, OperandForm.MI),
+                    can_zero_idiom=(mnemonic in _ZERO_IDIOM_MNEMONICS and form == OperandForm.RR))
+
+    # inc/dec/neg/not: single-operand register and memory forms.
+    for mnemonic in ["inc", "dec", "neg", "not"]:
+        for width in _INT_WIDTHS:
+            add(f"{mnemonic.upper()}{_WIDTH_SUFFIX[width]}r", mnemonic, OperandForm.R, width,
+                UopClass.ALU)
+            add(f"{mnemonic.upper()}{_WIDTH_SUFFIX[width]}m", mnemonic, OperandForm.M, width,
+                UopClass.ALU, reads_memory=True, writes_memory=True)
+
+    # Moves: all forms; register loads and stores come from the rm/mr forms.
+    for width in _INT_WIDTHS:
+        suffix = _WIDTH_SUFFIX[width]
+        add(f"MOV{suffix}rr", "mov", OperandForm.RR, width, UopClass.MOV)
+        add(f"MOV{suffix}ri", "mov", OperandForm.RI, width, UopClass.MOV)
+        add(f"MOV{suffix}rm", "mov", OperandForm.RM, width, UopClass.LOAD, reads_memory=True)
+        add(f"MOV{suffix}mr", "mov", OperandForm.MR, width, UopClass.STORE, writes_memory=True)
+        add(f"MOV{suffix}mi", "mov", OperandForm.MI, width, UopClass.STORE, writes_memory=True)
+
+    # Sign/zero extensions between widths.
+    for mnemonic, uop_class in [("movsx", UopClass.MOV), ("movzx", UopClass.MOV)]:
+        for source_width in (8, 16, 32):
+            for dest_width in (16, 32, 64):
+                if dest_width <= source_width:
+                    continue
+                name = f"{mnemonic.upper()}{_WIDTH_SUFFIX[dest_width]}rr{_WIDTH_SUFFIX[source_width]}"
+                add(name, mnemonic, OperandForm.RR, dest_width, uop_class)
+                name_m = f"{mnemonic.upper()}{_WIDTH_SUFFIX[dest_width]}rm{_WIDTH_SUFFIX[source_width]}"
+                add(name_m, mnemonic, OperandForm.RM, dest_width, UopClass.LOAD, reads_memory=True)
+
+    # Shifts and rotates: by immediate and by %cl.
+    for mnemonic in _INT_SHIFT_MNEMONICS:
+        for width in _INT_WIDTHS:
+            suffix = _WIDTH_SUFFIX[width]
+            add(f"{mnemonic.upper()}{suffix}ri", mnemonic, OperandForm.RI, width, UopClass.SHIFT)
+            add(f"{mnemonic.upper()}{suffix}r1", mnemonic, OperandForm.R, width, UopClass.SHIFT)
+            add(f"{mnemonic.upper()}{suffix}rCL", mnemonic, OperandForm.R, width, UopClass.SHIFT,
+                implicit_uses=("rcx",))
+            add(f"{mnemonic.upper()}{suffix}mi", mnemonic, OperandForm.MI, width, UopClass.SHIFT,
+                reads_memory=True, writes_memory=True)
+
+    # Integer multiply and divide.
+    for width in _MAIN_WIDTHS:
+        suffix = _WIDTH_SUFFIX[width]
+        add(f"IMUL{suffix}rr", "imul", OperandForm.RR, width, UopClass.MUL)
+        add(f"IMUL{suffix}rm", "imul", OperandForm.RM, width, UopClass.MUL, reads_memory=True)
+        add(f"IMUL{suffix}rri", "imul", OperandForm.RRI, width, UopClass.MUL)
+        add(f"MUL{suffix}r", "mul", OperandForm.R, width, UopClass.MUL,
+            implicit_uses=("rax",), implicit_defs=("rax", "rdx"))
+        add(f"DIV{suffix}r", "div", OperandForm.R, width, UopClass.DIV,
+            implicit_uses=("rax", "rdx"), implicit_defs=("rax", "rdx"))
+        add(f"IDIV{suffix}r", "idiv", OperandForm.R, width, UopClass.DIV,
+            implicit_uses=("rax", "rdx"), implicit_defs=("rax", "rdx"))
+
+    # LEA.
+    for width in (32, 64):
+        add(f"LEA{_WIDTH_SUFFIX[width]}r", "lea", OperandForm.RM, width, UopClass.LEA)
+
+    # Stack operations.
+    add("PUSH64r", "push", OperandForm.R, 64, UopClass.PUSH, writes_memory=True,
+        implicit_uses=("rsp",), implicit_defs=("rsp",))
+    add("PUSH64i", "push", OperandForm.I, 64, UopClass.PUSH, writes_memory=True,
+        implicit_uses=("rsp",), implicit_defs=("rsp",))
+    add("POP64r", "pop", OperandForm.R, 64, UopClass.POP, reads_memory=True,
+        implicit_uses=("rsp",), implicit_defs=("rsp",))
+
+    # Conditional moves and set-on-condition.
+    for condition in _CMOV_CONDITIONS:
+        for width in _MAIN_WIDTHS:
+            suffix = _WIDTH_SUFFIX[width]
+            add(f"CMOV{condition.upper()}{suffix}rr", f"cmov{condition}", OperandForm.RR, width,
+                UopClass.CMOV, implicit_uses=("rflags",))
+            add(f"CMOV{condition.upper()}{suffix}rm", f"cmov{condition}", OperandForm.RM, width,
+                UopClass.CMOV, reads_memory=True, implicit_uses=("rflags",))
+    for condition in _SETCC_CONDITIONS:
+        add(f"SET{condition.upper()}r", f"set{condition}", OperandForm.R, 8, UopClass.SETCC,
+            implicit_uses=("rflags",))
+
+    # Vector arithmetic (xmm-width scalar/packed SSE-style and a ymm AVX subset).
+    for mnemonic in _VEC_ALU_MNEMONICS:
+        add(f"{mnemonic.upper()}rr", mnemonic, OperandForm.RR, 128, UopClass.VEC_ALU,
+            is_vector=True, can_zero_idiom=mnemonic in _ZERO_IDIOM_MNEMONICS)
+        add(f"{mnemonic.upper()}rm", mnemonic, OperandForm.RM, 128, UopClass.VEC_ALU,
+            is_vector=True, reads_memory=True)
+        add(f"V{mnemonic.upper()}Yrr", f"v{mnemonic}", OperandForm.RR, 256, UopClass.VEC_ALU,
+            is_vector=True, can_zero_idiom=mnemonic in _ZERO_IDIOM_MNEMONICS)
+    for mnemonic in _VEC_MUL_MNEMONICS:
+        add(f"{mnemonic.upper()}rr", mnemonic, OperandForm.RR, 128, UopClass.VEC_MUL, is_vector=True)
+        add(f"{mnemonic.upper()}rm", mnemonic, OperandForm.RM, 128, UopClass.VEC_MUL,
+            is_vector=True, reads_memory=True)
+    for mnemonic in _VEC_DIV_MNEMONICS:
+        add(f"{mnemonic.upper()}rr", mnemonic, OperandForm.RR, 128, UopClass.VEC_DIV, is_vector=True)
+        add(f"{mnemonic.upper()}rm", mnemonic, OperandForm.RM, 128, UopClass.VEC_DIV,
+            is_vector=True, reads_memory=True)
+    for mnemonic in _VEC_MOV_MNEMONICS:
+        add(f"{mnemonic.upper()}rr", mnemonic, OperandForm.RR, 128, UopClass.VEC_MOV, is_vector=True)
+        add(f"{mnemonic.upper()}rm", mnemonic, OperandForm.RM, 128, UopClass.VEC_MOV,
+            is_vector=True, reads_memory=True)
+        add(f"{mnemonic.upper()}mr", mnemonic, OperandForm.MR, 128, UopClass.VEC_MOV,
+            is_vector=True, writes_memory=True)
+    for mnemonic in _CVT_MNEMONICS:
+        add(f"{mnemonic.upper()}rr", mnemonic, OperandForm.RR, 128, UopClass.CVT, is_vector=True)
+        add(f"{mnemonic.upper()}rm", mnemonic, OperandForm.RM, 128, UopClass.CVT,
+            is_vector=True, reads_memory=True)
+
+    # VZEROUPPER and NOP.
+    add("VZEROUPPER", "vzeroupper", OperandForm.I, 256, UopClass.NOP, is_vector=True)
+    add("NOOP", "nop", OperandForm.I, 64, UopClass.NOP)
+
+    return OpcodeTable(opcodes)
+
+
+#: A module-level default table.  Building it is cheap (milliseconds) but
+#: callers that care about identity should reuse this instance.
+DEFAULT_OPCODE_TABLE = build_default_opcode_table()

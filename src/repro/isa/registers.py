@@ -1,0 +1,122 @@
+"""The x86-64 register file (the subset basic-block simulators need).
+
+Registers are modeled structurally: each register has a name, a width in bits,
+and a *canonical* architectural register (e.g. ``eax``, ``ax`` and ``al`` all
+alias ``rax``).  Dependency analysis in the simulators is done on canonical
+registers, which matches how llvm-mca tracks register reads and writes for its
+register-renaming model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Register:
+    """An architectural register.
+
+    Attributes:
+        name: Assembly name without the ``%`` sigil (e.g. ``"rax"``).
+        width: Width in bits (8, 16, 32, 64, 128, or 256).
+        canonical: Name of the full-width register this register aliases
+            (``"rax"`` for ``"eax"``; vector registers alias their ymm form).
+        is_vector: Whether this is an xmm/ymm vector register.
+    """
+
+    name: str
+    width: int
+    canonical: str
+    is_vector: bool = False
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+_GPR_FAMILIES: List[Tuple[str, str, str, str]] = [
+    # (64-bit, 32-bit, 16-bit, 8-bit)
+    ("rax", "eax", "ax", "al"),
+    ("rbx", "ebx", "bx", "bl"),
+    ("rcx", "ecx", "cx", "cl"),
+    ("rdx", "edx", "dx", "dl"),
+    ("rsi", "esi", "si", "sil"),
+    ("rdi", "edi", "di", "dil"),
+    ("rbp", "ebp", "bp", "bpl"),
+    ("rsp", "esp", "sp", "spl"),
+    ("r8", "r8d", "r8w", "r8b"),
+    ("r9", "r9d", "r9w", "r9b"),
+    ("r10", "r10d", "r10w", "r10b"),
+    ("r11", "r11d", "r11w", "r11b"),
+    ("r12", "r12d", "r12w", "r12b"),
+    ("r13", "r13d", "r13w", "r13b"),
+    ("r14", "r14d", "r14w", "r14b"),
+    ("r15", "r15d", "r15w", "r15b"),
+]
+
+_NUM_VECTOR_REGISTERS = 16
+
+
+def _build_register_table() -> Dict[str, Register]:
+    table: Dict[str, Register] = {}
+    widths = (64, 32, 16, 8)
+    for family in _GPR_FAMILIES:
+        canonical = family[0]
+        for width, name in zip(widths, family):
+            table[name] = Register(name=name, width=width, canonical=canonical)
+    for index in range(_NUM_VECTOR_REGISTERS):
+        canonical = f"ymm{index}"
+        table[f"xmm{index}"] = Register(
+            name=f"xmm{index}", width=128, canonical=canonical, is_vector=True)
+        table[f"ymm{index}"] = Register(
+            name=f"ymm{index}", width=256, canonical=canonical, is_vector=True)
+    # Flags and instruction pointer (structural only).
+    table["rflags"] = Register(name="rflags", width=64, canonical="rflags")
+    table["rip"] = Register(name="rip", width=64, canonical="rip")
+    return table
+
+
+REGISTERS: Dict[str, Register] = _build_register_table()
+
+#: General-purpose 64-bit register names, convenient for block generators.
+GPR64: List[str] = [family[0] for family in _GPR_FAMILIES]
+#: General-purpose 32-bit register names.
+GPR32: List[str] = [family[1] for family in _GPR_FAMILIES]
+#: General-purpose 16-bit register names.
+GPR16: List[str] = [family[2] for family in _GPR_FAMILIES]
+#: General-purpose 8-bit register names.
+GPR8: List[str] = [family[3] for family in _GPR_FAMILIES]
+#: Vector register names.
+XMM: List[str] = [f"xmm{index}" for index in range(_NUM_VECTOR_REGISTERS)]
+YMM: List[str] = [f"ymm{index}" for index in range(_NUM_VECTOR_REGISTERS)]
+
+#: GPR names for a given operand width in bits.
+GPR_BY_WIDTH: Dict[int, List[str]] = {64: GPR64, 32: GPR32, 16: GPR16, 8: GPR8}
+
+
+def register_by_name(name: str) -> Register:
+    """Look up a register by assembly name (with or without the ``%`` sigil)."""
+    clean = name.lstrip("%").lower()
+    try:
+        return REGISTERS[clean]
+    except KeyError as error:
+        raise KeyError(f"unknown register: {name!r}") from error
+
+
+def canonical_register(name: str) -> str:
+    """Return the canonical (full-width) register name that ``name`` aliases."""
+    return register_by_name(name).canonical
+
+
+def registers_for_width(width: int, vector: bool = False) -> List[str]:
+    """Return the register names available at a given width."""
+    if vector:
+        if width == 128:
+            return list(XMM)
+        if width == 256:
+            return list(YMM)
+        raise ValueError(f"unsupported vector width: {width}")
+    try:
+        return list(GPR_BY_WIDTH[width])
+    except KeyError as error:
+        raise ValueError(f"unsupported general-purpose width: {width}") from error

@@ -1,0 +1,51 @@
+"""An llvm-mca-style out-of-order superscalar basic-block simulator.
+
+This package reimplements, in Python, the simulation model the paper
+optimizes: llvm-mca's Intel x86 pipeline with dispatch, issue, execute and
+retire stages (Section II-A).  The simulator is driven entirely by an
+:class:`~repro.llvm_mca.params.MCAParameterTable` — the same parameters
+DiffTune learns:
+
+==================== ======================= =====================================
+Parameter            Count                   Meaning
+==================== ======================= =====================================
+DispatchWidth        1 global                micro-ops dispatched per cycle
+ReorderBufferSize    1 global                micro-ops resident in issue+execute
+NumMicroOps          1 per instruction       micro-ops per instruction
+WriteLatency         1 per instruction       cycles before destinations readable
+ReadAdvanceCycles    3 per instruction       forwarding credit per source operand
+PortMap              10 per instruction      port occupancy cycles per port
+==================== ======================= =====================================
+
+Modeling assumptions follow llvm-mca: the frontend is not modeled, all memory
+accesses hit the L1 cache and memory dependencies are not tracked, and blocks
+are timed over repeated iterations (the BHive convention of 100 unrolled
+iterations).
+"""
+
+from repro.llvm_mca.params import MCAParameterTable, NUM_PORTS, NUM_READ_ADVANCE_SLOTS
+from repro.llvm_mca.ports import PortSet
+from repro.llvm_mca.port_groups import (GroupedPortSet, HASWELL_PORT_GROUPS, PortGroup,
+                                        resolve_grouped_port_map)
+from repro.llvm_mca.reorder_buffer import ReorderBuffer
+from repro.llvm_mca.simulator import MCASimulator, SimulationResult
+from repro.llvm_mca.timeline import (BottleneckReport, ResourcePressure, TimelineEntry,
+                                     TimelineView)
+
+__all__ = [
+    "MCAParameterTable",
+    "NUM_PORTS",
+    "NUM_READ_ADVANCE_SLOTS",
+    "PortSet",
+    "PortGroup",
+    "GroupedPortSet",
+    "HASWELL_PORT_GROUPS",
+    "resolve_grouped_port_map",
+    "ReorderBuffer",
+    "MCASimulator",
+    "SimulationResult",
+    "TimelineView",
+    "TimelineEntry",
+    "ResourcePressure",
+    "BottleneckReport",
+]

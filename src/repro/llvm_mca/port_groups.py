@@ -1,0 +1,200 @@
+"""Execution-port groups (llvm-mca's ProcResGroup resources).
+
+llvm-mca's scheduling model contains not just individual execution ports but
+*port groups*: named resources that stand for "any one of these ports" (e.g.
+Haswell's HWPort01 means "port 0 or port 1").  The paper sets every port-group
+entry in the PortMap to zero and learns only the per-port entries, because
+llvm-mca's group semantics do not correspond to the standard definition of a
+port mapping (Section V-A).  This module implements the group semantics so
+that the design decision can be studied rather than merely inherited:
+
+* :class:`PortGroup` — a named set of member ports.
+* :data:`HASWELL_PORT_GROUPS` — the standard Haswell-style groupings over the
+  10-port layout used throughout this reproduction.
+* :class:`GroupedPortSet` — a port tracker in which an instruction's demand
+  on a group may be satisfied by whichever member port frees up first
+  (least-loaded assignment), alongside plain per-port demands.
+* :func:`resolve_grouped_port_map` — flatten a grouped occupancy specification
+  to a plain 10-entry PortMap row, the representation the simulator and the
+  learned parameter tables use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.llvm_mca.params import NUM_PORTS
+
+
+@dataclass(frozen=True)
+class PortGroup:
+    """A named group of execution ports that can serve the same micro-ops."""
+
+    name: str
+    ports: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ports:
+            raise ValueError(f"port group {self.name} needs at least one port")
+        if len(set(self.ports)) != len(self.ports):
+            raise ValueError(f"port group {self.name} has duplicate ports")
+        for port in self.ports:
+            if port < 0:
+                raise ValueError(f"port group {self.name} has a negative port index")
+
+    def __contains__(self, port: int) -> bool:
+        return port in self.ports
+
+    @property
+    def width(self) -> int:
+        """Number of member ports (how many micro-ops it can absorb per cycle)."""
+        return len(self.ports)
+
+
+#: Haswell-style port groups over the 10-port layout this reproduction uses:
+#: ports 0, 1, 5, 6 are ALU-capable; 0 and 1 carry multiplies and vector
+#: arithmetic; 2 and 3 are load AGUs; 4 is store data; 7 is the store AGU.
+HASWELL_PORT_GROUPS: Dict[str, PortGroup] = {
+    "P01": PortGroup("P01", (0, 1)),
+    "P0156": PortGroup("P0156", (0, 1, 5, 6)),
+    "P06": PortGroup("P06", (0, 6)),
+    "P23": PortGroup("P23", (2, 3)),
+    "P237": PortGroup("P237", (2, 3, 7)),
+    "P15": PortGroup("P15", (1, 5)),
+}
+
+
+def resolve_grouped_port_map(per_port_cycles: Sequence[int],
+                             group_cycles: Mapping[str, int],
+                             groups: Mapping[str, PortGroup],
+                             num_ports: int = NUM_PORTS) -> List[int]:
+    """Flatten grouped occupancy into a plain per-port PortMap row.
+
+    Each group's cycles are assigned to its least-loaded member port, one
+    cycle at a time, mirroring how hardware steers micro-ops to whichever
+    capable port is least busy.  The result is deterministic (ties go to the
+    lowest port index), which keeps parameter tables reproducible.
+
+    Args:
+        per_port_cycles: Cycles already assigned to individual ports.
+        group_cycles: Cycles demanded from each named group.
+        groups: Group definitions (name -> :class:`PortGroup`).
+        num_ports: Width of the resulting row.
+
+    Returns:
+        A ``num_ports``-entry list of occupancy cycles.
+    """
+    if len(per_port_cycles) > num_ports:
+        raise ValueError("per_port_cycles is wider than the port set")
+    resolved = [0] * num_ports
+    for port, cycles in enumerate(per_port_cycles):
+        if cycles < 0:
+            raise ValueError("per-port cycles must be non-negative")
+        resolved[port] += int(cycles)
+    for name, cycles in group_cycles.items():
+        if cycles < 0:
+            raise ValueError(f"group {name} has negative cycles")
+        if name not in groups:
+            raise KeyError(f"unknown port group: {name}")
+        group = groups[name]
+        for port in group.ports:
+            if port >= num_ports:
+                raise ValueError(f"group {name} references port {port} outside the port set")
+        for _ in range(int(cycles)):
+            target = min(group.ports, key=lambda port: (resolved[port], port))
+            resolved[target] += 1
+    return resolved
+
+
+class GroupedPortSet:
+    """Port availability tracking with group-aware issue.
+
+    Mirrors :class:`~repro.llvm_mca.ports.PortSet` but lets an instruction
+    express part of its port demand against groups: for each demanded group
+    cycle the tracker picks the member port that frees up earliest.  This is
+    the semantics the paper declines to learn parameters for; the ablation
+    benchmark compares simulations with and without it.
+    """
+
+    def __init__(self, num_ports: int = NUM_PORTS,
+                 groups: Mapping[str, PortGroup] = HASWELL_PORT_GROUPS) -> None:
+        if num_ports < 1:
+            raise ValueError("need at least one execution port")
+        for group in groups.values():
+            for port in group.ports:
+                if port >= num_ports:
+                    raise ValueError(
+                        f"group {group.name} references port {port} outside the port set")
+        self.num_ports = num_ports
+        self.groups = dict(groups)
+        self._free_at = np.zeros(num_ports, dtype=np.int64)
+
+    def reset(self) -> None:
+        self._free_at[:] = 0
+
+    def free_at(self, port: int) -> int:
+        return int(self._free_at[port])
+
+    def utilization(self) -> List[int]:
+        return [int(value) for value in self._free_at]
+
+    # ------------------------------------------------------------------
+    # Issue / reserve
+    # ------------------------------------------------------------------
+    def _group(self, name: str) -> PortGroup:
+        if name not in self.groups:
+            raise KeyError(f"unknown port group: {name}")
+        return self.groups[name]
+
+    def earliest_issue_cycle(self, port_cycles: Sequence[int],
+                             group_cycles: Mapping[str, int], not_before: int) -> int:
+        """Earliest cycle >= ``not_before`` at which the demand can be met.
+
+        Plain per-port demands require that specific port; group demands only
+        require that *some* member port is free, so the constraint is the
+        minimum of the members' next-free cycles.
+        """
+        earliest = not_before
+        for port, cycles in enumerate(port_cycles):
+            if cycles > 0:
+                earliest = max(earliest, int(self._free_at[port]))
+        for name, cycles in group_cycles.items():
+            if cycles > 0:
+                group = self._group(name)
+                earliest = max(earliest, min(int(self._free_at[port])
+                                             for port in group.ports))
+        return earliest
+
+    def reserve(self, port_cycles: Sequence[int], group_cycles: Mapping[str, int],
+                issue_cycle: int) -> int:
+        """Reserve per-port and group demands starting at ``issue_cycle``.
+
+        Group demands are steered to the member port that currently frees up
+        earliest.  Returns the cycle at which the last reserved port frees.
+        """
+        completion = issue_cycle
+        for port, cycles in enumerate(port_cycles):
+            if cycles > 0:
+                release = max(int(self._free_at[port]), issue_cycle) + int(cycles)
+                self._free_at[port] = release
+                completion = max(completion, release)
+        for name, cycles in group_cycles.items():
+            if cycles <= 0:
+                continue
+            group = self._group(name)
+            target = min(group.ports, key=lambda port: (int(self._free_at[port]), port))
+            release = max(int(self._free_at[target]), issue_cycle) + int(cycles)
+            self._free_at[target] = release
+            completion = max(completion, release)
+        return completion
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def group_pressure(self) -> Dict[str, float]:
+        """Average next-free cycle of each group's member ports."""
+        return {name: float(np.mean([self._free_at[port] for port in group.ports]))
+                for name, group in self.groups.items()}

@@ -1,0 +1,69 @@
+"""Execution-port tracking for the llvm-mca style simulator.
+
+llvm-mca's execute stage reserves every execution port an instruction's
+PortMap names, each for the number of cycles the PortMap specifies, starting
+at the instruction's issue cycle.  An instruction may only issue when all of
+its required ports are simultaneously free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class PortSet:
+    """Tracks when each execution port becomes free.
+
+    The representation is simply the cycle at which each port next becomes
+    free; reservations are contiguous intervals starting at the issue cycle.
+    This matches a greedy in-order-reservation policy, which is how llvm-mca
+    allocates its port resources once an instruction is selected for issue.
+    """
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports < 1:
+            raise ValueError("need at least one execution port")
+        self.num_ports = num_ports
+        self._free_at = np.zeros(num_ports, dtype=np.int64)
+
+    def reset(self) -> None:
+        self._free_at[:] = 0
+
+    def free_at(self, port: int) -> int:
+        """Cycle at which ``port`` next becomes free."""
+        return int(self._free_at[port])
+
+    def earliest_issue_cycle(self, port_cycles: Sequence[int], not_before: int) -> int:
+        """Earliest cycle >= ``not_before`` at which all required ports are free.
+
+        Args:
+            port_cycles: Occupancy cycles per port (the instruction's PortMap
+                row); ports with zero cycles impose no constraint.
+            not_before: Lower bound (operand-ready / dispatch cycle).
+        """
+        earliest = not_before
+        for port, cycles in enumerate(port_cycles):
+            if cycles > 0:
+                earliest = max(earliest, int(self._free_at[port]))
+        return earliest
+
+    def reserve(self, port_cycles: Sequence[int], issue_cycle: int) -> int:
+        """Reserve the required ports starting at ``issue_cycle``.
+
+        Returns the cycle at which the last reserved port frees up (the
+        resource-busy completion time); returns ``issue_cycle`` when the
+        instruction uses no ports.
+        """
+        completion = issue_cycle
+        for port, cycles in enumerate(port_cycles):
+            if cycles > 0:
+                release = issue_cycle + int(cycles)
+                self._free_at[port] = release
+                completion = max(completion, release)
+        return completion
+
+    def utilization(self) -> List[int]:
+        """Snapshot of per-port next-free cycles (useful for diagnostics)."""
+        return [int(value) for value in self._free_at]

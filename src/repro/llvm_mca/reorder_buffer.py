@@ -1,0 +1,65 @@
+"""Reorder-buffer occupancy tracking.
+
+The dispatch stage may only dispatch an instruction when the reorder buffer
+has room for all of its micro-ops; slots are released, in program order, when
+instructions retire.  The simulator resolves this constraint analytically: it
+keeps a FIFO of (retire_cycle, micro_ops) entries and, when space is needed,
+advances a virtual clock to the retire cycle that frees enough slots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class ReorderBuffer:
+    """Tracks micro-op occupancy of the reorder buffer over time."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("reorder buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[Tuple[int, int]] = deque()
+        self._occupied = 0
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self._occupied = 0
+
+    @property
+    def occupied(self) -> int:
+        return self._occupied
+
+    def _drain_retired(self, cycle: int) -> None:
+        """Release entries whose retire cycle is <= ``cycle``."""
+        while self._entries and self._entries[0][0] <= cycle:
+            _, micro_ops = self._entries.popleft()
+            self._occupied -= micro_ops
+
+    def earliest_cycle_with_space(self, micro_ops: int, not_before: int) -> int:
+        """Earliest cycle >= ``not_before`` at which ``micro_ops`` slots are free.
+
+        Instructions wider than the whole buffer are allowed to dispatch once
+        the buffer is empty (llvm-mca clamps rather than deadlocks).
+        """
+        micro_ops = min(micro_ops, self.capacity)
+        cycle = not_before
+        self._drain_retired(cycle)
+        while self._occupied + micro_ops > self.capacity:
+            if not self._entries:
+                break
+            cycle = max(cycle, self._entries[0][0])
+            self._drain_retired(cycle)
+        return cycle
+
+    def allocate(self, micro_ops: int, retire_cycle: int) -> None:
+        """Occupy ``micro_ops`` slots until ``retire_cycle``.
+
+        Entries must be allocated in program order with non-decreasing retire
+        cycles to preserve in-order retirement; the caller (the simulator's
+        retire stage) guarantees this.
+        """
+        micro_ops = min(micro_ops, self.capacity)
+        self._entries.append((retire_cycle, micro_ops))
+        self._occupied += micro_ops

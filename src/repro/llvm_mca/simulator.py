@@ -1,0 +1,281 @@
+"""The llvm-mca style basic-block simulator.
+
+The simulator models the four-stage pipeline the paper describes for
+llvm-mca's Intel x86 model (Section II-A):
+
+* **dispatch** — instructions enter in program order; each cycle at most
+  ``DispatchWidth`` micro-ops may dispatch, and an instruction needs free
+  reorder-buffer slots for all of its micro-ops.
+* **issue** — an instruction waits until its register source operands are
+  ready.  A source produced by an earlier instruction becomes ready
+  ``WriteLatency(producer) - ReadAdvanceCycles(consumer, slot)`` cycles after
+  the producer issues (clamped at zero).
+* **execute** — the instruction issues once its required execution ports are
+  simultaneously free, then occupies each port for the cycles its PortMap
+  specifies.
+* **retire** — instructions retire in program order once executed; retirement
+  frees their reorder-buffer slots.
+
+Modeling assumptions (faithful to llvm-mca, and to the mismatches the paper
+discusses): no frontend, no memory hierarchy, and **no memory dependency
+tracking** — a load never waits for an earlier store (this is exactly why the
+ADD32mr case study in Section VI-C cannot be fixed by any parameter value).
+
+Timing follows the BHive convention: the block is unrolled for many
+iterations as if executed in a loop, and the reported timing is cycles per
+iteration (cycles for 100 iterations divided by 100).  For efficiency the
+simulator measures the steady-state per-iteration cost using a warmup /
+measurement window instead of literally unrolling 100 times; the result is
+the asymptotic per-iteration timing, which is what 100 iterations
+approximates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import Instruction
+from repro.llvm_mca.params import MCAParameterTable, NUM_PORTS, NUM_READ_ADVANCE_SLOTS
+from repro.llvm_mca.ports import PortSet
+from repro.llvm_mca.reorder_buffer import ReorderBuffer
+
+#: Number of block iterations the BHive timing convention divides by.
+TIMING_ITERATIONS = 100
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating a basic block.
+
+    Attributes:
+        cycles_per_iteration: Steady-state cycles per block iteration.
+        total_cycles: Cycles consumed by the simulated window.
+        iterations_simulated: How many iterations the window contained.
+        retire_cycles: Retire cycle of every simulated dynamic instruction.
+        dispatch_cycles: Dispatch cycle of every simulated dynamic instruction
+            (aligned with ``retire_cycles``); used by the timeline view.
+        issue_cycles: Issue (execute-start) cycle of every simulated dynamic
+            instruction; used by the timeline and bottleneck views.
+        port_busy_cycles: Total cycles each execution port was reserved over
+            the whole simulated window; used by the resource-pressure view.
+    """
+
+    cycles_per_iteration: float
+    total_cycles: int
+    iterations_simulated: int
+    retire_cycles: List[int]
+    dispatch_cycles: List[int] = field(default_factory=list)
+    issue_cycles: List[int] = field(default_factory=list)
+    port_busy_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def timing(self) -> float:
+        """Timing in the BHive sense: cycles per single iteration of the block."""
+        return self.cycles_per_iteration
+
+
+@dataclass
+class _StaticInstructionInfo:
+    """Per-opcode information resolved once per block before simulation."""
+
+    opcode_index: int
+    num_micro_ops: int
+    write_latency: int
+    read_advance: Tuple[int, ...]
+    port_cycles: Tuple[int, ...]
+    source_registers: Tuple[str, ...]
+    destination_registers: Tuple[str, ...]
+    max_port_cycles: int
+
+
+class MCASimulator:
+    """Simulates basic blocks under a given :class:`MCAParameterTable`."""
+
+    def __init__(self, parameters: MCAParameterTable,
+                 warmup_iterations: int = 4,
+                 measure_iterations: int = 8,
+                 max_dynamic_instructions: int = 2048) -> None:
+        """Create a simulator.
+
+        Args:
+            parameters: The parameter table driving the simulation.
+            warmup_iterations: Iterations simulated before measurement starts,
+                so the pipeline reaches steady state.
+            measure_iterations: Iterations over which the per-iteration cost is
+                measured.
+            max_dynamic_instructions: Cap on the total unrolled instruction
+                count, to bound simulation cost on very long blocks.
+        """
+        if warmup_iterations < 1 or measure_iterations < 1:
+            raise ValueError("warmup and measurement windows must be >= 1 iteration")
+        self.parameters = parameters
+        self.warmup_iterations = warmup_iterations
+        self.measure_iterations = measure_iterations
+        self.max_dynamic_instructions = max_dynamic_instructions
+
+    # ------------------------------------------------------------------
+    # Static preparation
+    # ------------------------------------------------------------------
+    def _prepare(self, block: BasicBlock) -> List[_StaticInstructionInfo]:
+        parameters = self.parameters
+        infos: List[_StaticInstructionInfo] = []
+        for instruction in block:
+            index = parameters.opcode_table.index_of(instruction.opcode.name)
+            port_cycles = tuple(int(value) for value in parameters.port_map[index])
+            infos.append(_StaticInstructionInfo(
+                opcode_index=index,
+                num_micro_ops=int(parameters.num_micro_ops[index]),
+                write_latency=int(parameters.write_latency[index]),
+                read_advance=tuple(int(value) for value in parameters.read_advance_cycles[index]),
+                port_cycles=port_cycles,
+                source_registers=instruction.source_registers(),
+                destination_registers=instruction.destination_registers(),
+                max_port_cycles=max(port_cycles) if any(port_cycles) else 0,
+            ))
+        return infos
+
+    def _iteration_counts(self, block_length: int) -> Tuple[int, int]:
+        """Shrink the warmup/measure windows for very long blocks."""
+        warmup = self.warmup_iterations
+        measure = self.measure_iterations
+        total = (warmup + measure) * block_length
+        while total > self.max_dynamic_instructions and measure > 2:
+            measure -= 1
+            total = (warmup + measure) * block_length
+        while total > self.max_dynamic_instructions and warmup > 1:
+            warmup -= 1
+            total = (warmup + measure) * block_length
+        return warmup, measure
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(self, block: BasicBlock) -> SimulationResult:
+        """Simulate ``block`` executed repeatedly and return its timing."""
+        infos = self._prepare(block)
+        warmup, measure = self._iteration_counts(len(block))
+        total_iterations = warmup + measure
+
+        dispatch_width = int(self.parameters.dispatch_width)
+        ports = PortSet(NUM_PORTS)
+        reorder_buffer = ReorderBuffer(int(self.parameters.reorder_buffer_size))
+
+        # Register scoreboard: canonical register -> cycle at which its value
+        # becomes available, together with the producing write latency so that
+        # ReadAdvanceCycles can be credited against the right edge.
+        register_ready: Dict[str, int] = {}
+
+        # Dispatch bandwidth bookkeeping: current dispatch cycle and how many
+        # micro-ops have been dispatched in it.
+        dispatch_cycle = 0
+        dispatched_micro_ops_this_cycle = 0
+
+        # In-order retirement: an instruction retires no earlier than the one
+        # before it.
+        previous_retire_cycle = 0
+        retire_cycles: List[int] = []
+        dispatch_cycles: List[int] = []
+        issue_cycles: List[int] = []
+        port_busy_cycles = [0] * NUM_PORTS
+        iteration_end_cycles: List[int] = []
+
+        for iteration in range(total_iterations):
+            for position, (instruction, info) in enumerate(zip(block, infos)):
+                # ----------------------------------------------------------
+                # Dispatch stage
+                # ----------------------------------------------------------
+                micro_ops = max(1, info.num_micro_ops)
+                # Advance the dispatch cycle until the bandwidth allows this
+                # instruction.  Instructions wider than the dispatch width
+                # consume whole cycles (they dispatch alone).
+                needed = min(micro_ops, dispatch_width)
+                if dispatched_micro_ops_this_cycle + needed > dispatch_width:
+                    dispatch_cycle += 1
+                    dispatched_micro_ops_this_cycle = 0
+                # Wider instructions additionally block the dispatcher for the
+                # extra cycles their remaining micro-ops need.
+                extra_dispatch_cycles = 0
+                if micro_ops > dispatch_width:
+                    extra_dispatch_cycles = (micro_ops - 1) // dispatch_width
+
+                # Reorder-buffer space.
+                dispatch_at = reorder_buffer.earliest_cycle_with_space(
+                    micro_ops, dispatch_cycle)
+                if dispatch_at > dispatch_cycle:
+                    dispatch_cycle = dispatch_at
+                    dispatched_micro_ops_this_cycle = 0
+                dispatched_micro_ops_this_cycle += needed
+
+                # ----------------------------------------------------------
+                # Issue stage: wait for register operands.
+                # ----------------------------------------------------------
+                operands_ready = dispatch_cycle
+                for slot, register in enumerate(info.source_registers):
+                    ready = register_ready.get(register)
+                    if ready is None:
+                        continue
+                    advance = info.read_advance[min(slot, NUM_READ_ADVANCE_SLOTS - 1)]
+                    operands_ready = max(operands_ready, ready - advance, dispatch_cycle)
+
+                # ----------------------------------------------------------
+                # Execute stage: wait for ports, then reserve them.
+                # ----------------------------------------------------------
+                issue_cycle = ports.earliest_issue_cycle(info.port_cycles, operands_ready)
+                resource_completion = ports.reserve(info.port_cycles, issue_cycle)
+
+                # Destinations become readable WriteLatency cycles after issue.
+                write_back_cycle = issue_cycle + info.write_latency
+                for register in info.destination_registers:
+                    register_ready[register] = write_back_cycle
+
+                # ----------------------------------------------------------
+                # Retire stage: in order, after execution completes.
+                # ----------------------------------------------------------
+                completion = max(write_back_cycle, resource_completion,
+                                 issue_cycle + 1, dispatch_cycle + 1)
+                retire_cycle = max(completion, previous_retire_cycle)
+                previous_retire_cycle = retire_cycle
+                reorder_buffer.allocate(micro_ops, retire_cycle)
+                retire_cycles.append(retire_cycle)
+                dispatch_cycles.append(dispatch_cycle)
+                issue_cycles.append(issue_cycle)
+                for port, cycles in enumerate(info.port_cycles):
+                    port_busy_cycles[port] += int(cycles)
+
+                if extra_dispatch_cycles:
+                    dispatch_cycle += extra_dispatch_cycles
+                    dispatched_micro_ops_this_cycle = 0
+
+            iteration_end_cycles.append(previous_retire_cycle)
+
+        total_cycles = iteration_end_cycles[-1]
+        if measure > 0 and total_iterations > warmup:
+            start = iteration_end_cycles[warmup - 1] if warmup > 0 else 0
+            cycles_per_iteration = (iteration_end_cycles[-1] - start) / measure
+        else:
+            cycles_per_iteration = iteration_end_cycles[-1] / max(1, total_iterations)
+        cycles_per_iteration = max(cycles_per_iteration, 1.0 / TIMING_ITERATIONS)
+        return SimulationResult(
+            cycles_per_iteration=float(cycles_per_iteration),
+            total_cycles=int(total_cycles),
+            iterations_simulated=total_iterations,
+            retire_cycles=retire_cycles,
+            dispatch_cycles=dispatch_cycles,
+            issue_cycles=issue_cycles,
+            port_busy_cycles=port_busy_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience API
+    # ------------------------------------------------------------------
+    def predict_timing(self, block: BasicBlock) -> float:
+        """Predicted timing of the block: steady-state cycles per iteration."""
+        return self.simulate(block).cycles_per_iteration
+
+    def predict_many(self, blocks: Sequence[BasicBlock]) -> np.ndarray:
+        """Predict timings for a sequence of blocks."""
+        return np.array([self.predict_timing(block) for block in blocks], dtype=np.float64)

@@ -1,0 +1,28 @@
+"""An llvm_sim-style micro-op-level basic-block simulator.
+
+llvm_sim (from the EXEgesis project) exposes the same LLVM scheduling
+parameters as llvm-mca but uses a different model of the CPU (Appendix A of
+the paper): it models the frontend (fetch/decode), breaks instructions into
+micro-ops before dispatch, and simulates the micro-ops individually.  Only a
+Haswell model exists upstream, and the paper learns its ``WriteLatency`` and
+``PortMap`` parameters (Table VII).
+
+The Python reimplementation mirrors that pipeline:
+
+* fetch/parse/decode with a frontend throughput limit,
+* register renaming with unlimited physical registers,
+* out-of-order dispatch of micro-ops once their dependencies are ready,
+* execution of micro-ops on the port each was assigned to,
+* in-order retirement of instructions once all their micro-ops finish.
+"""
+
+from repro.llvm_sim.params import LLVMSimParameterTable
+from repro.llvm_sim.uops import MicroOp, decode_instruction
+from repro.llvm_sim.simulator import LLVMSimSimulator
+
+__all__ = [
+    "LLVMSimParameterTable",
+    "MicroOp",
+    "decode_instruction",
+    "LLVMSimSimulator",
+]

@@ -1,0 +1,48 @@
+"""Frontend (fetch / parse / decode) model for llvm_sim.
+
+Unlike llvm-mca, llvm_sim models the processor frontend: instructions are
+fetched and decoded into micro-ops at a bounded rate before they reach the
+out-of-order backend.  The model here is a simple throughput limiter — the
+Haswell frontend delivers up to four micro-ops per cycle from the decoders /
+uop cache — which is the level of detail llvm_sim itself implements for
+straight-line code (no branch prediction is needed for basic blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Frontend:
+    """Tracks when each decoded micro-op becomes available to the backend.
+
+    Attributes:
+        uops_per_cycle: Decode/delivery throughput of the frontend.
+        decode_latency: Fixed pipeline depth (cycles) between fetch and the
+            first cycle a micro-op may dispatch; affects only the first
+            iterations, not the steady state.
+    """
+
+    uops_per_cycle: int = 4
+    decode_latency: int = 3
+
+    def __post_init__(self) -> None:
+        if self.uops_per_cycle < 1:
+            raise ValueError("frontend must deliver at least one micro-op per cycle")
+        if self.decode_latency < 0:
+            raise ValueError("decode latency cannot be negative")
+        self._delivered = 0
+
+    def reset(self) -> None:
+        self._delivered = 0
+
+    def delivery_cycle(self, micro_op_sequence_number: int) -> int:
+        """Cycle at which the ``n``-th micro-op (0-based) exits the frontend."""
+        return self.decode_latency + micro_op_sequence_number // self.uops_per_cycle
+
+    def next_delivery_cycle(self) -> int:
+        """Delivery cycle of the next micro-op in program order."""
+        cycle = self.delivery_cycle(self._delivered)
+        self._delivered += 1
+        return cycle

@@ -1,0 +1,137 @@
+"""The llvm_sim-style micro-op-level simulator.
+
+Pipeline (Appendix A of the paper):
+
+1. instructions are fetched and decoded into micro-ops (frontend modeled);
+2. registers are renamed with an unlimited physical register file — so only
+   true (read-after-write) dependencies matter;
+3. micro-ops dispatch out of order once their instruction's register sources
+   are ready;
+4. micro-ops execute on their assigned execution port (one micro-op per port
+   per cycle);
+5. instructions retire in order once all of their micro-ops have executed.
+
+Timing follows the same convention as the llvm-mca simulator: steady-state
+cycles per iteration of the block executed in a loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.llvm_sim.frontend import Frontend
+from repro.llvm_sim.params import LLVMSimParameterTable, NUM_PORTS
+from repro.llvm_sim.uops import decode_instruction
+
+
+@dataclass
+class LLVMSimResult:
+    """Outcome of an llvm_sim simulation."""
+
+    cycles_per_iteration: float
+    total_cycles: int
+    iterations_simulated: int
+
+    @property
+    def timing(self) -> float:
+        return self.cycles_per_iteration
+
+
+class LLVMSimSimulator:
+    """Simulates basic blocks under an :class:`LLVMSimParameterTable`."""
+
+    def __init__(self, parameters: LLVMSimParameterTable,
+                 frontend_uops_per_cycle: int = 4,
+                 warmup_iterations: int = 4,
+                 measure_iterations: int = 8,
+                 max_dynamic_instructions: int = 2048) -> None:
+        self.parameters = parameters
+        self.frontend_uops_per_cycle = frontend_uops_per_cycle
+        self.warmup_iterations = warmup_iterations
+        self.measure_iterations = measure_iterations
+        self.max_dynamic_instructions = max_dynamic_instructions
+
+    def _iteration_counts(self, block_length: int) -> Tuple[int, int]:
+        warmup = self.warmup_iterations
+        measure = self.measure_iterations
+        while (warmup + measure) * block_length > self.max_dynamic_instructions and measure > 2:
+            measure -= 1
+        while (warmup + measure) * block_length > self.max_dynamic_instructions and warmup > 1:
+            warmup -= 1
+        return warmup, measure
+
+    def simulate(self, block: BasicBlock) -> LLVMSimResult:
+        parameters = self.parameters
+        warmup, measure = self._iteration_counts(len(block))
+        total_iterations = warmup + measure
+        frontend = Frontend(uops_per_cycle=self.frontend_uops_per_cycle)
+
+        # Port availability: next free cycle per port.
+        port_free = np.zeros(NUM_PORTS, dtype=np.int64)
+        register_ready: Dict[str, int] = {}
+        previous_retire = 0
+        iteration_end_cycles: List[int] = []
+
+        # Pre-resolve static per-instruction info.
+        static_info = []
+        for index, instruction in enumerate(block):
+            opcode_index = parameters.opcode_table.index_of(instruction.opcode.name)
+            static_info.append((
+                instruction.source_registers(),
+                instruction.destination_registers(),
+                int(parameters.write_latency[opcode_index]),
+                decode_instruction(instruction, index, parameters),
+            ))
+
+        for _ in range(total_iterations):
+            for sources, destinations, latency, micro_ops in static_info:
+                # Frontend: all the instruction's micro-ops must be delivered.
+                delivery = 0
+                for _ in micro_ops:
+                    delivery = max(delivery, frontend.next_delivery_cycle())
+
+                # Rename/dispatch: wait for the instruction's register sources.
+                ready = delivery
+                for register in sources:
+                    ready = max(ready, register_ready.get(register, 0))
+
+                # Execute micro-ops: each occupies its port for one cycle;
+                # the instruction's result is available WriteLatency cycles
+                # after its last micro-op starts executing.
+                last_start = ready
+                for micro_op in micro_ops:
+                    if micro_op.port < 0:
+                        start = ready
+                    else:
+                        start = max(ready, int(port_free[micro_op.port]))
+                        port_free[micro_op.port] = start + 1
+                    last_start = max(last_start, start)
+                write_back = last_start + latency
+                for register in destinations:
+                    register_ready[register] = write_back
+
+                # Retire in order once every micro-op has finished.
+                completion = max(write_back, last_start + 1)
+                previous_retire = max(previous_retire, completion)
+            iteration_end_cycles.append(previous_retire)
+
+        if total_iterations > warmup:
+            start_cycle = iteration_end_cycles[warmup - 1] if warmup > 0 else 0
+            cycles_per_iteration = (iteration_end_cycles[-1] - start_cycle) / measure
+        else:
+            cycles_per_iteration = iteration_end_cycles[-1] / max(1, total_iterations)
+        return LLVMSimResult(
+            cycles_per_iteration=float(max(cycles_per_iteration, 0.01)),
+            total_cycles=int(iteration_end_cycles[-1]),
+            iterations_simulated=total_iterations,
+        )
+
+    def predict_timing(self, block: BasicBlock) -> float:
+        return self.simulate(block).cycles_per_iteration
+
+    def predict_many(self, blocks: Sequence[BasicBlock]) -> np.ndarray:
+        return np.array([self.predict_timing(block) for block in blocks], dtype=np.float64)

@@ -1,0 +1,59 @@
+"""Micro-op decomposition for the llvm_sim model.
+
+llvm_sim decodes each instruction into micro-ops before dispatch and
+simulates the micro-ops individually.  The decomposition here is driven by
+the instruction's PortMap row in the :class:`LLVMSimParameterTable`: the
+entry for port ``p`` says how many micro-ops of the instruction are
+dispatched to port ``p``.  The last micro-op to finish defines when the
+instruction's destinations become readable (after ``WriteLatency`` cycles)
+and when the instruction may retire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.llvm_sim.params import LLVMSimParameterTable, NUM_PORTS
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """A single micro-op of a decoded instruction.
+
+    Attributes:
+        instruction_index: Index of the parent dynamic instruction.
+        port: Execution port the micro-op must execute on.
+        latency: Execution latency of this micro-op in cycles.
+    """
+
+    instruction_index: int
+    port: int
+    latency: int
+
+
+def decode_instruction(instruction: Instruction, instruction_index: int,
+                       parameters: LLVMSimParameterTable) -> List[MicroOp]:
+    """Decode one instruction into its micro-ops under ``parameters``.
+
+    Each PortMap entry ``port_uops[opcode, p] = k`` produces ``k`` micro-ops
+    on port ``p``.  Instructions whose PortMap row is all zero still produce
+    a single bookkeeping micro-op with no port requirement (port ``-1``),
+    because every instruction must flow through the pipeline to retire.
+    The instruction's WriteLatency is attached to its micro-ops so the
+    simulator can compute when the destination registers become available.
+    """
+    opcode_index = parameters.opcode_table.index_of(instruction.opcode.name)
+    row = parameters.port_uops[opcode_index]
+    latency = int(parameters.write_latency[opcode_index])
+    micro_ops: List[MicroOp] = []
+    for port in range(NUM_PORTS):
+        for _ in range(int(row[port])):
+            micro_ops.append(MicroOp(instruction_index=instruction_index, port=port,
+                                     latency=latency))
+    if not micro_ops:
+        micro_ops.append(MicroOp(instruction_index=instruction_index, port=-1, latency=latency))
+    return micro_ops

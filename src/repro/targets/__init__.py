@@ -1,0 +1,74 @@
+"""Target microarchitectures: default parameter tables and ground-truth hardware.
+
+The paper evaluates DiffTune on four microarchitectures — Ivy Bridge, Haswell,
+Skylake (Intel) and Zen 2 (AMD) — using the expert-written LLVM scheduling
+tables as the *default* parameters and real hardware measurements (BHive) as
+the *ground truth*.
+
+This package provides the equivalents:
+
+* :class:`~repro.targets.uarch.UarchSpec` — a per-microarchitecture
+  description of both the *documented* per-class characteristics (what an
+  expert would write into the scheduling tables) and the *true* hardware
+  behaviour (what the machine actually does, including effects llvm-mca cannot
+  express: zero-idiom elision, the stack engine, store-to-load forwarding).
+* :mod:`~repro.targets.defaults` — builds default
+  :class:`~repro.llvm_mca.params.MCAParameterTable` objects from a spec.
+* :mod:`~repro.targets.hardware` — the reference hardware model used in place
+  of physical measurements.
+* :mod:`~repro.targets.measured_tables` — min/median/max "measured latency"
+  tables, reproducing the Section II-B measurability discussion.
+"""
+
+from repro.targets.uarch import UarchSpec, ClassParams, TrueClassParams
+from repro.targets.haswell import HASWELL
+from repro.targets.ivybridge import IVY_BRIDGE
+from repro.targets.skylake import SKYLAKE
+from repro.targets.zen2 import ZEN2
+from repro.targets.defaults import build_default_mca_table, build_default_llvm_sim_table
+from repro.targets.hardware import HardwareModel
+from repro.targets.measured_tables import build_measured_latency_table
+
+ALL_UARCHES = {
+    "ivybridge": IVY_BRIDGE,
+    "haswell": HASWELL,
+    "skylake": SKYLAKE,
+    "zen2": ZEN2,
+}
+
+
+def get_uarch(name: str) -> UarchSpec:
+    """Look up a microarchitecture spec by (case-insensitive) name."""
+    key = name.lower().replace(" ", "").replace("_", "").replace("-", "")
+    aliases = {
+        "ivybridge": "ivybridge",
+        "ivb": "ivybridge",
+        "haswell": "haswell",
+        "hsw": "haswell",
+        "skylake": "skylake",
+        "skl": "skylake",
+        "zen2": "zen2",
+        "znver2": "zen2",
+    }
+    try:
+        return ALL_UARCHES[aliases[key]]
+    except KeyError as error:
+        raise KeyError(f"unknown microarchitecture: {name!r}; "
+                       f"known: {sorted(ALL_UARCHES)}") from error
+
+
+__all__ = [
+    "UarchSpec",
+    "ClassParams",
+    "TrueClassParams",
+    "HASWELL",
+    "IVY_BRIDGE",
+    "SKYLAKE",
+    "ZEN2",
+    "ALL_UARCHES",
+    "get_uarch",
+    "build_default_mca_table",
+    "build_default_llvm_sim_table",
+    "build_measured_latency_table",
+    "HardwareModel",
+]

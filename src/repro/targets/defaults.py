@@ -1,0 +1,109 @@
+"""Construction of default ("expert-written") parameter tables.
+
+These tables play the role of LLVM's hand-written scheduling models: they are
+derived mechanically from each microarchitecture's *documented* per-class
+characteristics (:class:`~repro.targets.uarch.ClassParams`), exactly the way
+LLVM's tables are derived from vendor manuals and measured instruction tables.
+They are deliberately imperfect relative to the reference hardware model, in
+the same ways llvm-mca's defaults are imperfect relative to real silicon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.isa.opcodes import DEFAULT_OPCODE_TABLE, Opcode, OpcodeTable, OperandForm, UopClass
+from repro.llvm_mca.params import MCAParameterTable, NUM_PORTS, NUM_READ_ADVANCE_SLOTS
+from repro.targets.uarch import (PORT_LOAD0, PORT_LOAD1, PORT_STORE_AGU, PORT_STORE_DATA,
+                                 UarchSpec)
+
+def _memory_form_extra_uops(opcode: Opcode) -> int:
+    """Extra micro-ops documented for folded loads / read-modify-write forms."""
+    extra = 0
+    if opcode.reads_memory and opcode.uop_class not in (UopClass.LOAD, UopClass.POP):
+        extra += 1
+    if opcode.writes_memory and opcode.uop_class not in (UopClass.STORE, UopClass.PUSH):
+        extra += 2  # store address + store data micro-ops
+    return extra
+
+
+def default_opcode_parameters(opcode: Opcode, spec: UarchSpec) -> Dict[str, np.ndarray]:
+    """Default (documented) parameters for a single opcode on ``spec``.
+
+    Returns a dict with keys ``num_micro_ops``, ``write_latency``,
+    ``read_advance_cycles`` and ``port_map``.
+    """
+    class_params = spec.documented_for(opcode.uop_class)
+    latency = class_params.latency
+    micro_ops = class_params.micro_ops + _memory_form_extra_uops(opcode)
+    port_map = np.zeros(NUM_PORTS, dtype=np.int64)
+    for port, cycles in class_params.ports:
+        port_map[port] += cycles
+
+    if opcode.reads_memory and opcode.uop_class not in (UopClass.POP,):
+        # Folded loads (and pure loads) add the documented L1 load-to-use
+        # latency to the instruction's single WriteLatency value.  Loads
+        # travel through a port group in LLVM's model, which the paper zeroes
+        # out, so no per-port occupancy is added here.
+        latency += spec.load_latency
+    if opcode.writes_memory and opcode.uop_class not in (UopClass.STORE, UopClass.PUSH):
+        # Read-modify-write forms additionally occupy the store-data port.
+        port_map[PORT_STORE_DATA] += 1
+    if opcode.uop_class in (UopClass.STORE, UopClass.PUSH):
+        # Pure stores: the documented "latency" of a store is small and the
+        # value is never read back through registers.
+        latency = max(latency, 1)
+    if opcode.width == 256:
+        # 256-bit forms documented as one extra micro-op on older cores.
+        micro_ops += 1 if spec.llvm_name in ("ivybridge",) else 0
+
+    read_advance = np.zeros(NUM_READ_ADVANCE_SLOTS, dtype=np.int64)
+    return {
+        "num_micro_ops": np.int64(max(1, micro_ops)),
+        "write_latency": np.int64(max(0, latency)),
+        "read_advance_cycles": read_advance,
+        "port_map": port_map,
+    }
+
+
+def build_default_mca_table(spec: UarchSpec,
+                            opcode_table: Optional[OpcodeTable] = None) -> MCAParameterTable:
+    """Build the default llvm-mca parameter table for a microarchitecture."""
+    opcode_table = opcode_table or DEFAULT_OPCODE_TABLE
+    table = MCAParameterTable.zeros(opcode_table,
+                                    dispatch_width=spec.dispatch_width,
+                                    reorder_buffer_size=spec.reorder_buffer_size)
+    for index, opcode in enumerate(opcode_table):
+        values = default_opcode_parameters(opcode, spec)
+        table.num_micro_ops[index] = values["num_micro_ops"]
+        table.write_latency[index] = values["write_latency"]
+        table.read_advance_cycles[index] = values["read_advance_cycles"]
+        table.port_map[index] = values["port_map"]
+    # VZEROUPPER is the canonical 0-latency default (the paper notes it is the
+    # only opcode with default WriteLatency 0 on Haswell).
+    if "VZEROUPPER" in opcode_table:
+        table.write_latency[opcode_table.index_of("VZEROUPPER")] = 0
+    table.validate()
+    return table
+
+
+def build_default_llvm_sim_table(spec: UarchSpec,
+                                 opcode_table: Optional[OpcodeTable] = None):
+    """Build the default llvm_sim parameter table for a microarchitecture.
+
+    llvm_sim reads the same WriteLatency values from LLVM but interprets the
+    PortMap as the number of micro-ops dispatched to each port (Table VII).
+    Imported lazily to avoid a circular import at package-load time.
+    """
+    from repro.llvm_sim.params import LLVMSimParameterTable
+
+    opcode_table = opcode_table or DEFAULT_OPCODE_TABLE
+    mca_table = build_default_mca_table(spec, opcode_table)
+    port_uops = np.minimum(mca_table.port_map, 3)
+    return LLVMSimParameterTable(
+        opcode_table=opcode_table,
+        write_latency=mca_table.write_latency.copy(),
+        port_uops=port_uops,
+    )

@@ -1,0 +1,204 @@
+"""The reference hardware model — the stand-in for physical measurements.
+
+The paper's ground truth is the BHive dataset: basic blocks timed on real
+Ivy Bridge / Haswell / Skylake / Zen 2 machines with performance counters.
+This repository has no access to x86 silicon, so the ground truth is produced
+by this model instead.  It is a *richer* simulator than the llvm-mca model
+being tuned, with behaviours llvm-mca structurally cannot express:
+
+* **zero-idiom elision** — ``xor %r, %r`` breaks dependencies and uses no
+  execution port (the XOR32rr case study);
+* **a stack engine** — push/pop update the stack pointer outside the
+  out-of-order core, so PUSH64r does not serialize on itself (the PUSH64r
+  case study);
+* **move elimination** — register-register moves resolve at rename;
+* **memory dependency chains** — a load from a location written by an earlier
+  store waits for the store and pays the store-forwarding latency (the
+  ADD32mr case study: a memory read-modify-write instruction chains with
+  itself at ~6 cycles/iteration);
+* **a frontend throughput limit** and **measurement noise**.
+
+Because the simulated machine differs from the llvm-mca model in these
+structural ways, no parameter table makes llvm-mca exact — the default tables
+land in the paper's ~25–35% error regime, learned tables can do better, and
+some learned values are degenerate compensations, mirroring Section VI-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.basic_block import BasicBlock
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import UopClass
+from repro.targets.uarch import UarchSpec
+
+
+@dataclass
+class _DynamicState:
+    """Mutable scheduling state carried across unrolled iterations."""
+
+    register_ready: Dict[str, float]
+    memory_ready: Dict[Tuple, float]
+    port_pressure: Dict[UopClass, float]
+
+
+class HardwareModel:
+    """Produces ground-truth timings for basic blocks on a microarchitecture.
+
+    The model is a dependency/throughput hybrid: for each unrolled iteration
+    it computes (a) the critical-path length through register and memory
+    dependency chains using the *true* latencies, and (b) the throughput bound
+    implied by per-class port counts, the frontend, and the dispatch width.
+    The per-iteration timing is the maximum of the two, which is how
+    steady-state loop execution behaves on real out-of-order cores.
+    """
+
+    def __init__(self, spec: UarchSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def measure(self, block: BasicBlock, noisy: bool = True,
+                rng: Optional[np.random.Generator] = None) -> float:
+        """Measure the timing (cycles per iteration) of a basic block.
+
+        Args:
+            block: The block to time.
+            noisy: Whether to apply multiplicative measurement noise,
+                mimicking run-to-run variation of performance counters.
+            rng: Random generator for the noise (defaults to the model's own).
+        """
+        timing = self._steady_state_timing(block)
+        if noisy:
+            generator = rng if rng is not None else self._rng
+            noise = generator.normal(1.0, self.spec.measurement_noise)
+            timing *= float(np.clip(noise, 0.85, 1.15))
+        return max(timing, 0.03)
+
+    def measure_many(self, blocks: Sequence[BasicBlock], noisy: bool = True,
+                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        return np.array([self.measure(block, noisy=noisy, rng=rng) for block in blocks],
+                        dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Core model
+    # ------------------------------------------------------------------
+    def _instruction_latency(self, instruction: Instruction) -> float:
+        """True dependency latency of the instruction's register result."""
+        spec = self.spec
+        true_params = spec.true_for(instruction.opcode.uop_class)
+        latency = float(true_params.latency)
+        if instruction.is_zero_idiom() and spec.zero_idiom_elision:
+            return 0.0
+        if instruction.opcode.uop_class == UopClass.MOV and not instruction.is_load:
+            return 0.0 if not instruction.is_store else latency
+        if instruction.is_load:
+            latency += spec.true_load_latency
+        return latency
+
+    def _instruction_uops(self, instruction: Instruction) -> float:
+        spec = self.spec
+        true_params = spec.true_for(instruction.opcode.uop_class)
+        uops = float(true_params.micro_ops)
+        if instruction.is_zero_idiom() and spec.zero_idiom_elision:
+            return 1.0
+        if instruction.is_load and instruction.opcode.uop_class not in (
+                UopClass.LOAD, UopClass.POP):
+            uops += 1.0
+        if instruction.is_store and instruction.opcode.uop_class not in (
+                UopClass.STORE, UopClass.PUSH):
+            uops += 1.0
+        return uops
+
+    def _throughput_bound(self, block: BasicBlock) -> float:
+        """Cycles per iteration implied by port, dispatch and frontend limits."""
+        spec = self.spec
+        class_pressure: Dict[UopClass, float] = {}
+        load_pressure = 0.0
+        store_pressure = 0.0
+        total_uops = 0.0
+        for instruction in block:
+            uop_class = instruction.opcode.uop_class
+            total_uops += self._instruction_uops(instruction)
+            if instruction.is_zero_idiom() and spec.zero_idiom_elision:
+                continue  # executed at rename, no port pressure
+            if uop_class == UopClass.MOV and not instruction.is_load and not instruction.is_store:
+                continue  # move elimination
+            true_params = spec.true_for(uop_class)
+            occupancy = 1.0
+            if uop_class in (UopClass.DIV, UopClass.VEC_DIV):
+                occupancy = max(1.0, true_params.latency / 3.0)
+            class_pressure[uop_class] = class_pressure.get(uop_class, 0.0) + (
+                occupancy / max(true_params.throughput_ports, 0.25))
+            if instruction.is_load:
+                load_pressure += 1.0 / spec.true_for(UopClass.LOAD).throughput_ports
+            if instruction.is_store:
+                store_pressure += 1.0 / max(spec.true_for(UopClass.STORE).throughput_ports, 0.5)
+        bound = max(class_pressure.values(), default=0.0)
+        bound = max(bound, load_pressure, store_pressure)
+        bound = max(bound, total_uops / spec.true_dispatch_width)
+        bound = max(bound, total_uops / spec.frontend_uops_per_cycle)
+        # Issuing at least one instruction per iteration costs a minimum slice
+        # of a cycle even for trivial blocks.
+        return max(bound, len(block) / (spec.true_dispatch_width * 1.5), 0.25)
+
+    def _latency_bound(self, block: BasicBlock) -> float:
+        """Cycles per iteration implied by loop-carried dependency chains.
+
+        The block is conceptually unrolled; the per-iteration cost in steady
+        state equals the longest loop-carried chain (register or memory).  We
+        compute it by simulating a few unrolled iterations of pure dataflow.
+        """
+        spec = self.spec
+        iterations = 6
+        register_ready: Dict[str, float] = {}
+        memory_ready: Dict[Tuple, float] = {}
+        iteration_completion = []
+        completion_time = 0.0
+        for _ in range(iterations):
+            iteration_max = completion_time
+            for instruction in block:
+                latency = self._instruction_latency(instruction)
+                start = 0.0
+                for register in instruction.source_registers():
+                    if spec.stack_engine and register == "rsp" and \
+                            instruction.opcode.uop_class in (UopClass.PUSH, UopClass.POP):
+                        continue  # stack engine hides rsp updates
+                    start = max(start, register_ready.get(register, 0.0))
+                location = instruction.memory_location()
+                if instruction.is_load and location is not None:
+                    produced = memory_ready.get(location)
+                    if produced is not None:
+                        start = max(start, produced)
+                finish = start + latency
+                for register in instruction.destination_registers():
+                    if spec.stack_engine and register == "rsp" and \
+                            instruction.opcode.uop_class in (UopClass.PUSH, UopClass.POP):
+                        register_ready[register] = start
+                        continue
+                    register_ready[register] = finish
+                if instruction.is_store and location is not None:
+                    memory_ready[location] = start + spec.store_forward_latency
+                iteration_max = max(iteration_max, finish)
+            iteration_completion.append(iteration_max)
+            completion_time = iteration_max
+        if len(iteration_completion) >= 2:
+            # Steady-state growth per iteration.
+            deltas = np.diff(iteration_completion[1:])
+            if len(deltas) > 0:
+                return float(np.mean(deltas))
+        return float(iteration_completion[-1] / max(1, iterations))
+
+    def _steady_state_timing(self, block: BasicBlock) -> float:
+        throughput = self._throughput_bound(block)
+        latency = self._latency_bound(block)
+        timing = max(throughput, latency)
+        # Small fixed overhead per iteration observed on real machines
+        # (loop-closing branch, counter overhead), a few percent of a cycle.
+        return timing + 0.02

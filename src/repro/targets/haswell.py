@@ -1,0 +1,37 @@
+"""Haswell microarchitecture specification.
+
+Haswell is the primary evaluation target in the paper (Tables V, VI, the
+parameter-distribution and sensitivity figures, and all case studies use it).
+The documented values follow the shape of LLVM's Haswell scheduling model
+(dispatch width 4, 192-entry reorder buffer, 10 execution ports); the true
+values add the hardware effects llvm-mca cannot express.
+"""
+
+from __future__ import annotations
+
+from repro.targets.uarch import UarchSpec, intel_documented_classes, intel_true_classes
+
+HASWELL = UarchSpec(
+    name="Haswell",
+    llvm_name="haswell",
+    vendor="intel",
+    dispatch_width=4,
+    reorder_buffer_size=192,
+    true_dispatch_width=4.0,
+    true_reorder_buffer_size=192,
+    documented=intel_documented_classes(
+        alu_latency=1, mul_latency=3, div_latency=22,
+        vec_alu_latency=3, vec_mul_latency=5, vec_div_latency=13,
+        cmov_latency=2, push_latency=2),
+    true=intel_true_classes(
+        alu_latency=1.0, mul_latency=3.0, div_latency=24.0,
+        vec_alu_latency=3.0, vec_mul_latency=5.0, vec_div_latency=13.0,
+        alu_ports=4.0, vec_ports=2.0, load_ports=2.0, store_ports=1.0),
+    load_latency=4,
+    true_load_latency=4.0,
+    store_forward_latency=5.0,
+    frontend_uops_per_cycle=4.0,
+    measurement_noise=0.03,
+    zero_idiom_elision=True,
+    stack_engine=True,
+)

@@ -1,0 +1,83 @@
+"""Parameter tables built from per-instruction latency "measurements".
+
+Section II-B of the paper discusses the measurability problem: llvm-mca
+defines exactly one ``WriteLatency`` per instruction, but fine-grained
+measurement frameworks (Agner Fog's tables, uops.info) observe a *range* of
+latencies per instruction depending on which destination is read and which
+operand values flow through.  Plugging the measured minimum, median, or
+maximum into llvm-mca produces errors of 103%, 150% and 218% respectively on
+Haswell — far worse than the expert defaults.
+
+We reproduce that experiment against the reference hardware model: for each
+opcode we "measure" a distribution of dependency-chain latencies (running
+small chained probes through the hardware model's latency rules, including the
+memory round-trip for memory forms — exactly the over-counting that makes raw
+measurements a poor fit for llvm-mca's WriteLatency semantics), then build
+parameter tables using the min / median / max of each distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.isa.opcodes import DEFAULT_OPCODE_TABLE, Opcode, OpcodeTable, UopClass
+from repro.llvm_mca.params import MCAParameterTable
+from repro.targets.defaults import build_default_mca_table
+from repro.targets.uarch import UarchSpec
+
+
+def _measured_latency_samples(opcode: Opcode, spec: UarchSpec,
+                              rng: np.random.Generator) -> List[float]:
+    """Simulate a latency-measurement campaign for one opcode.
+
+    A measurement harness times a dependency chain through the instruction.
+    For register forms that observes the true latency plus occasional
+    bypass-network penalties; for memory forms the chain must round-trip
+    through memory, so the observed latency includes the store-forwarding and
+    load-to-use latencies — values much larger than what llvm-mca's
+    WriteLatency should hold once its own folded-load modeling is in play.
+    """
+    true_params = spec.true_for(opcode.uop_class)
+    base = float(true_params.latency)
+    samples: List[float] = []
+    for _ in range(7):
+        observed = base
+        if opcode.reads_memory:
+            observed += spec.true_load_latency
+        if opcode.writes_memory:
+            # The measurement chain reads the stored value back.
+            observed += spec.store_forward_latency + spec.true_load_latency
+        if opcode.uop_class in (UopClass.DIV, UopClass.VEC_DIV):
+            # Divide latency is famously data-dependent.
+            observed += float(rng.integers(0, int(base) + 1))
+        # Bypass/forwarding penalties observed on some operand pairings.
+        observed += float(rng.choice([0.0, 0.0, 0.0, 1.0, 2.0]))
+        samples.append(max(observed, 0.0))
+    return samples
+
+
+def build_measured_latency_table(spec: UarchSpec, statistic: str = "max",
+                                 opcode_table: Optional[OpcodeTable] = None,
+                                 seed: int = 1234) -> MCAParameterTable:
+    """Build a table whose WriteLatency comes from simulated measurements.
+
+    Args:
+        spec: Target microarchitecture.
+        statistic: ``"min"``, ``"median"`` or ``"max"`` observed latency.
+        opcode_table: Opcode universe (defaults to the shared table).
+        seed: Seed for the simulated measurement campaign.
+    """
+    if statistic not in ("min", "median", "max"):
+        raise ValueError("statistic must be one of 'min', 'median', 'max'")
+    opcode_table = opcode_table or DEFAULT_OPCODE_TABLE
+    rng = np.random.default_rng(seed)
+    table = build_default_mca_table(spec, opcode_table)
+    reducers = {"min": np.min, "median": np.median, "max": np.max}
+    reduce = reducers[statistic]
+    for index, opcode in enumerate(opcode_table):
+        samples = _measured_latency_samples(opcode, spec, rng)
+        table.write_latency[index] = int(round(float(reduce(samples))))
+    table.validate()
+    return table

@@ -1,0 +1,36 @@
+"""Skylake microarchitecture specification.
+
+Skylake widens the machine relative to Haswell (larger reorder buffer, faster
+divide, better vector multiply latency).  Its LLVM tables are reasonably good
+but, as on Haswell, miss zero-idiom elision, the stack engine, and memory
+dependency chains.
+"""
+
+from __future__ import annotations
+
+from repro.targets.uarch import UarchSpec, intel_documented_classes, intel_true_classes
+
+SKYLAKE = UarchSpec(
+    name="Skylake",
+    llvm_name="skylake",
+    vendor="intel",
+    dispatch_width=4,
+    reorder_buffer_size=224,
+    true_dispatch_width=4.0,
+    true_reorder_buffer_size=224,
+    documented=intel_documented_classes(
+        alu_latency=1, mul_latency=3, div_latency=18,
+        vec_alu_latency=4, vec_mul_latency=4, vec_div_latency=11,
+        cmov_latency=1, push_latency=2),
+    true=intel_true_classes(
+        alu_latency=1.0, mul_latency=3.0, div_latency=21.0,
+        vec_alu_latency=4.0, vec_mul_latency=4.0, vec_div_latency=11.0,
+        alu_ports=4.0, vec_ports=2.0, load_ports=2.0, store_ports=1.0),
+    load_latency=4,
+    true_load_latency=4.5,
+    store_forward_latency=4.5,
+    frontend_uops_per_cycle=4.5,
+    measurement_noise=0.03,
+    zero_idiom_elision=True,
+    stack_engine=True,
+)

@@ -1,0 +1,187 @@
+"""Microarchitecture specification shared by defaults and hardware model.
+
+A :class:`UarchSpec` carries two views of each execution-resource class
+(:class:`~repro.isa.opcodes.UopClass`):
+
+* ``documented`` (:class:`ClassParams`) — what vendor manuals and measured
+  instruction tables say, i.e. the values an LLVM scheduling-model author
+  would write down.  These drive the *default* parameter tables.
+* ``true`` (:class:`TrueClassParams`) — how the reference hardware model
+  actually behaves, including effects the llvm-mca model cannot express
+  (zero-idiom elision, the stack engine, store-to-load forwarding, memory
+  dependency chains).  These drive the ground-truth measurements.
+
+The gap between the two views is what gives the default tables their ~25–35%
+end-to-end error and gives DiffTune something to learn, in the same way the
+paper's defaults are imperfect relative to real silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.isa.opcodes import UopClass
+
+
+@dataclass(frozen=True)
+class ClassParams:
+    """Documented characteristics of one execution class on one target.
+
+    Attributes:
+        latency: Documented result latency in cycles.
+        micro_ops: Documented micro-op count.
+        ports: ``(port_index, cycles)`` pairs the class occupies.
+    """
+
+    latency: int
+    micro_ops: int
+    ports: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class TrueClassParams:
+    """True (hardware) characteristics of one execution class.
+
+    Attributes:
+        latency: Actual dependency latency in cycles.
+        throughput_ports: Number of ports that can execute this class each
+            cycle (reciprocal throughput = 1 / throughput_ports for 1-cycle
+            occupancy).
+        micro_ops: Actual micro-op count after fusion.
+    """
+
+    latency: float
+    throughput_ports: float
+    micro_ops: float
+
+
+@dataclass(frozen=True)
+class UarchSpec:
+    """A complete microarchitecture description.
+
+    Attributes:
+        name: Human-readable name ("Haswell").
+        llvm_name: The LLVM target CPU name ("haswell").
+        vendor: "intel" or "amd" (IACA only supports Intel).
+        dispatch_width: Documented dispatch width (micro-ops / cycle).
+        reorder_buffer_size: Documented reorder-buffer capacity in micro-ops.
+        true_dispatch_width: Effective dispatch width of the real machine.
+        true_reorder_buffer_size: Effective reorder-buffer capacity.
+        documented: Per-class documented characteristics.
+        true: Per-class true characteristics.
+        load_latency: Documented L1 load-to-use latency added to memory forms.
+        true_load_latency: Actual L1 load-to-use latency.
+        store_forward_latency: Actual store-to-load forwarding latency
+            (only the hardware model uses this; llvm-mca has no equivalent).
+        frontend_uops_per_cycle: Frontend throughput of the real machine
+            (llvm-mca ignores the frontend entirely).
+        measurement_noise: Relative standard deviation of timing measurements.
+        zero_idiom_elision: Whether the hardware executes zero idioms with
+            zero latency and no execution port.
+        stack_engine: Whether the hardware removes stack-pointer update
+            dependencies for push/pop.
+    """
+
+    name: str
+    llvm_name: str
+    vendor: str
+    dispatch_width: int
+    reorder_buffer_size: int
+    true_dispatch_width: float
+    true_reorder_buffer_size: int
+    documented: Dict[UopClass, ClassParams]
+    true: Dict[UopClass, TrueClassParams]
+    load_latency: int
+    true_load_latency: float
+    store_forward_latency: float
+    frontend_uops_per_cycle: float
+    measurement_noise: float
+    zero_idiom_elision: bool = True
+    stack_engine: bool = True
+
+    def documented_for(self, uop_class: UopClass) -> ClassParams:
+        return self.documented[uop_class]
+
+    def true_for(self, uop_class: UopClass) -> TrueClassParams:
+        return self.true[uop_class]
+
+
+# ----------------------------------------------------------------------
+# Shared port-role conventions (Haswell-style 10-port numbering, reused by
+# every spec because the paper fixes the PortMap width at 10 for all targets).
+# ----------------------------------------------------------------------
+PORT_ALU0 = 0
+PORT_ALU1 = 1
+PORT_LOAD0 = 2
+PORT_LOAD1 = 3
+PORT_STORE_DATA = 4
+PORT_ALU2 = 5
+PORT_ALU3 = 6
+PORT_STORE_AGU = 7
+PORT_VEC0 = 8
+PORT_VEC1 = 9
+
+
+def intel_documented_classes(alu_latency: int = 1, mul_latency: int = 3,
+                             div_latency: int = 22, vec_alu_latency: int = 3,
+                             vec_mul_latency: int = 5, vec_div_latency: int = 13,
+                             lea_latency: int = 1, cmov_latency: int = 2,
+                             push_latency: int = 2) -> Dict[UopClass, ClassParams]:
+    """Documented class table shared by the Intel specs (with small overrides).
+
+    The ``ports`` entries list only *dedicated* (single-port) resources.  In
+    LLVM's scheduling models most instructions consume port-group resources
+    (e.g. "HWPort0156"); the paper zeroes port-group parameters out of the
+    simulation, so the default tables retain per-port occupancy only where a
+    single physical port is the documented bottleneck — the integer and
+    vector dividers, the integer multiplier, and the store-data port.
+    """
+    return {
+        UopClass.ALU: ClassParams(alu_latency, 1, ()),
+        UopClass.MOV: ClassParams(1, 1, ()),
+        UopClass.SHIFT: ClassParams(1, 1, ()),
+        UopClass.MUL: ClassParams(mul_latency, 1, ((PORT_ALU1, 1),)),
+        UopClass.DIV: ClassParams(div_latency, 10, ((PORT_ALU0, max(1, div_latency // 2)),)),
+        UopClass.LEA: ClassParams(lea_latency, 1, ()),
+        UopClass.LOAD: ClassParams(0, 1, ()),
+        UopClass.STORE: ClassParams(1, 2, ((PORT_STORE_DATA, 1),)),
+        UopClass.PUSH: ClassParams(push_latency, 2, ((PORT_STORE_DATA, 1),)),
+        UopClass.POP: ClassParams(2, 2, ()),
+        UopClass.CMOV: ClassParams(cmov_latency, 2, ()),
+        UopClass.SETCC: ClassParams(1, 1, ()),
+        UopClass.VEC_ALU: ClassParams(vec_alu_latency, 1, ()),
+        UopClass.VEC_MUL: ClassParams(vec_mul_latency, 1, ((PORT_VEC0, 1),)),
+        UopClass.VEC_DIV: ClassParams(vec_div_latency, 1, ((PORT_VEC0, max(1, vec_div_latency // 2)),)),
+        UopClass.VEC_MOV: ClassParams(1, 1, ()),
+        UopClass.CVT: ClassParams(4, 2, ()),
+        UopClass.NOP: ClassParams(0, 1, ()),
+    }
+
+
+def intel_true_classes(alu_latency: float = 1.0, mul_latency: float = 3.0,
+                       div_latency: float = 24.0, vec_alu_latency: float = 3.0,
+                       vec_mul_latency: float = 5.0, vec_div_latency: float = 13.0,
+                       alu_ports: float = 4.0, vec_ports: float = 2.0,
+                       load_ports: float = 2.0, store_ports: float = 1.0) -> Dict[UopClass, TrueClassParams]:
+    """True class table shared by the Intel specs (with small overrides)."""
+    return {
+        UopClass.ALU: TrueClassParams(alu_latency, alu_ports, 1.0),
+        UopClass.MOV: TrueClassParams(0.0, alu_ports, 1.0),  # move elimination
+        UopClass.SHIFT: TrueClassParams(1.0, 2.0, 1.0),
+        UopClass.MUL: TrueClassParams(mul_latency, 1.0, 1.0),
+        UopClass.DIV: TrueClassParams(div_latency, 0.25, 8.0),
+        UopClass.LEA: TrueClassParams(1.0, 2.0, 1.0),
+        UopClass.LOAD: TrueClassParams(0.0, load_ports, 1.0),
+        UopClass.STORE: TrueClassParams(0.0, store_ports, 1.0),
+        UopClass.PUSH: TrueClassParams(0.0, store_ports, 1.0),
+        UopClass.POP: TrueClassParams(0.0, load_ports, 1.0),
+        UopClass.CMOV: TrueClassParams(1.0, 2.0, 1.0),
+        UopClass.SETCC: TrueClassParams(1.0, 2.0, 1.0),
+        UopClass.VEC_ALU: TrueClassParams(vec_alu_latency, vec_ports, 1.0),
+        UopClass.VEC_MUL: TrueClassParams(vec_mul_latency, vec_ports, 1.0),
+        UopClass.VEC_DIV: TrueClassParams(vec_div_latency, 0.5, 1.0),
+        UopClass.VEC_MOV: TrueClassParams(1.0, vec_ports + 1.0, 1.0),
+        UopClass.CVT: TrueClassParams(4.0, 1.0, 2.0),
+        UopClass.NOP: TrueClassParams(0.0, alu_ports, 1.0),
+    }

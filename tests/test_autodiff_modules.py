@@ -1,0 +1,279 @@
+"""Tests for neural-network modules, optimizers, and serialization."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import (Adam, Dropout, Embedding, LSTM, LSTMCell, Linear, MLP, Module,
+                            Parameter, ReLU, SGD, Sequential, StackedLSTM, Tanh, Tensor,
+                            load_state_dict, save_state_dict)
+from repro.autodiff import functional as F
+from repro.autodiff.optim import LearningRateSchedule
+
+
+class TestModuleBasics:
+    def test_parameter_registration(self):
+        class TwoLayer(Module):
+            def __init__(self):
+                super().__init__()
+                self.first = Linear(3, 4)
+                self.second = Linear(4, 2)
+
+        model = TwoLayer()
+        names = dict(model.named_parameters())
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad_clears_gradients(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones(2))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_mode_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert not model.training
+        for module in model._modules.values():
+            assert not module.training
+
+    def test_state_dict_roundtrip(self):
+        source = Linear(3, 3)
+        target = Linear(3, 3, rng=np.random.default_rng(99))
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(source.weight.data, target.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = Linear(3, 3)
+        bad_state = {name: np.zeros((1, 1)) for name in layer.state_dict()}
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad_state)
+
+    def test_load_state_dict_missing_key(self):
+        layer = Linear(3, 3)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((3, 3))})
+
+
+class TestLayers:
+    def test_linear_shape(self):
+        layer = Linear(5, 3)
+        out = layer(Tensor(np.ones((4, 5))))
+        assert out.shape == (4, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(5, 3, bias=False)
+        assert len(layer.parameters()) == 1
+
+    def test_embedding_lookup(self):
+        embedding = Embedding(10, 4)
+        out = embedding([1, 3, 3])
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[1], out.data[2])
+
+    def test_embedding_out_of_range(self):
+        embedding = Embedding(4, 2)
+        with pytest.raises(IndexError):
+            embedding([5])
+
+    def test_embedding_gradient_accumulates(self):
+        embedding = Embedding(5, 3)
+        out = embedding([2, 2]).sum()
+        out.backward()
+        np.testing.assert_allclose(embedding.weight.grad[2], np.full(3, 2.0))
+        np.testing.assert_allclose(embedding.weight.grad[0], np.zeros(3))
+
+    def test_relu_tanh_modules(self):
+        assert ReLU()(Tensor([-1.0, 2.0])).data.tolist() == [0.0, 2.0]
+        np.testing.assert_allclose(Tanh()(Tensor([0.0])).data, [0.0])
+
+    def test_dropout_inactive_in_eval(self):
+        dropout = Dropout(0.9)
+        dropout.eval()
+        data = np.ones(100)
+        np.testing.assert_allclose(dropout(Tensor(data)).data, data)
+
+    def test_dropout_scales_in_train(self):
+        dropout = Dropout(0.5, rng=np.random.default_rng(0))
+        out = dropout(Tensor(np.ones(1000)))
+        # Inverted dropout keeps the expectation roughly 1.
+        assert abs(out.data.mean() - 1.0) < 0.15
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+    def test_mlp_shapes_and_depth(self):
+        mlp = MLP([4, 8, 8, 1])
+        assert mlp(Tensor(np.ones(4))).shape == (1,)
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_sequential_order(self):
+        model = Sequential(Linear(2, 2), ReLU(), Linear(2, 1))
+        assert len(model) == 3
+        assert model(Tensor(np.ones(2))).shape == (1,)
+
+
+class TestLSTM:
+    def test_lstm_cell_state_shapes(self):
+        cell = LSTMCell(3, 5)
+        hidden, carry = cell.initial_state()
+        new_hidden, new_carry = cell(Tensor(np.ones(3)), (hidden, carry))
+        assert new_hidden.shape == (5,)
+        assert new_carry.shape == (5,)
+
+    def test_lstm_forward_all_lengths(self):
+        lstm = LSTM(3, 4)
+        sequence = [Tensor(np.ones(3)) for _ in range(5)]
+        outputs = lstm.forward_all(sequence)
+        assert len(outputs) == 5
+        assert outputs[-1].shape == (4,)
+
+    def test_lstm_empty_sequence_raises(self):
+        lstm = LSTM(3, 4)
+        with pytest.raises(ValueError):
+            lstm([])
+
+    def test_stacked_lstm_depth_validation(self):
+        with pytest.raises(ValueError):
+            StackedLSTM(3, 4, num_layers=0)
+
+    def test_stacked_lstm_output_and_gradients(self):
+        lstm = StackedLSTM(3, 4, num_layers=2)
+        sequence = [Tensor(np.random.default_rng(0).normal(size=3)) for _ in range(3)]
+        out = lstm(sequence)
+        out.sum().backward()
+        assert out.shape == (4,)
+        assert all(parameter.grad is not None for parameter in lstm.parameters())
+
+    def test_lstm_output_bounded(self):
+        lstm = LSTM(2, 3)
+        sequence = [Tensor(np.full(2, 100.0)) for _ in range(4)]
+        out = lstm(sequence)
+        assert np.all(np.abs(out.data) <= 1.0)
+
+
+class TestOptimizers:
+    def _training_loss(self, optimizer_factory, steps=150):
+        rng = np.random.default_rng(0)
+        model = MLP([3, 12, 1], rng=rng)
+        inputs = Tensor(rng.normal(size=(16, 3)))
+        targets = Tensor(rng.normal(size=(16, 1)))
+        optimizer = optimizer_factory(model.parameters())
+        loss_value = None
+        for _ in range(steps):
+            optimizer.zero_grad()
+            loss = F.mse_loss(model(inputs), targets)
+            loss.backward()
+            optimizer.step()
+            loss_value = loss.item()
+        return loss_value
+
+    def test_sgd_reduces_loss(self):
+        assert self._training_loss(lambda p: SGD(p, lr=0.05)) < 0.5
+
+    def test_sgd_momentum_reduces_loss(self):
+        assert self._training_loss(lambda p: SGD(p, lr=0.02, momentum=0.9)) < 0.5
+
+    def test_adam_reduces_loss(self):
+        assert self._training_loss(lambda p: Adam(p, lr=0.02)) < 0.1
+
+    def test_adam_weight_decay(self):
+        parameter = Tensor(np.array([10.0]), requires_grad=True)
+        optimizer = Adam([parameter], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            optimizer.zero_grad()
+            (parameter * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(parameter.data[0]) < 10.0
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], lr=-1.0)
+
+    def test_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        parameter = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1)
+        (parameter * 100.0).sum().backward()
+        norm_before = optimizer.clip_grad_norm(1.0)
+        assert norm_before > 1.0
+        assert np.linalg.norm(parameter.grad) <= 1.0 + 1e-9
+
+    def test_learning_rate_schedule(self):
+        optimizer = SGD([Tensor([1.0], requires_grad=True)], lr=1.0)
+        schedule = LearningRateSchedule(optimizer, decay_factor=0.5, decay_every=2)
+        schedule.step_epoch()
+        assert optimizer.lr == pytest.approx(1.0)
+        schedule.step_epoch()
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_step_skips_parameters_without_grad(self):
+        used = Tensor(np.array([1.0]), requires_grad=True)
+        unused = Tensor(np.array([5.0]), requires_grad=True)
+        optimizer = Adam([used, unused], lr=0.1)
+        (used * 2.0).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(unused.data, [5.0])
+
+
+class TestSerialization:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        model = MLP([3, 5, 1], rng=np.random.default_rng(1))
+        path = os.path.join(tmp_path, "model.npz")
+        save_state_dict(model, path)
+        other = MLP([3, 5, 1], rng=np.random.default_rng(2))
+        load_state_dict(other, path)
+        for (_, a), (_, b) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state_dict(MLP([2, 2]), os.path.join(tmp_path, "missing.npz"))
+
+
+class TestFunctional:
+    def test_mse_loss_zero_for_identical(self):
+        values = Tensor([1.0, 2.0])
+        assert F.mse_loss(values, values).item() == pytest.approx(0.0)
+
+    def test_l1_loss(self):
+        assert F.l1_loss(Tensor([1.0, 3.0]), Tensor([2.0, 1.0])).item() == pytest.approx(1.5)
+
+    def test_mape_loss(self):
+        loss = F.mape_loss(Tensor([2.0]), Tensor([1.0]))
+        assert loss.item() == pytest.approx(1.0)
+
+    def test_huber_loss_quadratic_region(self):
+        loss = F.huber_loss(Tensor([0.5]), Tensor([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_huber_loss_linear_region(self):
+        loss = F.huber_loss(Tensor([3.0]), Tensor([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_dot(self):
+        assert F.dot(Tensor([1.0, 2.0]), Tensor([3.0, 4.0])).item() == pytest.approx(11.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=10))
+    def test_mape_loss_nonnegative(self, targets):
+        predictions = Tensor(np.zeros(len(targets)))
+        loss = F.mape_loss(predictions, Tensor(np.array(targets)))
+        assert loss.item() >= 0.0

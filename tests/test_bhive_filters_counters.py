@@ -1,0 +1,195 @@
+"""Tests for the BHive-style dataset filters and simulated performance counters."""
+
+import numpy as np
+import pytest
+
+from repro.bhive.dataset import LabeledBlock, build_dataset
+from repro.bhive.filters import (ALIASING_WINDOW_BYTES, FilterReport, PAGE_SIZE_BYTES,
+                                 apply_bhive_filters, filter_block_length,
+                                 filter_page_aliasing_risk, filter_timing_outliers,
+                                 filter_unstable_measurements, has_page_aliasing_risk,
+                                 measurement_instability)
+from repro.bhive.perf_counters import (CounterSpec, PerformanceCounterUnit,
+                                       measure_instruction_latency)
+from repro.isa.opcodes import DEFAULT_OPCODE_TABLE
+from repro.isa.parser import parse_block, parse_instruction
+from repro.targets import HASWELL, ZEN2
+from repro.targets.hardware import HardwareModel
+
+
+def _labeled(text, timing):
+    return LabeledBlock(block=parse_block(text, DEFAULT_OPCODE_TABLE), timing=timing)
+
+
+# ----------------------------------------------------------------------
+# Page-aliasing screen
+# ----------------------------------------------------------------------
+class TestPageAliasing:
+    def test_distinct_far_apart_offsets_are_safe(self):
+        block = parse_block("movq 16(%rsp), %rax\nmovq 2048(%rsp), %rbx",
+                            DEFAULT_OPCODE_TABLE)
+        assert not has_page_aliasing_risk(block)
+
+    def test_same_location_is_a_dependency_not_aliasing(self):
+        block = parse_block("movq %rax, 16(%rsp)\nmovq 16(%rsp), %rbx",
+                            DEFAULT_OPCODE_TABLE)
+        assert not has_page_aliasing_risk(block)
+
+    def test_nearby_offsets_with_different_bases_are_risky(self):
+        block = parse_block("movq 16(%rsp), %rax\nmovq 24(%rdi), %rbx",
+                            DEFAULT_OPCODE_TABLE)
+        assert has_page_aliasing_risk(block)
+
+    def test_page_apart_same_offset_different_base_is_risky(self):
+        # Same page offset, different pages/bases: the classic 4K-aliasing case.
+        block = parse_block(
+            f"movq 64(%rsi), %rax\nmovq {64 + PAGE_SIZE_BYTES}(%rdi), %rbx",
+            DEFAULT_OPCODE_TABLE)
+        assert has_page_aliasing_risk(block)
+
+    def test_blocks_without_memory_are_safe(self):
+        block = parse_block("addq %rax, %rbx\nimulq %rbx, %rcx", DEFAULT_OPCODE_TABLE)
+        assert not has_page_aliasing_risk(block)
+
+    def test_filter_splits_examples(self):
+        safe = _labeled("addq %rax, %rbx", 1.0)
+        risky = _labeled("movq 16(%rsp), %rax\nmovq 24(%rdi), %rbx", 2.0)
+        kept, removed = filter_page_aliasing_risk([safe, risky])
+        assert kept == [safe]
+        assert removed == [risky]
+
+
+# ----------------------------------------------------------------------
+# Stability / outlier / length screens
+# ----------------------------------------------------------------------
+class TestStabilityAndOutlierFilters:
+    def test_measurement_instability_statistic(self):
+        assert measurement_instability([1.0]) == 0.0
+        assert measurement_instability([1.0, 1.0, 1.0]) == 0.0
+        assert measurement_instability([1.0, 2.0]) > 0.3
+        # A zero-mean measurement is pathological and reported as unstable.
+        assert measurement_instability([0.0, 0.0]) == float("inf")
+
+    def test_unstable_measurements_filtered(self):
+        stable = _labeled("addq %rax, %rbx", 1.0)
+        unstable = _labeled("imulq %rbx, %rcx", 3.0)
+        kept, removed = filter_unstable_measurements(
+            [stable, unstable], {0: [1.0, 1.01, 0.99], 1: [3.0, 6.0, 1.5]},
+            max_coefficient_of_variation=0.10)
+        assert kept == [stable]
+        assert removed == [unstable]
+
+    def test_unmeasured_examples_are_kept(self):
+        example = _labeled("addq %rax, %rbx", 1.0)
+        kept, removed = filter_unstable_measurements([example], {})
+        assert kept == [example] and removed == []
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            filter_unstable_measurements([], {}, max_coefficient_of_variation=0.0)
+
+    def test_timing_outliers_filtered(self):
+        normal = _labeled("addq %rax, %rbx", 0.5)
+        too_slow = _labeled("addq %rax, %rbx", 80.0)
+        too_fast = _labeled("addq %rax, %rbx", 0.001)
+        kept, removed = filter_timing_outliers([normal, too_slow, too_fast])
+        assert kept == [normal]
+        assert set(removed) == {too_slow, too_fast}
+        with pytest.raises(ValueError):
+            filter_timing_outliers([], max_cycles_per_instruction=0.0)
+
+    def test_block_length_filter(self):
+        short = _labeled("addq %rax, %rbx", 1.0)
+        longer = _labeled("\n".join(["addq %rax, %rbx"] * 5), 5.0)
+        kept, removed = filter_block_length([short, longer], min_length=1, max_length=3)
+        assert kept == [short] and removed == [longer]
+        with pytest.raises(ValueError):
+            filter_block_length([], min_length=2, max_length=1)
+
+
+class TestApplyBhiveFilters:
+    def test_pipeline_reports_per_filter_removals(self):
+        examples = [
+            _labeled("addq %rax, %rbx", 0.5),
+            _labeled("movq 16(%rsp), %rax\nmovq 24(%rdi), %rbx", 1.0),
+            _labeled("addq %rax, %rbx", 99.0),
+        ]
+        report = apply_bhive_filters(examples, repeated_timings={0: [0.5, 0.5, 0.5]})
+        assert isinstance(report, FilterReport)
+        assert len(report.kept) == 1
+        summary = report.removal_summary()
+        assert summary["page_aliasing"] == 1
+        assert summary["timing_outlier"] == 1
+        assert report.num_removed == 2
+
+    def test_generated_dataset_mostly_survives(self):
+        dataset = build_dataset("haswell", num_blocks=80, seed=5)
+        report = apply_bhive_filters(list(dataset))
+        assert len(report.kept) > 0.5 * len(dataset)
+
+
+# ----------------------------------------------------------------------
+# Performance counters
+# ----------------------------------------------------------------------
+class TestPerformanceCounters:
+    @pytest.fixture(scope="class")
+    def haswell_hardware(self):
+        return HardwareModel(HASWELL, seed=0)
+
+    @pytest.fixture(scope="class")
+    def block(self):
+        return parse_block("movq 16(%rsp), %rax\naddq %rax, %rbx\nimulq %rbx, %rcx",
+                           DEFAULT_OPCODE_TABLE)
+
+    def test_counter_spec_per_vendor(self):
+        intel = CounterSpec.for_uarch(HASWELL)
+        amd = CounterSpec.for_uarch(ZEN2)
+        assert intel.has_port_counters
+        assert not amd.has_port_counters
+        assert amd.multiplexed
+
+    def test_reading_contains_requested_events(self, haswell_hardware, block):
+        unit = PerformanceCounterUnit(haswell_hardware, noise=0.0, seed=1)
+        reading = unit.read(block)
+        assert reading.cycles > 0.0
+        assert reading.instructions_retired == pytest.approx(len(block))
+        assert reading.uops_retired >= len(block) - 0.5
+        assert len(reading.port_dispatch) == 10
+        assert reading.ipc() > 0.0
+
+    def test_amd_reading_has_no_port_counts(self, block):
+        hardware = HardwareModel(ZEN2, seed=0)
+        unit = PerformanceCounterUnit(hardware, seed=2)
+        reading = unit.read(block)
+        assert reading.port_dispatch is None
+        assert reading.uops_retired is not None
+
+    def test_noise_perturbs_counts(self, haswell_hardware, block):
+        noiseless = PerformanceCounterUnit(haswell_hardware, noise=0.0, seed=3).read(block)
+        noisy = PerformanceCounterUnit(haswell_hardware, noise=0.05, seed=3).read(block)
+        assert noiseless.instructions_retired == pytest.approx(len(block))
+        assert noisy.instructions_retired != pytest.approx(len(block), abs=1e-9)
+
+    def test_negative_noise_rejected(self, haswell_hardware):
+        with pytest.raises(ValueError):
+            PerformanceCounterUnit(haswell_hardware, noise=-0.1)
+
+    def test_read_many_matches_single_reads_in_count(self, haswell_hardware, block):
+        unit = PerformanceCounterUnit(haswell_hardware, seed=4)
+        readings = unit.read_many([block, block, block])
+        assert len(readings) == 3
+
+    def test_latency_microbenchmark_orders_min_median_max(self, haswell_hardware):
+        instruction = parse_instruction("imulq %rax, %rbx", DEFAULT_OPCODE_TABLE)
+        measured = measure_instruction_latency(haswell_hardware, instruction,
+                                               chain_length=8, runs=5, seed=0)
+        assert measured["min"] <= measured["median"] <= measured["max"]
+        # A dependent multiply chain should measure a multi-cycle latency.
+        assert measured["median"] > 1.5
+
+    def test_latency_microbenchmark_validates_arguments(self, haswell_hardware):
+        instruction = parse_instruction("addq %rax, %rbx", DEFAULT_OPCODE_TABLE)
+        with pytest.raises(ValueError):
+            measure_instruction_latency(haswell_hardware, instruction, chain_length=0)
+        with pytest.raises(ValueError):
+            measure_instruction_latency(haswell_hardware, instruction, runs=0)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.llvm_mca import MCAParameterTable
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_dataset_arguments(self):
+        arguments = cli.build_parser().parse_args(
+            ["dataset", "--uarch", "zen2", "--blocks", "50", "--output", "x.json"])
+        assert arguments.uarch == "zen2"
+        assert arguments.blocks == 50
+        assert arguments.handler is cli._command_dataset
+
+    def test_learn_arguments_defaults(self):
+        arguments = cli.build_parser().parse_args(["learn", "--output", "t.json"])
+        assert arguments.learn_fields is None
+        assert not arguments.paper_config
+
+    def test_compare_rejects_unknown_uarch(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["compare", "--uarch", "alderlake"])
+
+
+class TestCommands:
+    def test_dataset_and_evaluate_roundtrip(self, tmp_path, capsys):
+        dataset_path = os.path.join(tmp_path, "dataset.json")
+        code = cli.main(["dataset", "--uarch", "haswell", "--blocks", "60",
+                         "--seed", "3", "--output", dataset_path])
+        assert code == 0
+        assert os.path.exists(dataset_path)
+        output = capsys.readouterr().out
+        assert "measured blocks" in output
+
+        code = cli.main(["evaluate", "--dataset", dataset_path])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "error" in output and "Kendall" in output
+
+    def test_learn_writes_valid_table(self, tmp_path, capsys, monkeypatch):
+        # Shrink the configuration so the CLI test runs in seconds.
+        from repro.core.config import test_config
+
+        monkeypatch.setattr(cli, "fast_config", test_config)
+        dataset_path = os.path.join(tmp_path, "dataset.json")
+        cli.main(["dataset", "--uarch", "haswell", "--blocks", "60", "--output", dataset_path])
+        capsys.readouterr()
+        table_path = os.path.join(tmp_path, "learned.json")
+        code = cli.main(["learn", "--dataset", dataset_path, "--output", table_path,
+                         "--learn-fields", "WriteLatency"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Saved learned table" in output
+        table = MCAParameterTable.load_json(table_path)
+        table.validate()
+
+        code = cli.main(["evaluate", "--dataset", dataset_path, "--table", table_path])
+        assert code == 0
+        assert "error" in capsys.readouterr().out

@@ -1,0 +1,225 @@
+"""Tests for the categorical/boolean parameter relaxation (Future Work, Section VII)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.categorical import (CategoricalField, CategoricalRelaxation,
+                                    CategoricalTable, one_hot, softmax)
+
+
+# ----------------------------------------------------------------------
+# Fields
+# ----------------------------------------------------------------------
+class TestCategoricalField:
+    def test_requires_at_least_two_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalField("Policy", choices=("only",))
+
+    def test_rejects_duplicate_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalField("Policy", choices=("a", "b", "a"))
+
+    def test_index_of_known_and_unknown_choice(self):
+        field = CategoricalField("Policy", choices=("in_order", "out_of_order", "hybrid"))
+        assert field.index_of("out_of_order") == 1
+        with pytest.raises(KeyError):
+            field.index_of("missing")
+
+    def test_boolean_factory(self):
+        field = CategoricalField.boolean("EnableZeroIdioms")
+        assert field.choices == (False, True)
+        assert field.num_choices == 2
+        assert field.index_of(True) == 1
+
+
+# ----------------------------------------------------------------------
+# Softmax / one-hot helpers
+# ----------------------------------------------------------------------
+class TestEncodingHelpers:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [100.0, 100.0, 100.0]])
+        probabilities = softmax(logits)
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0)
+        assert probabilities[1, 0] == pytest.approx(1.0 / 3.0)
+
+    def test_softmax_is_shift_invariant(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 50.0), atol=1e-12)
+
+    def test_softmax_handles_extreme_logits(self):
+        probabilities = softmax(np.array([1000.0, -1000.0]))
+        assert np.isfinite(probabilities).all()
+        assert probabilities[0] == pytest.approx(1.0)
+
+    def test_one_hot_basic_and_bounds(self):
+        np.testing.assert_array_equal(one_hot(2, 4), [0.0, 0.0, 1.0, 0.0])
+        with pytest.raises(IndexError):
+            one_hot(4, 4)
+        with pytest.raises(IndexError):
+            one_hot(-1, 4)
+
+
+# ----------------------------------------------------------------------
+# Relaxation
+# ----------------------------------------------------------------------
+class TestCategoricalRelaxation:
+    @pytest.fixture
+    def field(self):
+        return CategoricalField("Scheduler", choices=("fifo", "age", "critical"),
+                                per_instruction=False)
+
+    def test_global_field_has_single_row(self, field):
+        relaxation = CategoricalRelaxation(field, num_opcodes=25)
+        assert relaxation.logit_shape == (1, 3)
+
+    def test_per_instruction_field_has_row_per_opcode(self):
+        field = CategoricalField.boolean("IsFused", per_instruction=True)
+        relaxation = CategoricalRelaxation(field, num_opcodes=7)
+        assert relaxation.logit_shape == (7, 2)
+
+    def test_probabilities_live_on_the_simplex(self, field):
+        relaxation = CategoricalRelaxation(field)
+        rng = np.random.default_rng(0)
+        probabilities = relaxation.probabilities(relaxation.initial_logits(rng))
+        assert probabilities.shape == (1, 3)
+        np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0)
+        assert np.all(probabilities >= 0.0)
+
+    def test_temperature_sharpens_distribution(self, field):
+        logits = np.array([[2.0, 1.0, 0.0]])
+        soft = CategoricalRelaxation(field, temperature=5.0).probabilities(logits)
+        sharp = CategoricalRelaxation(field, temperature=0.2).probabilities(logits)
+        assert sharp[0, 0] > soft[0, 0]
+
+    def test_extract_takes_argmax(self, field):
+        relaxation = CategoricalRelaxation(field)
+        assert relaxation.extract(np.array([[0.1, 3.0, -1.0]])) == ["age"]
+
+    def test_logits_for_choices_round_trips_through_extract(self, field):
+        relaxation = CategoricalRelaxation(field)
+        logits = relaxation.logits_for_choices(["critical"])
+        assert relaxation.extract(logits) == ["critical"]
+
+    def test_logits_for_choices_validates_length(self):
+        field = CategoricalField.boolean("Flag", per_instruction=True)
+        relaxation = CategoricalRelaxation(field, num_opcodes=3)
+        with pytest.raises(ValueError):
+            relaxation.logits_for_choices([True])
+
+    def test_sample_choices_only_produces_legal_values(self, field):
+        relaxation = CategoricalRelaxation(field)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            choices = relaxation.sample_choices(rng)
+            assert len(choices) == 1
+            assert choices[0] in field.choices
+
+    def test_encode_choices_is_one_hot(self):
+        field = CategoricalField("Mode", choices=("a", "b", "c"), per_instruction=True)
+        relaxation = CategoricalRelaxation(field, num_opcodes=2)
+        encoded = relaxation.encode_choices(["c", "a"])
+        np.testing.assert_array_equal(encoded, [[0, 0, 1], [1, 0, 0]])
+
+    def test_invalid_construction_arguments(self, field):
+        with pytest.raises(ValueError):
+            CategoricalRelaxation(field, num_opcodes=0)
+        with pytest.raises(ValueError):
+            CategoricalRelaxation(field, temperature=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=10_000))
+    def test_extraction_inverts_confident_logits_property(self, num_choices, num_opcodes, seed):
+        """For any confident assignment, extract(logits_for_choices(x)) == x."""
+        choices = tuple(f"option{i}" for i in range(num_choices))
+        field = CategoricalField("Any", choices=choices, per_instruction=True)
+        relaxation = CategoricalRelaxation(field, num_opcodes=num_opcodes)
+        rng = np.random.default_rng(seed)
+        assignment = relaxation.sample_choices(rng)
+        assert relaxation.extract(relaxation.logits_for_choices(assignment)) == assignment
+
+
+# ----------------------------------------------------------------------
+# Table of several categorical fields
+# ----------------------------------------------------------------------
+class TestCategoricalTable:
+    @pytest.fixture
+    def table(self):
+        fields = [
+            CategoricalField("SchedulerPolicy", choices=("fifo", "age", "critical")),
+            CategoricalField.boolean("EnableZeroIdioms"),
+            CategoricalField.boolean("IsFused", per_instruction=True),
+        ]
+        return CategoricalTable(fields, num_opcodes=4)
+
+    def test_rejects_duplicate_field_names(self):
+        fields = [CategoricalField.boolean("X"), CategoricalField.boolean("X")]
+        with pytest.raises(ValueError):
+            CategoricalTable(fields)
+
+    def test_field_names_and_unknown_lookup(self, table):
+        assert table.field_names() == ["SchedulerPolicy", "EnableZeroIdioms", "IsFused"]
+        with pytest.raises(KeyError):
+            table.relaxation("Missing")
+
+    def test_default_extraction_is_first_choice(self, table):
+        extracted = table.extract()
+        assert extracted["SchedulerPolicy"] == ["fifo"]
+        assert extracted["EnableZeroIdioms"] == [False]
+        assert extracted["IsFused"] == [False] * 4
+
+    def test_set_choices_then_extract(self, table):
+        table.set_choices("SchedulerPolicy", ["critical"])
+        table.set_choices("IsFused", [True, False, True, False])
+        extracted = table.extract()
+        assert extracted["SchedulerPolicy"] == ["critical"]
+        assert extracted["IsFused"] == [True, False, True, False]
+
+    def test_sample_produces_legal_assignment(self, table):
+        rng = np.random.default_rng(3)
+        assignment = table.sample(rng)
+        assert set(assignment) == set(table.field_names())
+        assert len(assignment["IsFused"]) == 4
+        encoded = table.encode_assignment(assignment)
+        assert encoded["IsFused"].shape == (4, 2)
+        np.testing.assert_allclose(encoded["SchedulerPolicy"].sum(), 1.0)
+
+    def test_encode_assignment_requires_every_field(self, table):
+        with pytest.raises(KeyError):
+            table.encode_assignment({"SchedulerPolicy": ["fifo"]})
+
+    def test_surrogate_inputs_are_simplex_rows(self, table):
+        rng = np.random.default_rng(4)
+        table.randomize_logits(rng)
+        inputs = table.surrogate_inputs()
+        for name, probabilities in inputs.items():
+            np.testing.assert_allclose(probabilities.sum(axis=-1), 1.0, err_msg=name)
+
+    def test_flat_vector_round_trip(self, table):
+        rng = np.random.default_rng(5)
+        table.randomize_logits(rng, scale=1.0)
+        vector = table.flat_vector()
+        assert vector.shape == (3 + 2 + 4 * 2,)
+        clone = CategoricalTable(table.fields, num_opcodes=4)
+        clone.load_flat_vector(vector)
+        assert clone.extract() == table.extract()
+
+    def test_load_flat_vector_validates_length(self, table):
+        with pytest.raises(ValueError):
+            table.load_flat_vector(np.zeros(3))
+
+    def test_set_logits_reshapes_and_copies(self, table):
+        logits = np.array([0.0, 5.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0])
+        table.set_logits("IsFused", logits)
+        assert table.extract()["IsFused"] == [True, False, True, False]
+
+    def test_gradient_style_update_moves_extraction(self, table):
+        """Simulate a few ascent steps on one logit and watch the choice flip."""
+        table.set_choices("EnableZeroIdioms", [False])
+        logits = table.logits["EnableZeroIdioms"].copy()
+        for _ in range(10):
+            logits[0, 1] += 1.0  # gradient pushing towards True
+            table.set_logits("EnableZeroIdioms", logits)
+        assert table.extract()["EnableZeroIdioms"] == [True]

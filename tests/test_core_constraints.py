@@ -1,0 +1,244 @@
+"""Tests for dependent-parameter constraints (Future Work, Section VII)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import (BoundConstraint, ConstraintSet, LessEqualConstraint,
+                                    RelationConstraint, SumAtMostConstraint)
+
+
+# ----------------------------------------------------------------------
+# Individual constraint kinds
+# ----------------------------------------------------------------------
+class TestBoundConstraint:
+    def test_requires_some_bound(self):
+        with pytest.raises(ValueError):
+            BoundConstraint("x")
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoundConstraint("x", lower=5.0, upper=1.0)
+
+    def test_detects_violations_on_both_sides(self):
+        constraint = BoundConstraint("x", lower=1.0, upper=4.0)
+        assert constraint.check({"x": np.array([2.0, 3.0])}) is None
+        assert constraint.check({"x": np.array([0.0])}) is not None
+        assert constraint.check({"x": np.array([9.0])}) is not None
+
+    def test_repair_clips_into_range(self):
+        constraint = BoundConstraint("x", lower=1.0, upper=4.0)
+        assignment = {"x": np.array([-2.0, 2.0, 10.0])}
+        constraint.repair(assignment)
+        np.testing.assert_array_equal(assignment["x"], [1.0, 2.0, 4.0])
+
+    def test_missing_field_raises(self):
+        constraint = BoundConstraint("x", lower=0.0)
+        with pytest.raises(KeyError):
+            constraint.check({"y": np.array([1.0])})
+
+    def test_scalar_values_are_accepted(self):
+        constraint = BoundConstraint("x", upper=3.0)
+        assert constraint.check({"x": 2.0}) is None
+        assert constraint.check({"x": 5.0}) is not None
+
+
+class TestLessEqualConstraint:
+    def test_detects_and_repairs_violation(self):
+        constraint = LessEqualConstraint("decode_width", "fetch_width")
+        assignment = {"decode_width": np.array([6.0]), "fetch_width": np.array([4.0])}
+        assert constraint.check(assignment) is not None
+        constraint.repair(assignment)
+        assert constraint.check(assignment) is None
+        np.testing.assert_array_equal(assignment["decode_width"], [4.0])
+        np.testing.assert_array_equal(assignment["fetch_width"], [4.0])
+
+    def test_slack_is_honoured(self):
+        constraint = LessEqualConstraint("a", "b", slack=2.0)
+        assert constraint.check({"a": np.array([5.0]), "b": np.array([3.0])}) is None
+        assert constraint.check({"a": np.array([6.0]), "b": np.array([3.0])}) is not None
+
+    def test_elementwise_comparison(self):
+        constraint = LessEqualConstraint("a", "b")
+        assignment = {"a": np.array([1.0, 5.0]), "b": np.array([2.0, 2.0])}
+        assert constraint.check(assignment) is not None
+        constraint.repair(assignment)
+        np.testing.assert_array_equal(assignment["a"], [1.0, 2.0])
+
+
+class TestSumAtMostConstraint:
+    def test_requires_exactly_one_budget_source(self):
+        with pytest.raises(ValueError):
+            SumAtMostConstraint(["a"], total="t", constant_total=4.0)
+        with pytest.raises(ValueError):
+            SumAtMostConstraint(["a"])
+        with pytest.raises(ValueError):
+            SumAtMostConstraint([], constant_total=4.0)
+
+    def test_constant_budget_check_and_repair(self):
+        constraint = SumAtMostConstraint(["int_entries", "fp_entries"], constant_total=10.0)
+        assignment = {"int_entries": np.array([8.0]), "fp_entries": np.array([6.0])}
+        assert constraint.check(assignment) is not None
+        constraint.repair(assignment)
+        assert constraint.check(assignment) is None
+        total = assignment["int_entries"] + assignment["fp_entries"]
+        np.testing.assert_allclose(total, 10.0)
+        # Repair is proportional, so the ratio between the parts is preserved.
+        ratio = assignment["int_entries"] / assignment["fp_entries"]
+        np.testing.assert_allclose(ratio, 8.0 / 6.0)
+
+    def test_field_budget(self):
+        constraint = SumAtMostConstraint(["a", "b"], total="rob")
+        good = {"a": np.array([10.0]), "b": np.array([20.0]), "rob": np.array([64.0])}
+        bad = {"a": np.array([40.0]), "b": np.array([40.0]), "rob": np.array([64.0])}
+        assert constraint.check(good) is None
+        assert constraint.check(bad) is not None
+        constraint.repair(bad)
+        assert constraint.check(bad) is None
+
+    def test_repair_is_noop_when_satisfied(self):
+        constraint = SumAtMostConstraint(["a", "b"], constant_total=100.0)
+        assignment = {"a": np.array([1.0]), "b": np.array([2.0])}
+        constraint.repair(assignment)
+        np.testing.assert_array_equal(assignment["a"], [1.0])
+        np.testing.assert_array_equal(assignment["b"], [2.0])
+
+
+class TestRelationConstraint:
+    def test_custom_predicate_and_repair(self):
+        def predicate(assignment):
+            return float(np.asarray(assignment["width"]).reshape(-1)[0]) % 2 == 0
+
+        def repair(assignment):
+            value = float(np.asarray(assignment["width"]).reshape(-1)[0])
+            assignment["width"] = np.array([value + value % 2])
+
+        constraint = RelationConstraint(["width"], predicate, repair,
+                                        description="width must be even")
+        odd = {"width": np.array([3.0])}
+        violation = constraint.check(odd)
+        assert violation is not None and "even" in str(violation)
+        constraint.repair(odd)
+        assert constraint.check(odd) is None
+
+    def test_requires_fields(self):
+        with pytest.raises(ValueError):
+            RelationConstraint([], lambda a: True, lambda a: None)
+
+
+# ----------------------------------------------------------------------
+# Constraint sets
+# ----------------------------------------------------------------------
+def _gem5_style_constraints() -> ConstraintSet:
+    """The shape of gem5's decode/fetch width assertion plus a queue budget."""
+    return ConstraintSet([
+        BoundConstraint("fetch_width", lower=1.0, upper=16.0),
+        BoundConstraint("decode_width", lower=1.0, upper=16.0),
+        LessEqualConstraint("decode_width", "fetch_width"),
+        SumAtMostConstraint(["int_queue", "fp_queue"], total="rob_size"),
+        BoundConstraint("rob_size", lower=16.0, upper=256.0),
+    ])
+
+
+class TestConstraintSet:
+    def test_validate_lists_every_violation(self):
+        constraints = _gem5_style_constraints()
+        assignment = {"fetch_width": np.array([0.0]), "decode_width": np.array([20.0]),
+                      "int_queue": np.array([300.0]), "fp_queue": np.array([10.0]),
+                      "rob_size": np.array([64.0])}
+        violations = constraints.violations(assignment)
+        assert len(violations) >= 3
+        with pytest.raises(ValueError):
+            constraints.validate(assignment)
+
+    def test_repair_reaches_feasibility(self):
+        constraints = _gem5_style_constraints()
+        assignment = {"fetch_width": np.array([2.0]), "decode_width": np.array([12.0]),
+                      "int_queue": np.array([200.0]), "fp_queue": np.array([100.0]),
+                      "rob_size": np.array([400.0])}
+        repaired = constraints.repair(assignment)
+        assert constraints.is_satisfied(repaired)
+        # The decode width was lowered to the fetch width, not the other way.
+        assert repaired["decode_width"].item() <= repaired["fetch_width"].item()
+
+    def test_add_returns_self_for_chaining(self):
+        constraints = ConstraintSet().add(BoundConstraint("x", lower=0.0))
+        assert len(constraints) == 1
+        assert list(constraints)
+
+    def test_empty_set_accepts_anything(self):
+        constraints = ConstraintSet()
+        assert constraints.is_satisfied({"x": np.array([-1e9])})
+
+    def test_rejection_sampling_returns_feasible_assignment(self):
+        constraints = _gem5_style_constraints()
+        rng = np.random.default_rng(0)
+
+        def sampler(generator):
+            return {
+                "fetch_width": generator.uniform(1.0, 16.0, size=1),
+                "decode_width": generator.uniform(1.0, 16.0, size=1),
+                "int_queue": generator.uniform(0.0, 128.0, size=1),
+                "fp_queue": generator.uniform(0.0, 128.0, size=1),
+                "rob_size": generator.uniform(16.0, 256.0, size=1),
+            }
+
+        sample = constraints.rejection_sample(sampler, rng)
+        assert constraints.is_satisfied(sample)
+
+    def test_rejection_sampling_falls_back_to_repair(self):
+        constraints = ConstraintSet([BoundConstraint("x", lower=10.0, upper=11.0)])
+        rng = np.random.default_rng(1)
+
+        def hopeless_sampler(generator):
+            return {"x": generator.uniform(0.0, 1.0, size=1)}
+
+        sample = constraints.rejection_sample(hopeless_sampler, rng, max_attempts=5)
+        assert constraints.is_satisfied(sample)
+        with pytest.raises(ValueError):
+            constraints.rejection_sample(hopeless_sampler, rng, max_attempts=5,
+                                         repair_on_failure=False)
+
+    def test_acceptance_rate_bounds(self):
+        constraints = ConstraintSet([BoundConstraint("x", lower=0.5)])
+        rng = np.random.default_rng(2)
+
+        def sampler(generator):
+            return {"x": generator.uniform(0.0, 1.0, size=1)}
+
+        rate = constraints.acceptance_rate(sampler, rng, num_samples=200)
+        assert 0.3 < rate < 0.7
+        with pytest.raises(ValueError):
+            constraints.acceptance_rate(sampler, rng, num_samples=0)
+
+    def test_repair_raises_for_inconsistent_constraints(self):
+        constraints = ConstraintSet([
+            BoundConstraint("x", lower=5.0, upper=10.0),
+            BoundConstraint("x", upper=1.0),
+        ])
+        with pytest.raises(ValueError):
+            constraints.repair({"x": np.array([7.0])})
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=2, max_size=2),
+           st.floats(min_value=1.0, max_value=500.0))
+    def test_sum_repair_property(self, parts, budget):
+        """After repair the parts always fit the budget and stay non-negative."""
+        constraint = SumAtMostConstraint(["a", "b"], constant_total=budget)
+        assignment = {"a": np.array([parts[0]]), "b": np.array([parts[1]])}
+        constraint.repair(assignment)
+        assert (assignment["a"] + assignment["b"]).item() <= budget + 1e-6
+        assert assignment["a"].item() >= 0.0
+        assert assignment["b"].item() >= 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-100.0, max_value=100.0),
+           st.floats(min_value=-100.0, max_value=100.0))
+    def test_less_equal_repair_property(self, left, right):
+        """Repair always makes left <= right without touching right."""
+        constraint = LessEqualConstraint("left", "right")
+        assignment = {"left": np.array([left]), "right": np.array([right])}
+        constraint.repair(assignment)
+        assert assignment["left"].item() <= assignment["right"].item() + 1e-9
+        assert assignment["right"].item() == pytest.approx(right)

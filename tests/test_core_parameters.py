@@ -1,0 +1,232 @@
+"""Tests for the DiffTune parameter-space description and adapters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LLVMSimAdapter, MCAAdapter, ParameterArrays, ParameterField, ParameterSpec
+from repro.core.parameters import PORT_MAP_FIELD_NAME
+from repro.targets import HASWELL, ZEN2
+
+
+def make_simple_spec(num_opcodes=5):
+    return ParameterSpec(
+        global_fields=[ParameterField("Width", 1, lower_bound=1, integer=True,
+                                      sample_low=1, sample_high=8)],
+        per_instruction_fields=[
+            ParameterField("Latency", 1, lower_bound=0, integer=True,
+                           sample_low=0, sample_high=5),
+            ParameterField("Ports", 4, lower_bound=0, integer=True,
+                           sample_low=0, sample_high=2),
+        ],
+        num_opcodes=num_opcodes)
+
+
+class TestParameterField:
+    def test_scale(self):
+        field = ParameterField("X", 1, lower_bound=1, integer=True, sample_low=1, sample_high=9)
+        assert field.scale == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterField("X", 0, 0, True, 0, 5)
+        with pytest.raises(ValueError):
+            ParameterField("X", 1, 0, True, 5, 1)
+        with pytest.raises(ValueError):
+            ParameterField("X", 1, 2, True, 0, 5)
+
+
+class TestParameterSpec:
+    def test_dimensions(self):
+        spec = make_simple_spec()
+        assert spec.global_dim == 1
+        assert spec.per_instruction_dim == 5
+        assert spec.num_parameters == 1 + 5 * 5
+
+    def test_field_slices(self):
+        spec = make_simple_spec()
+        assert spec.per_instruction_field_slice("Latency") == slice(0, 1)
+        assert spec.per_instruction_field_slice("Ports") == slice(1, 5)
+        assert spec.global_field_slice("Width") == slice(0, 1)
+
+    def test_field_by_name(self):
+        spec = make_simple_spec()
+        assert spec.field_by_name("Latency").lower_bound == 0
+        with pytest.raises(KeyError):
+            spec.field_by_name("Nope")
+
+    def test_lower_bounds_and_scales(self):
+        spec = make_simple_spec()
+        np.testing.assert_allclose(spec.per_instruction_lower_bounds(), [0, 0, 0, 0, 0])
+        np.testing.assert_allclose(spec.global_lower_bounds(), [1])
+        assert spec.per_instruction_scales()[0] == 5.0
+
+    def test_sampling_respects_ranges(self, rng):
+        spec = make_simple_spec()
+        arrays = spec.sample(rng)
+        assert arrays.global_values.shape == (1,)
+        assert arrays.per_instruction_values.shape == (5, 5)
+        assert arrays.global_values[0] >= 1
+        assert arrays.per_instruction_values.min() >= 0
+        assert arrays.per_instruction_values[:, 0].max() <= 5
+
+    def test_port_map_sampling_is_sparse(self, rng):
+        spec = ParameterSpec(
+            global_fields=[],
+            per_instruction_fields=[ParameterField(PORT_MAP_FIELD_NAME, 10, 0, True, 0, 2)],
+            num_opcodes=200)
+        arrays = spec.sample(rng)
+        # "0 to 2 cycles to between 0 and 2 randomly selected ports".
+        per_row_nonzero = (arrays.per_instruction_values > 0).sum(axis=1)
+        assert per_row_nonzero.max() <= 2
+        assert (arrays.per_instruction_values <= 2).all()
+
+    def test_sample_near_stays_in_range(self, rng):
+        spec = make_simple_spec()
+        center = spec.sample(rng)
+        nearby = spec.sample_near(center, rng, spread=0.3)
+        assert nearby.per_instruction_values.min() >= 0
+        assert nearby.per_instruction_values[:, 0].max() <= 5 + 1e-9
+        assert nearby.global_values[0] >= 1
+
+    def test_normalize_for_surrogate_training(self, rng):
+        spec = make_simple_spec()
+        arrays = spec.sample(rng)
+        normalized = spec.normalize_for_surrogate_training(arrays)
+        assert normalized.per_instruction_values.min() >= 0
+        assert normalized.per_instruction_values.max() <= 1 + 1e-9
+        assert normalized.global_values.min() >= 0
+
+    def test_clip_and_round(self):
+        spec = make_simple_spec()
+        arrays = ParameterArrays(global_values=np.array([-3.2]),
+                                 per_instruction_values=np.full((5, 5), 2.6))
+        cleaned = spec.round_to_integers(spec.clip_to_bounds(arrays))
+        assert cleaned.global_values[0] == 1
+        assert np.all(cleaned.per_instruction_values == 3)
+
+    def test_flat_vector_roundtrip(self, rng):
+        spec = make_simple_spec()
+        arrays = spec.sample(rng)
+        flat = arrays.to_flat_vector()
+        restored = ParameterArrays.from_flat_vector(flat, spec.global_dim, spec.num_opcodes,
+                                                    spec.per_instruction_dim)
+        np.testing.assert_allclose(restored.global_values, arrays.global_values)
+        np.testing.assert_allclose(restored.per_instruction_values,
+                                   arrays.per_instruction_values)
+
+    def test_flat_vector_length_check(self):
+        with pytest.raises(ValueError):
+            ParameterArrays.from_flat_vector(np.zeros(3), 1, 2, 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_sampled_tables_always_satisfy_bounds(self, seed):
+        spec = make_simple_spec(num_opcodes=8)
+        arrays = spec.sample(np.random.default_rng(seed))
+        clipped = spec.clip_to_bounds(arrays)
+        np.testing.assert_allclose(clipped.global_values, arrays.global_values)
+        np.testing.assert_allclose(clipped.per_instruction_values,
+                                   arrays.per_instruction_values)
+
+
+class TestMCAAdapter:
+    def test_spec_matches_paper_table2(self, mca_adapter):
+        spec = mca_adapter.parameter_spec()
+        names = [field.name for field in spec.per_instruction_fields]
+        assert names == ["NumMicroOps", "WriteLatency", "ReadAdvanceCycles", "PortMap"]
+        assert [field.name for field in spec.global_fields] == \
+            ["DispatchWidth", "ReorderBufferSize"]
+        assert spec.per_instruction_dim == 1 + 1 + 3 + 10
+
+    def test_parameter_count_scale(self, mca_adapter):
+        # The paper counts 11265 parameters for 837 opcodes (2 + 15 per opcode
+        # minus the global double count); our opcode universe is smaller but
+        # the per-opcode structure is identical.
+        spec = mca_adapter.parameter_spec()
+        assert spec.num_parameters == 2 + 15 * len(mca_adapter.opcode_table)
+
+    def test_default_arrays_roundtrip(self, mca_adapter):
+        arrays = mca_adapter.default_arrays()
+        table = mca_adapter.table_from_arrays(arrays)
+        np.testing.assert_array_equal(table.write_latency,
+                                      mca_adapter.default_table().write_latency)
+        assert table.dispatch_width == mca_adapter.default_table().dispatch_width
+
+    def test_table_from_arrays_clips(self, mca_adapter):
+        arrays = mca_adapter.default_arrays()
+        arrays.per_instruction_values[:, :] = -5.0
+        arrays.global_values[:] = -1.0
+        table = mca_adapter.table_from_arrays(arrays)
+        table.validate()
+
+    def test_predict_timings_shape(self, mca_adapter, sample_blocks):
+        timings = mca_adapter.predict_timings(mca_adapter.default_arrays(), sample_blocks[:4])
+        assert timings.shape == (4,)
+        assert np.all(timings > 0)
+
+    def test_narrow_sampling_ranges(self):
+        narrow = MCAAdapter(HASWELL, narrow_sampling=True)
+        wide = MCAAdapter(HASWELL, narrow_sampling=False)
+        assert narrow.parameter_spec().field_by_name("NumMicroOps").sample_high < \
+            wide.parameter_spec().field_by_name("NumMicroOps").sample_high
+
+    def test_learn_fields_freezing(self, sample_blocks):
+        adapter = MCAAdapter(HASWELL, learn_fields=["WriteLatency"])
+        spec = adapter.parameter_spec()
+        arrays = spec.sample(np.random.default_rng(0))
+        table = adapter.table_from_arrays(arrays)
+        default = adapter.default_table()
+        # Non-learned fields come back as defaults; WriteLatency is learned.
+        np.testing.assert_array_equal(table.num_micro_ops, default.num_micro_ops)
+        np.testing.assert_array_equal(table.port_map, default.port_map)
+        assert table.dispatch_width == default.dispatch_width
+        assert not np.array_equal(table.write_latency, default.write_latency)
+
+    def test_freeze_unlearned_fields(self):
+        adapter = MCAAdapter(HASWELL, learn_fields=["WriteLatency"])
+        spec = adapter.parameter_spec()
+        arrays = spec.sample(np.random.default_rng(1))
+        frozen = adapter.freeze_unlearned_fields(arrays)
+        default = adapter.default_arrays()
+        uops_slice = spec.per_instruction_field_slice("NumMicroOps")
+        np.testing.assert_allclose(frozen.per_instruction_values[:, uops_slice],
+                                   default.per_instruction_values[:, uops_slice])
+        latency_slice = spec.per_instruction_field_slice("WriteLatency")
+        np.testing.assert_allclose(frozen.per_instruction_values[:, latency_slice],
+                                   arrays.per_instruction_values[:, latency_slice])
+
+    def test_unlearned_dimension_masks(self):
+        adapter = MCAAdapter(HASWELL, learn_fields=["WriteLatency"])
+        per_mask, global_mask = adapter.unlearned_dimension_masks()
+        spec = adapter.parameter_spec()
+        assert per_mask.sum() == spec.per_instruction_dim - 1
+        assert global_mask.all()
+        full = MCAAdapter(HASWELL)
+        assert full.unlearned_dimension_masks() == (None, None)
+
+
+class TestLLVMSimAdapter:
+    def test_spec_matches_table7(self, llvm_sim_adapter):
+        spec = llvm_sim_adapter.parameter_spec()
+        assert [field.name for field in spec.per_instruction_fields] == \
+            ["WriteLatency", "PortMap"]
+        assert spec.global_dim == 0
+
+    def test_default_roundtrip(self, llvm_sim_adapter):
+        arrays = llvm_sim_adapter.default_arrays()
+        table = llvm_sim_adapter.table_from_arrays(arrays)
+        np.testing.assert_array_equal(table.write_latency,
+                                      llvm_sim_adapter.default_table().write_latency)
+
+    def test_predict_timings(self, llvm_sim_adapter, sample_blocks):
+        timings = llvm_sim_adapter.predict_timings(llvm_sim_adapter.default_arrays(),
+                                                   sample_blocks[:4])
+        assert timings.shape == (4,) and np.all(timings > 0)
+
+    def test_sampling_shapes(self, llvm_sim_adapter, rng):
+        arrays = llvm_sim_adapter.parameter_spec().sample(rng)
+        assert arrays.global_values.shape == (0,)
+        assert arrays.per_instruction_values.shape == (
+            len(llvm_sim_adapter.opcode_table), 11)

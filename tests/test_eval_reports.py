@@ -1,0 +1,92 @@
+"""Tests for the markdown report generator over recorded benchmark results."""
+
+import json
+import os
+
+import pytest
+
+from repro.eval.reports import (ExperimentResult, KNOWN_EXPERIMENTS, load_results,
+                                render_report, write_report)
+
+
+@pytest.fixture
+def results_directory(tmp_path):
+    directory = os.path.join(tmp_path, "results")
+    os.makedirs(directory)
+    with open(os.path.join(directory, "table04_haswell.json"), "w") as handle:
+        json.dump({"Default": [0.269, 0.771], "DiffTune": [0.42, 0.61]}, handle)
+    with open(os.path.join(directory, "sec5a_random_tables.json"), "w") as handle:
+        json.dump({"mean": 4.9, "std": 4.97, "errors": [1.5, 9.2]}, handle)
+    with open(os.path.join(directory, "adhoc_experiment.json"), "w") as handle:
+        json.dump([{"name": "run1", "error": 0.3}], handle)
+    return directory
+
+
+class TestLoadResults:
+    def test_missing_directory_returns_empty(self, tmp_path):
+        assert load_results(os.path.join(tmp_path, "nope")) == []
+
+    def test_loads_every_json_sorted(self, results_directory):
+        results = load_results(results_directory)
+        assert [result.name for result in results] == [
+            "adhoc_experiment", "sec5a_random_tables", "table04_haswell"]
+
+    def test_known_results_get_paper_titles(self, results_directory):
+        results = {result.name: result for result in load_results(results_directory)}
+        assert results["table04_haswell"].title == KNOWN_EXPERIMENTS["table04_haswell"]
+        assert results["table04_haswell"].is_known
+        assert results["adhoc_experiment"].title == "adhoc_experiment"
+        assert not results["adhoc_experiment"].is_known
+
+    def test_non_json_files_are_ignored(self, results_directory):
+        with open(os.path.join(results_directory, "notes.txt"), "w") as handle:
+            handle.write("not a result")
+        names = [result.name for result in load_results(results_directory)]
+        assert "notes" not in names
+
+    def test_corrupt_json_is_reported_not_fatal(self, results_directory):
+        with open(os.path.join(results_directory, "broken.json"), "w") as handle:
+            handle.write("{not json")
+        results = {result.name: result for result in load_results(results_directory)}
+        assert "error" in results["broken"].payload
+
+
+class TestRenderReport:
+    def test_empty_results_mention_how_to_generate(self):
+        report = render_report([])
+        assert "pytest benchmarks/" in report
+
+    def test_sections_and_values_appear(self, results_directory):
+        report = render_report(load_results(results_directory))
+        assert "## Table IV — main results (Haswell)" in report
+        assert "table04_haswell.json" in report
+        assert "**Default**" in report
+        assert "0.269" in report
+
+    def test_nested_payloads_render_as_nested_bullets(self):
+        result = ExperimentResult(name="x", title="X", payload={
+            "group": {"inner": [1, 2, 3]}, "scalar": 7})
+        report = render_report([result])
+        assert "- **group**:" in report
+        assert "  - **inner**: 1, 2, 3" in report
+        assert "- **scalar**: 7" in report
+
+    def test_list_of_objects_renders_each_entry(self, results_directory):
+        report = render_report(load_results(results_directory))
+        assert "**name**: run1" in report
+
+
+class TestWriteReport:
+    def test_writes_file_and_returns_content(self, results_directory, tmp_path):
+        output = os.path.join(tmp_path, "out", "REPORT.md")
+        content = write_report(results_directory, output)
+        assert os.path.exists(output)
+        with open(output) as handle:
+            assert handle.read() == content
+
+    def test_report_over_repository_results_renders(self):
+        """The real benchmarks/results directory (if present) renders cleanly."""
+        repository_results = os.path.join(os.path.dirname(__file__), "..",
+                                          "benchmarks", "results")
+        report = render_report(load_results(repository_results))
+        assert report.startswith("# Measured benchmark results")

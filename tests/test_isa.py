@@ -1,0 +1,338 @@
+"""Tests for the ISA substrate: registers, opcodes, operands, instructions,
+basic blocks, the parser, and canonicalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (BasicBlock, ImmediateOperand, Instruction, MemoryOperand, ParseError,
+                       RegisterOperand, TokenVocabulary, canonical_register, canonicalize_block,
+                       format_instruction, parse_block, parse_instruction, register_by_name)
+from repro.isa.canonicalize import canonicalize_instruction
+from repro.isa.opcodes import DEFAULT_OPCODE_TABLE, OpcodeTable, UopClass, build_default_opcode_table
+from repro.isa.registers import GPR32, GPR64, XMM, registers_for_width
+
+
+class TestRegisters:
+    def test_lookup_with_and_without_sigil(self):
+        assert register_by_name("rax").name == "rax"
+        assert register_by_name("%rax").name == "rax"
+
+    def test_unknown_register(self):
+        with pytest.raises(KeyError):
+            register_by_name("zzz")
+
+    def test_canonical_aliasing(self):
+        assert canonical_register("eax") == "rax"
+        assert canonical_register("ax") == "rax"
+        assert canonical_register("r13d") == "r13"
+
+    def test_vector_registers_alias_ymm(self):
+        assert canonical_register("xmm3") == "ymm3"
+        assert register_by_name("xmm3").is_vector
+
+    def test_register_widths(self):
+        assert register_by_name("rax").width == 64
+        assert register_by_name("eax").width == 32
+        assert register_by_name("al").width == 8
+        assert register_by_name("ymm0").width == 256
+
+    def test_registers_for_width(self):
+        assert "rax" in registers_for_width(64)
+        assert "eax" in registers_for_width(32)
+        assert "xmm0" in registers_for_width(128, vector=True)
+        with pytest.raises(ValueError):
+            registers_for_width(12)
+
+    def test_register_pools_are_consistent(self):
+        assert len(GPR64) == len(GPR32) == 16
+        assert len(XMM) == 16
+
+
+class TestOpcodeTable:
+    def test_default_table_size(self, opcode_table):
+        # Mirrors the scale of BHive's 837-opcode vocabulary.
+        assert 500 <= len(opcode_table) <= 900
+
+    def test_lookup_by_name_and_index(self, opcode_table):
+        index = opcode_table.index_of("ADD32rr")
+        assert opcode_table[index].name == "ADD32rr"
+        assert opcode_table["ADD32rr"].mnemonic == "add"
+
+    def test_contains_expected_opcodes(self, opcode_table):
+        for name in ["PUSH64r", "POP64r", "XOR32rr", "ADD32mr", "SHR64mi", "MOV64rm",
+                     "IMUL64rr", "MULPSrr", "VZEROUPPER", "LEA64r", "CMOVE32rr"]:
+            assert name in opcode_table, name
+
+    def test_unknown_opcode_raises(self, opcode_table):
+        with pytest.raises(KeyError):
+            opcode_table.index_of("NOT_AN_OPCODE")
+
+    def test_duplicate_opcode_rejected(self, opcode_table):
+        table = OpcodeTable([opcode_table["ADD32rr"]])
+        with pytest.raises(ValueError):
+            table.add(opcode_table["ADD32rr"])
+
+    def test_memory_flags(self, opcode_table):
+        assert opcode_table["MOV64rm"].reads_memory
+        assert not opcode_table["MOV64rm"].writes_memory
+        assert opcode_table["MOV64mr"].writes_memory
+        assert opcode_table["ADD32mr"].reads_memory
+        assert opcode_table["ADD32mr"].writes_memory
+
+    def test_zero_idiom_flags(self, opcode_table):
+        assert opcode_table["XOR32rr"].can_zero_idiom
+        assert opcode_table["SUB64rr"].can_zero_idiom
+        assert not opcode_table["ADD32rr"].can_zero_idiom
+
+    def test_by_class(self, opcode_table):
+        loads = opcode_table.by_class(UopClass.LOAD)
+        assert loads and all(op.uop_class == UopClass.LOAD for op in loads)
+
+    def test_table_construction_is_deterministic(self):
+        first = build_default_opcode_table()
+        second = build_default_opcode_table()
+        assert first.names() == second.names()
+
+    def test_implicit_defs_for_stack_ops(self, opcode_table):
+        assert "rsp" in opcode_table["PUSH64r"].implicit_defs
+        assert "rsp" in opcode_table["POP64r"].implicit_uses
+
+
+class TestOperands:
+    def test_register_operand_canonical(self):
+        operand = RegisterOperand("eax")
+        assert operand.canonical == "rax"
+        assert operand.to_assembly() == "%eax"
+
+    def test_register_operand_invalid(self):
+        with pytest.raises(KeyError):
+            RegisterOperand("bogus")
+
+    def test_immediate_operand(self):
+        assert ImmediateOperand(5).to_assembly() == "$5"
+
+    def test_memory_operand_address_registers(self):
+        operand = MemoryOperand(displacement=8, base="rax", index="rbx", scale=4)
+        assert operand.address_registers() == ("rax", "rbx")
+        assert operand.to_assembly() == "8(%rax,%rbx,4)"
+
+    def test_memory_operand_invalid_scale(self):
+        with pytest.raises(ValueError):
+            MemoryOperand(base="rax", scale=3)
+
+    def test_memory_location_key_canonicalizes(self):
+        a = MemoryOperand(displacement=16, base="rsp")
+        b = MemoryOperand(displacement=16, base="esp")
+        assert a.location_key() == b.location_key()
+
+
+class TestInstructionSemantics:
+    def test_rmw_reads_and_writes(self, opcode_table):
+        instruction = parse_instruction("addl %eax, %ebx")
+        assert "rax" in instruction.source_registers()
+        assert "rbx" in instruction.source_registers()
+        assert "rbx" in instruction.destination_registers()
+
+    def test_mov_does_not_read_destination(self):
+        instruction = parse_instruction("movq %rax, %rbx")
+        assert "rbx" not in instruction.source_registers()
+        assert "rbx" in instruction.destination_registers()
+
+    def test_cmp_does_not_write_register(self):
+        instruction = parse_instruction("cmpq %rax, %rbx")
+        assert instruction.destination_registers() == ("rflags",)
+
+    def test_load_address_registers_are_sources(self):
+        instruction = parse_instruction("movq 8(%rax,%rbx,4), %rcx")
+        assert set(instruction.source_registers()) == {"rax", "rbx"}
+        assert instruction.is_load and not instruction.is_store
+
+    def test_store_writes_memory_not_registers(self):
+        instruction = parse_instruction("movq %rax, 16(%rsp)")
+        assert instruction.is_store
+        assert instruction.destination_registers() == ()
+
+    def test_push_uses_and_defines_rsp(self):
+        instruction = parse_instruction("pushq %rbx")
+        assert "rsp" in instruction.source_registers()
+        assert "rsp" in instruction.destination_registers()
+        assert instruction.memory_location() is not None
+
+    def test_zero_idiom_detection(self):
+        assert parse_instruction("xorl %r13d, %r13d").is_zero_idiom()
+        assert not parse_instruction("xorl %eax, %ebx").is_zero_idiom()
+        assert not parse_instruction("addl %eax, %eax").is_zero_idiom()
+
+    def test_cmov_reads_flags_and_destination(self):
+        instruction = parse_instruction("cmove %rax, %rbx")
+        assert "rflags" in instruction.source_registers()
+        assert "rbx" in instruction.source_registers()
+
+    def test_implicit_div_registers(self):
+        instruction = parse_instruction("divq %rcx")
+        assert "rax" in instruction.source_registers()
+        assert "rdx" in instruction.destination_registers()
+
+    def test_memory_location_identity(self):
+        first = parse_instruction("movq %rax, 16(%rsp)")
+        second = parse_instruction("movq 16(%rsp), %rbx")
+        assert first.memory_location() == second.memory_location()
+
+
+class TestBasicBlock:
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock(instructions=())
+
+    def test_sequence_protocol(self, simple_block):
+        assert len(simple_block) == 3
+        assert simple_block[0].opcode.name == "ADD64rr"
+        assert [i.opcode.name for i in simple_block] == simple_block.opcode_names()
+
+    def test_counts(self, simple_block):
+        assert simple_block.num_stores() == 1
+        assert simple_block.num_loads() == 0
+        assert simple_block.num_scalar_arithmetic() == 2
+
+    def test_register_dependencies(self):
+        block = parse_block("addq %rax, %rbx\naddq %rbx, %rcx\naddq %rcx, %rdx")
+        dependencies = block.register_dependencies()
+        assert (0, 1, "rbx") in dependencies
+        assert (1, 2, "rcx") in dependencies
+
+    def test_loop_carried_registers(self):
+        block = parse_block("addq %rax, %rbx\naddq %rbx, %rax")
+        carried = block.loop_carried_registers()
+        assert "rax" in carried and "rbx" in carried
+
+    def test_structural_key_distinguishes_blocks(self):
+        a = parse_block("addq %rax, %rbx")
+        b = parse_block("addq %rax, %rcx")
+        assert a.structural_key() != b.structural_key()
+
+    def test_roundtrip_through_assembly(self, sample_blocks):
+        for block in sample_blocks[:15]:
+            reparsed = parse_block(block.to_assembly())
+            assert reparsed.opcode_names() == block.opcode_names()
+
+
+class TestParser:
+    @pytest.mark.parametrize("text,opcode", [
+        ("pushq %rbx", "PUSH64r"),
+        ("popq %rdi", "POP64r"),
+        ("xorl %r13d, %r13d", "XOR32rr"),
+        ("addl %eax, 16(%rsp)", "ADD32mr"),
+        ("addl $7, %eax", "ADD32ri"),
+        ("shrq $5, 16(%rsp)", "SHR64mi"),
+        ("movq 8(%rax,%rbx,4), %rcx", "MOV64rm"),
+        ("movl $374, %esi", "MOV32ri"),
+        ("imulq %rcx, %rdx", "IMUL64rr"),
+        ("leaq 8(%rsp), %rax", "LEA64r"),
+        ("mulps %xmm1, %xmm2", "MULPSrr"),
+        ("movaps %xmm0, 32(%rsp)", "MOVAPSmr"),
+        ("cmove %rax, %rbx", "CMOVE64rr"),
+        ("sete %al", "SETEr"),
+        ("vzeroupper", "VZEROUPPER"),
+        ("divq %rcx", "DIV64r"),
+        ("testl %r8d, %r8d", "TEST32rr"),
+    ])
+    def test_parses_to_expected_opcode(self, text, opcode):
+        assert parse_instruction(text).opcode.name == opcode
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_instruction("")
+        with pytest.raises(ParseError):
+            parse_instruction("frobnicate %rax")
+        with pytest.raises(ParseError):
+            parse_instruction("addq %zzz, %rax")
+
+    def test_parse_block_skips_comments_and_blank_lines(self):
+        block = parse_block("""
+        # a comment
+        addq %rax, %rbx
+
+        movq %rbx, %rcx  # trailing comment
+        """)
+        assert len(block) == 2
+
+    def test_parse_block_semicolon_separated(self):
+        block = parse_block("addq %rax, %rbx; movq %rbx, %rcx")
+        assert len(block) == 2
+
+    def test_parse_block_empty_raises(self):
+        with pytest.raises(ParseError):
+            parse_block("   \n  # only a comment\n")
+
+    def test_parse_block_source_applications(self):
+        block = parse_block("addq %rax, %rbx", source_applications=("Redis",))
+        assert block.source_applications == ("Redis",)
+
+    def test_format_roundtrip(self):
+        for text in ["pushq %rbx", "addl %eax, 16(%rsp)", "xorl %r13d, %r13d",
+                     "movq 8(%rax,%rbx,4), %rcx", "imulq %rcx, %rdx"]:
+            instruction = parse_instruction(text)
+            reparsed = parse_instruction(format_instruction(instruction))
+            assert reparsed.opcode.name == instruction.opcode.name
+
+
+class TestCanonicalization:
+    def test_vocabulary_is_stable(self, opcode_table):
+        first = TokenVocabulary(opcode_table)
+        second = TokenVocabulary(opcode_table)
+        assert len(first) == len(second)
+        assert first.token_id("OP:ADD32rr") == second.token_id("OP:ADD32rr")
+
+    def test_vocabulary_covers_opcodes_and_registers(self, opcode_table):
+        vocabulary = TokenVocabulary(opcode_table)
+        assert vocabulary.opcode_token_id("ADD32rr") != vocabulary.token_id("<UNK>")
+        assert vocabulary.register_token_id("rax") != vocabulary.token_id("<UNK>")
+
+    def test_unknown_token_maps_to_unk(self, opcode_table):
+        vocabulary = TokenVocabulary(opcode_table)
+        assert vocabulary.token_id("OP:NOT_REAL") == vocabulary.token_id("<UNK>")
+
+    def test_instruction_token_structure(self, opcode_table):
+        vocabulary = TokenVocabulary(opcode_table)
+        instruction = parse_instruction("addq %rax, %rbx")
+        canonical = canonicalize_instruction(instruction, vocabulary)
+        tokens = [vocabulary.token(t) for t in canonical.token_ids]
+        assert tokens[0] == "OP:ADD64rr"
+        assert "<S>" in tokens and "<D>" in tokens and tokens[-1] == "<E>"
+        assert canonical.opcode_index == opcode_table.index_of("ADD64rr")
+
+    def test_memory_operand_tokens(self, opcode_table):
+        vocabulary = TokenVocabulary(opcode_table)
+        instruction = parse_instruction("movq 8(%rax,%rbx,4), %rcx")
+        canonical = canonicalize_instruction(instruction, vocabulary)
+        tokens = [vocabulary.token(t) for t in canonical.token_ids]
+        assert "MEM" in tokens
+        assert "REG:rax" in tokens and "REG:rbx" in tokens
+
+    def test_block_canonicalization_length(self, opcode_table, simple_block):
+        vocabulary = TokenVocabulary(opcode_table)
+        canonical = canonicalize_block(simple_block, vocabulary)
+        assert len(canonical) == len(simple_block)
+
+    def test_immediate_maps_to_const(self, opcode_table):
+        vocabulary = TokenVocabulary(opcode_table)
+        canonical = canonicalize_instruction(parse_instruction("addl $7, %eax"), vocabulary)
+        tokens = [vocabulary.token(t) for t in canonical.token_ids]
+        assert "CONST" in tokens
+
+
+class TestGeneratedBlocksProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_generated_blocks_parse_and_have_valid_opcodes(self, seed):
+        from repro.bhive import BlockGenerator
+
+        generator = BlockGenerator(seed=seed)
+        block = generator.generate_block()
+        assert len(block) >= 1
+        reparsed = parse_block(block.to_assembly())
+        assert reparsed.opcode_names() == block.opcode_names()
+        for instruction in block:
+            assert instruction.opcode.name in DEFAULT_OPCODE_TABLE

@@ -1,0 +1,278 @@
+"""Tests for the llvm-mca style simulator: parameters, ports, ROB, pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.parser import parse_block
+from repro.llvm_mca import MCAParameterTable, MCASimulator, PortSet, ReorderBuffer
+from repro.llvm_mca.params import NUM_PORTS, NUM_READ_ADVANCE_SLOTS
+from repro.targets import HASWELL, build_default_mca_table
+
+
+class TestParameterTable:
+    def test_zeros_table_is_valid(self, opcode_table):
+        table = MCAParameterTable.zeros(opcode_table)
+        table.validate()
+        assert table.num_parameters == 2 + len(opcode_table) * (2 + 3 + 10)
+
+    def test_validation_rejects_bad_values(self, opcode_table):
+        table = MCAParameterTable.zeros(opcode_table)
+        table.dispatch_width = 0
+        with pytest.raises(ValueError):
+            table.validate()
+        table = MCAParameterTable.zeros(opcode_table)
+        table.write_latency[0] = -1
+        with pytest.raises(ValueError):
+            table.validate()
+        table = MCAParameterTable.zeros(opcode_table)
+        table.num_micro_ops[0] = 0
+        with pytest.raises(ValueError):
+            table.validate()
+
+    def test_shape_validation(self, opcode_table):
+        with pytest.raises(ValueError):
+            MCAParameterTable(
+                opcode_table=opcode_table, dispatch_width=4, reorder_buffer_size=100,
+                num_micro_ops=np.ones(3), write_latency=np.zeros(len(opcode_table)),
+                read_advance_cycles=np.zeros((len(opcode_table), NUM_READ_ADVANCE_SLOTS)),
+                port_map=np.zeros((len(opcode_table), NUM_PORTS)))
+
+    def test_copy_is_independent(self, haswell_default_table):
+        copy = haswell_default_table.copy()
+        copy.write_latency[0] += 10
+        assert haswell_default_table.write_latency[0] != copy.write_latency[0]
+
+    def test_vector_roundtrip(self, haswell_default_table):
+        vector = haswell_default_table.to_vector()
+        restored = MCAParameterTable.from_vector(vector, haswell_default_table.opcode_table)
+        np.testing.assert_array_equal(restored.write_latency,
+                                      haswell_default_table.write_latency)
+        np.testing.assert_array_equal(restored.port_map, haswell_default_table.port_map)
+        assert restored.dispatch_width == haswell_default_table.dispatch_width
+
+    def test_vector_length_validation(self, opcode_table):
+        with pytest.raises(ValueError):
+            MCAParameterTable.from_vector(np.zeros(5), opcode_table)
+
+    def test_from_vector_clips_to_bounds(self, opcode_table):
+        table = MCAParameterTable.zeros(opcode_table)
+        vector = table.to_vector()
+        vector[:] = -3.0
+        restored = MCAParameterTable.from_vector(vector, opcode_table)
+        restored.validate()
+
+    def test_dict_roundtrip(self, haswell_default_table, tmp_path):
+        path = str(tmp_path / "table.json")
+        haswell_default_table.save_json(path)
+        restored = MCAParameterTable.load_json(path, haswell_default_table.opcode_table)
+        np.testing.assert_array_equal(restored.write_latency,
+                                      haswell_default_table.write_latency)
+        assert restored.reorder_buffer_size == haswell_default_table.reorder_buffer_size
+
+    def test_per_opcode_accessors(self, haswell_default_table):
+        assert haswell_default_table.latency_of("ADD32rr") >= 0
+        assert haswell_default_table.micro_ops_of("ADD32rr") >= 1
+        assert haswell_default_table.port_map_of("ADD32rr").shape == (NUM_PORTS,)
+        haswell_default_table_copy = haswell_default_table.copy()
+        haswell_default_table_copy.set_latency("ADD32rr", 7)
+        assert haswell_default_table_copy.latency_of("ADD32rr") == 7
+
+
+class TestPortSet:
+    def test_initially_free(self):
+        ports = PortSet(4)
+        assert ports.earliest_issue_cycle([1, 0, 0, 0], not_before=0) == 0
+
+    def test_reservation_blocks_port(self):
+        ports = PortSet(2)
+        ports.reserve([2, 0], issue_cycle=0)
+        assert ports.earliest_issue_cycle([1, 0], not_before=0) == 2
+        assert ports.earliest_issue_cycle([0, 1], not_before=0) == 0
+
+    def test_all_required_ports_must_be_free(self):
+        ports = PortSet(3)
+        ports.reserve([3, 0, 0], issue_cycle=0)
+        ports.reserve([0, 1, 0], issue_cycle=0)
+        assert ports.earliest_issue_cycle([1, 1, 0], not_before=0) == 3
+
+    def test_reserve_returns_completion(self):
+        ports = PortSet(2)
+        completion = ports.reserve([2, 5], issue_cycle=3)
+        assert completion == 8
+
+    def test_no_ports_used(self):
+        ports = PortSet(2)
+        assert ports.reserve([0, 0], issue_cycle=4) == 4
+
+    def test_reset(self):
+        ports = PortSet(2)
+        ports.reserve([4, 4], issue_cycle=0)
+        ports.reset()
+        assert ports.utilization() == [0, 0]
+
+    def test_invalid_port_count(self):
+        with pytest.raises(ValueError):
+            PortSet(0)
+
+
+class TestReorderBuffer:
+    def test_space_available_initially(self):
+        rob = ReorderBuffer(8)
+        assert rob.earliest_cycle_with_space(4, not_before=0) == 0
+
+    def test_blocks_until_retirement(self):
+        rob = ReorderBuffer(4)
+        rob.allocate(4, retire_cycle=10)
+        assert rob.earliest_cycle_with_space(1, not_before=0) == 10
+
+    def test_partial_drain(self):
+        rob = ReorderBuffer(4)
+        rob.allocate(2, retire_cycle=5)
+        rob.allocate(2, retire_cycle=9)
+        assert rob.earliest_cycle_with_space(2, not_before=0) == 5
+
+    def test_oversized_instruction_clamped(self):
+        rob = ReorderBuffer(2)
+        assert rob.earliest_cycle_with_space(100, not_before=0) == 0
+
+    def test_occupancy_tracking(self):
+        rob = ReorderBuffer(10)
+        rob.allocate(4, retire_cycle=3)
+        assert rob.occupied == 4
+        rob.earliest_cycle_with_space(1, not_before=5)
+        assert rob.occupied == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(0)
+
+
+class TestSimulator:
+    def test_single_alu_instruction_timing(self, haswell_default_table):
+        simulator = MCASimulator(haswell_default_table)
+        block = parse_block("addq %rax, %rbx")
+        timing = simulator.predict_timing(block)
+        assert 0.2 <= timing <= 1.5
+
+    def test_dependency_chain_latency_bound(self, haswell_default_table):
+        simulator = MCASimulator(haswell_default_table)
+        independent = parse_block("addq %rax, %rbx\naddq %rcx, %rdx")
+        chained = parse_block("addq %rax, %rbx\naddq %rbx, %rax")
+        assert simulator.predict_timing(chained) > simulator.predict_timing(independent) - 1e-9
+
+    def test_imul_chain_scales_with_latency(self, haswell_default_table):
+        table = haswell_default_table.copy()
+        simulator = MCASimulator(table)
+        block = parse_block("imulq %rcx, %rdx\nimulq %rdx, %rcx")
+        base = simulator.predict_timing(block)
+        table.set_latency("IMUL64rr", table.latency_of("IMUL64rr") * 2)
+        doubled = MCASimulator(table).predict_timing(block)
+        assert doubled > base
+
+    def test_dispatch_width_effect(self, haswell_default_table):
+        wide = haswell_default_table.copy()
+        wide.dispatch_width = 8
+        narrow = haswell_default_table.copy()
+        narrow.dispatch_width = 1
+        block = parse_block("\n".join(f"addq %rax, %r{8 + i}" for i in range(6)))
+        assert MCASimulator(narrow).predict_timing(block) > \
+            MCASimulator(wide).predict_timing(block)
+
+    def test_reorder_buffer_effect(self, haswell_default_table):
+        small = haswell_default_table.copy()
+        small.reorder_buffer_size = 2
+        block = parse_block("\n".join(f"addq %rax, %r{8 + (i % 7)}" for i in range(12)))
+        small_timing = MCASimulator(small).predict_timing(block)
+        default_timing = MCASimulator(haswell_default_table).predict_timing(block)
+        assert small_timing >= default_timing
+
+    def test_port_contention(self, haswell_default_table):
+        table = haswell_default_table.copy()
+        index = table.opcode_index("MULPSrr")
+        table.port_map[index, :] = 0
+        table.port_map[index, 8] = 3
+        block = parse_block("mulps %xmm1, %xmm2\nmulps %xmm3, %xmm4")
+        contended = MCASimulator(table).predict_timing(block)
+        table.port_map[index, 8] = 1
+        relaxed = MCASimulator(table).predict_timing(block)
+        assert contended > relaxed
+
+    def test_write_latency_zero_removes_stall(self, haswell_default_table):
+        table = haswell_default_table.copy()
+        block = parse_block("pushq %rbx\ntestl %r8d, %r8d")
+        default_timing = MCASimulator(table).predict_timing(block)
+        table.set_latency("PUSH64r", 0)
+        relaxed_timing = MCASimulator(table).predict_timing(block)
+        assert relaxed_timing < default_timing
+
+    def test_memory_dependencies_not_modeled(self, haswell_default_table):
+        """llvm-mca does not track store-to-load dependencies (ADD32mr case)."""
+        simulator = MCASimulator(haswell_default_table)
+        block = parse_block("addl %eax, 16(%rsp)")
+        assert simulator.predict_timing(block) < 3.0
+
+    def test_read_advance_reduces_chain(self, haswell_default_table):
+        table = haswell_default_table.copy()
+        index = table.opcode_index("IMUL64rr")
+        block = parse_block("imulq %rcx, %rdx\nimulq %rdx, %rcx")
+        base = MCASimulator(table).predict_timing(block)
+        table.read_advance_cycles[index, :] = 2
+        advanced = MCASimulator(table).predict_timing(block)
+        assert advanced <= base
+
+    def test_simulation_result_fields(self, haswell_default_table, simple_block):
+        result = MCASimulator(haswell_default_table).simulate(simple_block)
+        assert result.cycles_per_iteration > 0
+        assert result.total_cycles >= 1
+        assert result.iterations_simulated >= 2
+        assert len(result.retire_cycles) == len(simple_block) * result.iterations_simulated
+        assert result.timing == result.cycles_per_iteration
+
+    def test_retire_cycles_monotone(self, haswell_default_table, simple_block):
+        result = MCASimulator(haswell_default_table).simulate(simple_block)
+        assert all(b >= a for a, b in zip(result.retire_cycles, result.retire_cycles[1:]))
+
+    def test_long_block_iteration_reduction(self, haswell_default_table):
+        simulator = MCASimulator(haswell_default_table, max_dynamic_instructions=256)
+        block = parse_block("\n".join("addq %rax, %rbx" for _ in range(128)))
+        result = simulator.simulate(block)
+        assert result.iterations_simulated * len(block) <= 512
+
+    def test_invalid_windows(self, haswell_default_table):
+        with pytest.raises(ValueError):
+            MCASimulator(haswell_default_table, warmup_iterations=0)
+
+    def test_predict_many_matches_individual(self, haswell_default_table, sample_blocks):
+        simulator = MCASimulator(haswell_default_table)
+        blocks = sample_blocks[:5]
+        batch = simulator.predict_many(blocks)
+        individual = [simulator.predict_timing(block) for block in blocks]
+        np.testing.assert_allclose(batch, individual)
+
+    def test_determinism(self, haswell_default_table, sample_blocks):
+        first = MCASimulator(haswell_default_table).predict_many(sample_blocks[:8])
+        second = MCASimulator(haswell_default_table).predict_many(sample_blocks[:8])
+        np.testing.assert_allclose(first, second)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_timings_always_positive_and_finite(self, seed):
+        from repro.bhive import BlockGenerator
+
+        block = BlockGenerator(seed=seed).generate_block()
+        table = build_default_mca_table(HASWELL)
+        timing = MCASimulator(table).predict_timing(block)
+        assert np.isfinite(timing)
+        assert timing > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=1, max_value=300))
+    def test_arbitrary_globals_never_crash(self, dispatch_width, reorder_buffer):
+        table = build_default_mca_table(HASWELL).copy()
+        table.dispatch_width = dispatch_width
+        table.reorder_buffer_size = reorder_buffer
+        block = parse_block("addq %rax, %rbx\nmovq 8(%rsp), %rcx\nimulq %rcx, %rax")
+        timing = MCASimulator(table).predict_timing(block)
+        assert np.isfinite(timing) and timing > 0

@@ -1,0 +1,245 @@
+"""Tests for the llvm-mca port-group semantics and diagnostic views."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.parser import parse_block
+from repro.llvm_mca import (GroupedPortSet, HASWELL_PORT_GROUPS, MCASimulator, NUM_PORTS,
+                            PortGroup, PortSet, TimelineView, resolve_grouped_port_map)
+from repro.targets import HASWELL
+from repro.targets.defaults import build_default_mca_table
+
+
+@pytest.fixture(scope="module")
+def default_table():
+    return build_default_mca_table(HASWELL)
+
+
+@pytest.fixture(scope="module")
+def dependent_block(default_table):
+    return parse_block("addq %rax, %rbx\nimulq %rbx, %rcx\naddq %rcx, %rax",
+                       default_table.opcode_table)
+
+
+@pytest.fixture(scope="module")
+def load_store_block(default_table):
+    return parse_block("movq 16(%rsp), %rax\naddq %rax, %rbx\nmovq %rbx, 24(%rsp)",
+                       default_table.opcode_table)
+
+
+# ----------------------------------------------------------------------
+# Port groups
+# ----------------------------------------------------------------------
+class TestPortGroup:
+    def test_group_validation(self):
+        with pytest.raises(ValueError):
+            PortGroup("empty", ())
+        with pytest.raises(ValueError):
+            PortGroup("dup", (1, 1))
+        with pytest.raises(ValueError):
+            PortGroup("neg", (-1,))
+
+    def test_membership_and_width(self):
+        group = PortGroup("P01", (0, 1))
+        assert 0 in group and 1 in group and 5 not in group
+        assert group.width == 2
+
+    def test_standard_groups_fit_in_ten_ports(self):
+        for group in HASWELL_PORT_GROUPS.values():
+            assert all(0 <= port < NUM_PORTS for port in group.ports)
+
+
+class TestResolveGroupedPortMap:
+    def test_plain_per_port_demand_passes_through(self):
+        resolved = resolve_grouped_port_map([1, 0, 2, 0, 0, 0, 0, 0, 0, 0], {},
+                                            HASWELL_PORT_GROUPS)
+        assert resolved == [1, 0, 2, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_group_cycles_spread_to_least_loaded_member(self):
+        resolved = resolve_grouped_port_map([0] * NUM_PORTS, {"P01": 4},
+                                            HASWELL_PORT_GROUPS)
+        assert resolved[0] == 2 and resolved[1] == 2
+        assert sum(resolved) == 4
+
+    def test_group_respects_existing_per_port_load(self):
+        per_port = [3, 0] + [0] * (NUM_PORTS - 2)
+        resolved = resolve_grouped_port_map(per_port, {"P01": 2}, HASWELL_PORT_GROUPS)
+        # Both group cycles land on the idle member (port 1).
+        assert resolved[1] == 2
+        assert resolved[0] == 3
+
+    def test_unknown_group_and_bad_values_rejected(self):
+        with pytest.raises(KeyError):
+            resolve_grouped_port_map([0] * NUM_PORTS, {"missing": 1}, HASWELL_PORT_GROUPS)
+        with pytest.raises(ValueError):
+            resolve_grouped_port_map([-1] * NUM_PORTS, {}, HASWELL_PORT_GROUPS)
+        with pytest.raises(ValueError):
+            resolve_grouped_port_map([0] * NUM_PORTS, {"P01": -2}, HASWELL_PORT_GROUPS)
+        with pytest.raises(ValueError):
+            resolve_grouped_port_map([0] * (NUM_PORTS + 1), {}, HASWELL_PORT_GROUPS)
+
+    def test_group_referencing_port_outside_set_rejected(self):
+        groups = {"wide": PortGroup("wide", (0, 12))}
+        with pytest.raises(ValueError):
+            resolve_grouped_port_map([0, 0], {"wide": 1}, groups, num_ports=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=12), st.integers(min_value=0, max_value=12))
+    def test_total_cycles_conserved_property(self, group_cycles, per_port_cycles):
+        """Resolution never creates or loses occupancy cycles."""
+        per_port = [per_port_cycles] + [0] * (NUM_PORTS - 1)
+        resolved = resolve_grouped_port_map(per_port, {"P0156": group_cycles},
+                                            HASWELL_PORT_GROUPS)
+        assert sum(resolved) == per_port_cycles + group_cycles
+
+
+class TestGroupedPortSet:
+    def test_group_issue_uses_any_free_member(self):
+        ports = GroupedPortSet()
+        # Busy port 0 for 10 cycles via a per-port demand.
+        ports.reserve([10] + [0] * (NUM_PORTS - 1), {}, issue_cycle=0)
+        # A P01 group demand can still issue immediately on port 1.
+        assert ports.earliest_issue_cycle([0] * NUM_PORTS, {"P01": 1}, not_before=0) == 0
+
+    def test_plain_port_demand_still_blocks(self):
+        ports = GroupedPortSet()
+        ports.reserve([5] + [0] * (NUM_PORTS - 1), {}, issue_cycle=0)
+        assert ports.earliest_issue_cycle([1] + [0] * (NUM_PORTS - 1), {}, 0) == 5
+
+    def test_reserve_steers_group_to_least_loaded(self):
+        ports = GroupedPortSet()
+        ports.reserve([0] * NUM_PORTS, {"P01": 3}, issue_cycle=0)
+        ports.reserve([0] * NUM_PORTS, {"P01": 3}, issue_cycle=0)
+        utilization = ports.utilization()
+        assert utilization[0] == 3 and utilization[1] == 3
+
+    def test_completion_time_reflects_group_reservation(self):
+        ports = GroupedPortSet()
+        completion = ports.reserve([0] * NUM_PORTS, {"P23": 4}, issue_cycle=2)
+        assert completion == 6
+
+    def test_reset_and_pressure(self):
+        ports = GroupedPortSet()
+        ports.reserve([0] * NUM_PORTS, {"P01": 2}, issue_cycle=0)
+        assert ports.group_pressure()["P01"] > 0.0
+        ports.reset()
+        assert all(value == 0 for value in ports.utilization())
+
+    def test_unknown_group_rejected(self):
+        ports = GroupedPortSet()
+        with pytest.raises(KeyError):
+            ports.reserve([0] * NUM_PORTS, {"nope": 1}, issue_cycle=0)
+
+    def test_group_outside_port_set_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedPortSet(num_ports=2, groups={"big": PortGroup("big", (0, 5))})
+
+    def test_matches_plain_portset_for_per_port_demands(self):
+        grouped = GroupedPortSet()
+        plain = PortSet(NUM_PORTS)
+        demand = [2, 0, 1, 0, 0, 0, 0, 0, 0, 0]
+        assert (grouped.earliest_issue_cycle(demand, {}, 3)
+                == plain.earliest_issue_cycle(demand, 3))
+        assert grouped.reserve(demand, {}, 3) == plain.reserve(demand, 3)
+
+
+# ----------------------------------------------------------------------
+# Simulation result timeline data
+# ----------------------------------------------------------------------
+class TestSimulationTimelineData:
+    def test_result_carries_per_instruction_cycles(self, default_table, dependent_block):
+        result = MCASimulator(default_table).simulate(dependent_block)
+        count = len(result.retire_cycles)
+        assert len(result.dispatch_cycles) == count
+        assert len(result.issue_cycles) == count
+        assert len(result.port_busy_cycles) == NUM_PORTS
+
+    def test_stage_ordering_invariant(self, default_table, dependent_block):
+        result = MCASimulator(default_table).simulate(dependent_block)
+        for dispatch, issue, retire in zip(result.dispatch_cycles, result.issue_cycles,
+                                           result.retire_cycles):
+            assert dispatch <= issue <= retire
+
+
+# ----------------------------------------------------------------------
+# Timeline view
+# ----------------------------------------------------------------------
+class TestTimelineView:
+    def test_timeline_entries_cover_every_dynamic_instruction(self, default_table,
+                                                              dependent_block):
+        view = TimelineView(default_table)
+        entries = view.timeline(dependent_block)
+        result = view.simulator.simulate(dependent_block)
+        assert len(entries) == len(result.retire_cycles)
+        assert {entry.index for entry in entries} == {0, 1, 2}
+        assert all(entry.latency >= 0 for entry in entries)
+
+    def test_timeline_opcode_labels_match_block(self, default_table, dependent_block):
+        view = TimelineView(default_table)
+        first_iteration = [entry for entry in view.timeline(dependent_block)
+                           if entry.iteration == 0]
+        assert [entry.opcode for entry in first_iteration] == \
+            [instruction.opcode.name for instruction in dependent_block]
+
+    def test_render_timeline_contains_stage_markers(self, default_table, dependent_block):
+        text = TimelineView(default_table).render_timeline(dependent_block)
+        assert "D" in text and "R" in text
+        assert "[0,0]" in text and "[1,0]" in text
+
+    def test_render_timeline_respects_iteration_limit(self, default_table, dependent_block):
+        text = TimelineView(default_table).render_timeline(dependent_block, max_iterations=1)
+        assert "[1,0]" not in text
+
+    def test_resource_pressure_positive_for_load_store_block(self, default_table,
+                                                             load_store_block):
+        pressure = TimelineView(default_table).resource_pressure(load_store_block)
+        assert pressure.max_pressure > 0.0
+        assert 0 <= pressure.busiest_port < NUM_PORTS
+        rendered = TimelineView(default_table).render_resource_pressure(load_store_block)
+        assert "Resource pressure" in rendered
+
+    def test_bottleneck_report_names_a_bound(self, default_table, dependent_block):
+        report = TimelineView(default_table).bottleneck_report(dependent_block)
+        assert report.bottleneck in ("dispatch", "ports", "dependencies", "retire")
+        assert report.timing > 0.0
+        assert set(report.bounds()) == {"dispatch", "ports", "dependencies"}
+
+    def test_dependency_bound_dominates_serial_chain(self, default_table):
+        block = parse_block("imulq %rax, %rax\nimulq %rax, %rax\nimulq %rax, %rax",
+                            default_table.opcode_table)
+        report = TimelineView(default_table).bottleneck_report(block)
+        assert report.bottleneck == "dependencies"
+        assert report.dependency_bound >= report.dispatch_bound
+
+    def test_dispatch_bound_dominates_wide_independent_block(self, default_table):
+        text = "\n".join(f"addq $1, %r{8 + index}" for index in range(8))
+        block = parse_block(text, default_table.opcode_table)
+        report = TimelineView(default_table).bottleneck_report(block)
+        assert report.dispatch_bound >= report.dependency_bound
+
+    def test_summary_combines_all_views(self, default_table, dependent_block):
+        summary = TimelineView(default_table).summary(dependent_block)
+        assert "Predicted timing" in summary
+        assert "Bottleneck" in summary
+        assert "Resource pressure" in summary
+
+    def test_rejects_result_without_timeline_data(self, default_table, dependent_block):
+        from repro.llvm_mca.simulator import SimulationResult
+
+        bare = SimulationResult(cycles_per_iteration=1.0, total_cycles=1,
+                                iterations_simulated=1, retire_cycles=[1])
+        with pytest.raises(ValueError):
+            TimelineView(default_table).timeline(dependent_block, result=bare)
+
+    def test_learned_degenerate_latency_visible_in_timeline(self, default_table):
+        """A degenerately high WriteLatency (ADD32mr case study) stretches retirement."""
+        block = parse_block("addl %eax, 16(%rsp)", default_table.opcode_table)
+        view_default = TimelineView(default_table)
+        slow_table = default_table.copy()
+        slow_table.set_latency(block[0].opcode.name, 62)
+        view_slow = TimelineView(slow_table)
+        default_last = view_default.timeline(block)[-1].retire_cycle
+        slow_last = view_slow.timeline(block)[-1].retire_cycle
+        assert slow_last > default_last

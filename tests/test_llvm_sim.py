@@ -1,0 +1,154 @@
+"""Tests for the llvm_sim style micro-op simulator (Appendix A substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.isa.parser import parse_block, parse_instruction
+from repro.llvm_sim import LLVMSimParameterTable, LLVMSimSimulator, MicroOp, decode_instruction
+from repro.llvm_sim.frontend import Frontend
+from repro.llvm_sim.params import NUM_PORTS
+from repro.targets import HASWELL, build_default_llvm_sim_table
+
+
+@pytest.fixture(scope="module")
+def default_sim_table():
+    return build_default_llvm_sim_table(HASWELL)
+
+
+class TestParameters:
+    def test_zeros_table(self, opcode_table):
+        table = LLVMSimParameterTable.zeros(opcode_table)
+        assert table.num_parameters == len(opcode_table) * (1 + NUM_PORTS)
+        table.validate()
+
+    def test_validation(self, opcode_table):
+        table = LLVMSimParameterTable.zeros(opcode_table)
+        table.write_latency[0] = -1
+        with pytest.raises(ValueError):
+            table.validate()
+
+    def test_shape_checks(self, opcode_table):
+        with pytest.raises(ValueError):
+            LLVMSimParameterTable(opcode_table=opcode_table,
+                                  write_latency=np.zeros(3),
+                                  port_uops=np.zeros((len(opcode_table), NUM_PORTS)))
+
+    def test_vector_roundtrip(self, default_sim_table):
+        vector = default_sim_table.to_vector()
+        restored = LLVMSimParameterTable.from_vector(vector, default_sim_table.opcode_table)
+        np.testing.assert_array_equal(restored.write_latency, default_sim_table.write_latency)
+        np.testing.assert_array_equal(restored.port_uops, default_sim_table.port_uops)
+
+    def test_copy_independent(self, default_sim_table):
+        copy = default_sim_table.copy()
+        copy.write_latency[0] += 5
+        assert copy.write_latency[0] != default_sim_table.write_latency[0]
+
+    def test_to_dict_keys(self, default_sim_table):
+        payload = default_sim_table.to_dict()
+        assert "ADD32rr" in payload["opcodes"]
+        assert "write_latency" in payload["opcodes"]["ADD32rr"]
+
+
+class TestFrontend:
+    def test_delivery_throughput(self):
+        frontend = Frontend(uops_per_cycle=4, decode_latency=0)
+        cycles = [frontend.next_delivery_cycle() for _ in range(8)]
+        assert cycles == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_decode_latency_offset(self):
+        frontend = Frontend(uops_per_cycle=2, decode_latency=3)
+        assert frontend.next_delivery_cycle() == 3
+
+    def test_reset(self):
+        frontend = Frontend(uops_per_cycle=1, decode_latency=0)
+        frontend.next_delivery_cycle()
+        frontend.reset()
+        assert frontend.next_delivery_cycle() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Frontend(uops_per_cycle=0)
+        with pytest.raises(ValueError):
+            Frontend(decode_latency=-1)
+
+
+class TestDecode:
+    def test_decode_produces_port_uops(self, default_sim_table):
+        instruction = parse_instruction("movq %rax, 16(%rsp)")
+        micro_ops = decode_instruction(instruction, 0, default_sim_table)
+        assert all(isinstance(uop, MicroOp) for uop in micro_ops)
+        assert len(micro_ops) >= 1
+
+    def test_zero_port_row_still_produces_bookkeeping_uop(self, opcode_table):
+        table = LLVMSimParameterTable.zeros(opcode_table)
+        instruction = parse_instruction("addq %rax, %rbx")
+        micro_ops = decode_instruction(instruction, 3, table)
+        assert len(micro_ops) == 1
+        assert micro_ops[0].port == -1
+        assert micro_ops[0].instruction_index == 3
+
+    def test_decode_respects_port_counts(self, opcode_table):
+        table = LLVMSimParameterTable.zeros(opcode_table)
+        index = opcode_table.index_of("ADD32rr")
+        table.port_uops[index, 0] = 2
+        table.port_uops[index, 5] = 1
+        micro_ops = decode_instruction(parse_instruction("addl %eax, %ebx"), 0, table)
+        assert len(micro_ops) == 3
+        assert sorted(uop.port for uop in micro_ops) == [0, 0, 5]
+
+
+class TestSimulator:
+    def test_timing_positive(self, default_sim_table, sample_blocks):
+        simulator = LLVMSimSimulator(default_sim_table)
+        timings = simulator.predict_many(sample_blocks[:10])
+        assert np.all(timings > 0)
+        assert np.all(np.isfinite(timings))
+
+    def test_latency_chain_effect(self, default_sim_table):
+        simulator = LLVMSimSimulator(default_sim_table)
+        chained = parse_block("imulq %rcx, %rdx\nimulq %rdx, %rcx")
+        independent = parse_block("imulq %rcx, %rdx\nimulq %rsi, %rdi")
+        assert simulator.predict_timing(chained) >= simulator.predict_timing(independent)
+
+    def test_frontend_throughput_limits_wide_blocks(self, default_sim_table):
+        narrow = LLVMSimSimulator(default_sim_table, frontend_uops_per_cycle=1)
+        wide = LLVMSimSimulator(default_sim_table, frontend_uops_per_cycle=8)
+        block = parse_block("\n".join(f"addq %rax, %r{8 + i}" for i in range(6)))
+        assert narrow.predict_timing(block) > wide.predict_timing(block)
+
+    def test_port_contention(self, opcode_table):
+        table = LLVMSimParameterTable.zeros(opcode_table)
+        index = opcode_table.index_of("MULPSrr")
+        table.port_uops[index, 8] = 1
+        block = parse_block("mulps %xmm1, %xmm2\nmulps %xmm3, %xmm4\nmulps %xmm5, %xmm6")
+        contended = LLVMSimSimulator(table).predict_timing(block)
+        table.port_uops[index, 8] = 0
+        table.port_uops[index, 9] = 1
+        still_contended = LLVMSimSimulator(table).predict_timing(block)
+        assert contended == pytest.approx(still_contended, rel=0.5)
+
+    def test_write_latency_zero_faster(self, default_sim_table):
+        block = parse_block("addq %rax, %rbx\naddq %rbx, %rax")
+        base = LLVMSimSimulator(default_sim_table).predict_timing(block)
+        modified = default_sim_table.copy()
+        modified.write_latency[:] = 0
+        faster = LLVMSimSimulator(modified).predict_timing(block)
+        assert faster <= base
+
+    def test_result_fields(self, default_sim_table, simple_block):
+        result = LLVMSimSimulator(default_sim_table).simulate(simple_block)
+        assert result.cycles_per_iteration > 0
+        assert result.iterations_simulated >= 2
+        assert result.timing == result.cycles_per_iteration
+
+    def test_determinism(self, default_sim_table, sample_blocks):
+        first = LLVMSimSimulator(default_sim_table).predict_many(sample_blocks[:6])
+        second = LLVMSimSimulator(default_sim_table).predict_many(sample_blocks[:6])
+        np.testing.assert_allclose(first, second)
+
+    def test_default_table_differs_from_mca_interpretation(self, default_sim_table,
+                                                           haswell_default_table):
+        # llvm_sim interprets the PortMap as uop counts, capped low.
+        assert default_sim_table.port_uops.max() <= 3
+        assert haswell_default_table.port_map.shape == default_sim_table.port_uops.shape

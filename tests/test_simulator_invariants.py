@@ -1,0 +1,156 @@
+"""Property-based invariants of the llvm-mca style simulator.
+
+These are the monotonicity and consistency properties that make gradient-based
+parameter optimization meaningful at all: making an instruction slower (higher
+WriteLatency, more port cycles, more micro-ops) must never make the simulated
+block faster, and widening global resources (DispatchWidth,
+ReorderBufferSize) must never make it slower.  DiffTune's surrogate learns a
+smooth approximation of exactly these monotone responses (Figure 2), so the
+original simulator violating them would silently break phase-2 optimization.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bhive.generator import BlockGenerator
+from repro.llvm_mca import MCASimulator
+from repro.targets import HASWELL
+from repro.targets.defaults import build_default_mca_table
+
+
+@pytest.fixture(scope="module")
+def default_table():
+    return build_default_mca_table(HASWELL)
+
+
+@pytest.fixture(scope="module")
+def generated_blocks():
+    generator = BlockGenerator(seed=123)
+    return generator.generate_blocks(12)
+
+
+def _timing(table, block):
+    return MCASimulator(table).predict_timing(block)
+
+
+block_index = st.integers(min_value=0, max_value=11)
+
+
+class TestMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(index=block_index, extra=st.integers(min_value=1, max_value=12))
+    def test_increasing_write_latency_never_speeds_up(self, index, extra, default_table,
+                                                      generated_blocks):
+        block = generated_blocks[index]
+        base = _timing(default_table, block)
+        slower = default_table.copy()
+        slower.write_latency = slower.write_latency + extra
+        assert _timing(slower, block) >= base - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(index=block_index, extra=st.integers(min_value=1, max_value=4))
+    def test_increasing_port_occupancy_never_speeds_up(self, index, extra, default_table,
+                                                       generated_blocks):
+        block = generated_blocks[index]
+        base = _timing(default_table, block)
+        slower = default_table.copy()
+        occupied = slower.port_map > 0
+        slower.port_map = slower.port_map + occupied.astype(np.int64) * extra
+        assert _timing(slower, block) >= base - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(index=block_index, extra=st.integers(min_value=1, max_value=6))
+    def test_increasing_micro_ops_never_speeds_up(self, index, extra, default_table,
+                                                  generated_blocks):
+        block = generated_blocks[index]
+        base = _timing(default_table, block)
+        slower = default_table.copy()
+        slower.num_micro_ops = slower.num_micro_ops + extra
+        assert _timing(slower, block) >= base - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(index=block_index, width=st.integers(min_value=1, max_value=9))
+    def test_wider_dispatch_does_not_meaningfully_slow_down(self, index, width,
+                                                            default_table, generated_blocks):
+        """Widening dispatch by one slot never costs more than a fraction of a cycle.
+
+        The dispatch stage packs whole micro-ops into integer-width slots, so
+        adjacent widths can differ by one packing decision (the same staircase
+        llvm-mca itself exhibits); anything beyond that small discretization
+        slack would indicate a real monotonicity bug.
+        """
+        block = generated_blocks[index]
+        narrow = default_table.copy()
+        narrow.dispatch_width = width
+        wide = default_table.copy()
+        wide.dispatch_width = width + 1
+        assert _timing(wide, block) <= _timing(narrow, block) + 0.5
+
+    @settings(max_examples=15, deadline=None)
+    @given(index=block_index)
+    def test_widest_dispatch_never_slower_than_narrowest(self, index, default_table,
+                                                         generated_blocks):
+        block = generated_blocks[index]
+        narrow = default_table.copy()
+        narrow.dispatch_width = 1
+        wide = default_table.copy()
+        wide.dispatch_width = 10
+        assert _timing(wide, block) <= _timing(narrow, block) + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(index=block_index, size=st.integers(min_value=20, max_value=200))
+    def test_larger_reorder_buffer_never_slows_down(self, index, size, default_table,
+                                                    generated_blocks):
+        block = generated_blocks[index]
+        small = default_table.copy()
+        small.reorder_buffer_size = size
+        large = default_table.copy()
+        large.reorder_buffer_size = size + 64
+        assert _timing(large, block) <= _timing(small, block) + 1e-9
+
+
+class TestConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(index=block_index)
+    def test_timing_is_deterministic(self, index, default_table, generated_blocks):
+        block = generated_blocks[index]
+        assert _timing(default_table, block) == _timing(default_table, block)
+
+    @settings(max_examples=20, deadline=None)
+    @given(index=block_index)
+    def test_timing_is_positive_and_finite(self, index, default_table, generated_blocks):
+        timing = _timing(default_table, generated_blocks[index])
+        assert np.isfinite(timing)
+        assert timing > 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(index=block_index)
+    def test_stage_cycles_are_ordered(self, index, default_table, generated_blocks):
+        result = MCASimulator(default_table).simulate(generated_blocks[index])
+        for dispatch, issue, retire in zip(result.dispatch_cycles, result.issue_cycles,
+                                           result.retire_cycles):
+            assert dispatch <= issue <= retire
+
+    @settings(max_examples=20, deadline=None)
+    @given(index=block_index)
+    def test_retirement_is_in_program_order(self, index, default_table, generated_blocks):
+        result = MCASimulator(default_table).simulate(generated_blocks[index])
+        retire = result.retire_cycles
+        assert all(earlier <= later for earlier, later in zip(retire, retire[1:]))
+
+    @settings(max_examples=10, deadline=None)
+    @given(index=block_index)
+    def test_zero_latency_zero_ports_is_dispatch_bound(self, index, default_table,
+                                                       generated_blocks):
+        """With no latencies and no port demand, only DispatchWidth matters."""
+        block = generated_blocks[index]
+        free = default_table.copy()
+        free.write_latency = np.zeros_like(free.write_latency)
+        free.read_advance_cycles = np.zeros_like(free.read_advance_cycles)
+        free.port_map = np.zeros_like(free.port_map)
+        free.num_micro_ops = np.ones_like(free.num_micro_ops)
+        timing = _timing(free, block)
+        dispatch_bound = len(block) / free.dispatch_width
+        assert timing <= dispatch_bound + 1.0 + 1e-9

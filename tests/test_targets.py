@@ -1,0 +1,200 @@
+"""Tests for target specs, default tables, the hardware model, and measured tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bhive import BlockGenerator
+from repro.isa.opcodes import UopClass
+from repro.isa.parser import parse_block
+from repro.llvm_mca import MCASimulator
+from repro.targets import (ALL_UARCHES, HASWELL, IVY_BRIDGE, SKYLAKE, ZEN2, HardwareModel,
+                           build_default_llvm_sim_table, build_default_mca_table,
+                           build_measured_latency_table, get_uarch)
+from repro.targets.defaults import default_opcode_parameters
+
+
+class TestUarchSpecs:
+    def test_registry_contains_all_four(self):
+        assert set(ALL_UARCHES) == {"ivybridge", "haswell", "skylake", "zen2"}
+
+    @pytest.mark.parametrize("name,expected", [
+        ("haswell", "Haswell"), ("hsw", "Haswell"),
+        ("ivybridge", "Ivy Bridge"), ("ivb", "Ivy Bridge"),
+        ("skylake", "Skylake"), ("SKL", "Skylake"),
+        ("zen2", "Zen 2"), ("znver2", "Zen 2"), ("Zen 2", "Zen 2"),
+    ])
+    def test_alias_lookup(self, name, expected):
+        assert get_uarch(name).name == expected
+
+    def test_unknown_uarch(self):
+        with pytest.raises(KeyError):
+            get_uarch("pentium4")
+
+    def test_vendor_flags(self):
+        assert HASWELL.vendor == "intel"
+        assert ZEN2.vendor == "amd"
+
+    def test_specs_cover_every_uop_class(self):
+        for spec in ALL_UARCHES.values():
+            for uop_class in UopClass:
+                assert uop_class in spec.documented, (spec.name, uop_class)
+                assert uop_class in spec.true, (spec.name, uop_class)
+
+    def test_documented_globals_match_paper_shape(self):
+        assert HASWELL.dispatch_width == 4
+        assert HASWELL.reorder_buffer_size == 192
+        assert SKYLAKE.reorder_buffer_size > IVY_BRIDGE.reorder_buffer_size
+
+
+class TestDefaultTables:
+    @pytest.mark.parametrize("spec", [HASWELL, IVY_BRIDGE, SKYLAKE, ZEN2])
+    def test_default_table_valid(self, spec):
+        table = build_default_mca_table(spec)
+        table.validate()
+        assert table.dispatch_width == spec.dispatch_width
+        assert table.reorder_buffer_size == spec.reorder_buffer_size
+
+    def test_vzeroupper_latency_zero(self, haswell_default_table):
+        assert haswell_default_table.latency_of("VZEROUPPER") == 0
+
+    def test_load_forms_include_load_latency(self, haswell_default_table):
+        assert haswell_default_table.latency_of("MOV64rm") >= HASWELL.load_latency
+        assert haswell_default_table.latency_of("ADD64rm") > \
+            haswell_default_table.latency_of("ADD64rr")
+
+    def test_push_latency_matches_paper_default(self, haswell_default_table):
+        # The paper reports the Haswell default WriteLatency for PUSH64r is 2.
+        assert haswell_default_table.latency_of("PUSH64r") == 2
+
+    def test_xor_latency_matches_paper_default(self, haswell_default_table):
+        # The paper reports the Haswell default WriteLatency for XOR32rr is 1.
+        assert haswell_default_table.latency_of("XOR32rr") == 1
+
+    def test_stores_occupy_store_data_port(self, haswell_default_table):
+        port_map = haswell_default_table.port_map_of("MOV64mr")
+        assert port_map[4] >= 1
+
+    def test_rmw_forms_occupy_store_port(self, haswell_default_table):
+        assert haswell_default_table.port_map_of("ADD32mr")[4] >= 1
+
+    def test_divider_occupies_port_zero(self, haswell_default_table):
+        assert haswell_default_table.port_map_of("DIV64r")[0] > 1
+
+    def test_most_port_maps_are_sparse(self, haswell_default_table):
+        # Port groups are zeroed (Section V-A), so most entries should be 0.
+        fraction_zero = float((haswell_default_table.port_map == 0).mean())
+        assert fraction_zero > 0.8
+
+    def test_default_opcode_parameters_keys(self, opcode_table):
+        values = default_opcode_parameters(opcode_table["ADD32rr"], HASWELL)
+        assert set(values) == {"num_micro_ops", "write_latency", "read_advance_cycles",
+                               "port_map"}
+
+    def test_llvm_sim_default_table(self):
+        table = build_default_llvm_sim_table(HASWELL)
+        table.validate()
+        assert table.port_uops.max() <= 3
+
+
+class TestHardwareModel:
+    def test_measurement_positive_and_finite(self, haswell_hardware, sample_blocks):
+        timings = haswell_hardware.measure_many(sample_blocks[:10], noisy=False)
+        assert np.all(timings > 0)
+        assert np.all(np.isfinite(timings))
+
+    def test_noise_bounded(self, haswell_hardware, simple_block):
+        noiseless = haswell_hardware.measure(simple_block, noisy=False)
+        noisy = [haswell_hardware.measure(simple_block, noisy=True) for _ in range(20)]
+        assert all(0.8 * noiseless <= value <= 1.2 * noiseless for value in noisy)
+
+    def test_zero_idiom_fast(self, haswell_hardware):
+        zero_idiom = parse_block("xorl %r13d, %r13d")
+        regular_xor = parse_block("xorl %eax, %ebx\naddl %ebx, %eax")
+        assert haswell_hardware.measure(zero_idiom, noisy=False) < \
+            haswell_hardware.measure(regular_xor, noisy=False)
+
+    def test_push_chain_hidden_by_stack_engine(self, haswell_hardware):
+        block = parse_block("pushq %rbx\ntestl %r8d, %r8d")
+        timing = haswell_hardware.measure(block, noisy=False)
+        assert timing < 1.6  # the paper's measured value is ~1.01 cycles
+
+    def test_memory_rmw_chain_modeled(self, haswell_hardware):
+        block = parse_block("addl %eax, 16(%rsp)")
+        timing = haswell_hardware.measure(block, noisy=False)
+        assert timing > 3.0  # the paper's measured value is ~5.97 cycles
+
+    def test_dependency_chain_slower_than_independent(self, haswell_hardware):
+        chained = parse_block("imulq %rcx, %rdx\nimulq %rdx, %rcx")
+        independent = parse_block("imulq %rcx, %rdx\nimulq %rsi, %rdi")
+        assert haswell_hardware.measure(chained, noisy=False) > \
+            haswell_hardware.measure(independent, noisy=False)
+
+    def test_case_study_magnitudes_match_paper_shape(self, haswell_hardware,
+                                                     haswell_default_table):
+        """Default llvm-mca over-predicts push/xor blocks and under-predicts
+        the memory read-modify-write block, as in Section VI-C."""
+        simulator = MCASimulator(haswell_default_table)
+        push_block = parse_block("pushq %rbx\ntestl %r8d, %r8d")
+        xor_block = parse_block("xorl %r13d, %r13d")
+        rmw_block = parse_block("addl %eax, 16(%rsp)")
+        assert simulator.predict_timing(push_block) > \
+            haswell_hardware.measure(push_block, noisy=False) * 1.4
+        assert simulator.predict_timing(xor_block) > \
+            haswell_hardware.measure(xor_block, noisy=False) * 1.5
+        assert simulator.predict_timing(rmw_block) < \
+            haswell_hardware.measure(rmw_block, noisy=False) * 0.6
+
+    def test_default_error_in_paper_regime(self, haswell_hardware, block_generator):
+        """Average default-table error should sit in the paper's 20–60% band."""
+        blocks = block_generator.generate_blocks(120)
+        simulator = MCASimulator(build_default_mca_table(HASWELL))
+        truths = haswell_hardware.measure_many(blocks, noisy=False)
+        predictions = simulator.predict_many(blocks)
+        error = float(np.mean(np.abs(predictions - truths) / truths))
+        assert 0.10 < error < 0.60
+
+    def test_different_uarches_give_different_timings(self, sample_blocks):
+        haswell = HardwareModel(HASWELL, seed=0).measure_many(sample_blocks[:10], noisy=False)
+        zen2 = HardwareModel(ZEN2, seed=0).measure_many(sample_blocks[:10], noisy=False)
+        assert not np.allclose(haswell, zen2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_measurement_always_positive(self, seed):
+        block = BlockGenerator(seed=seed).generate_block()
+        model = HardwareModel(HASWELL, seed=1)
+        assert model.measure(block, noisy=False) > 0
+
+
+class TestMeasuredTables:
+    def test_statistics_ordering(self):
+        minimum = build_measured_latency_table(HASWELL, "min")
+        median = build_measured_latency_table(HASWELL, "median")
+        maximum = build_measured_latency_table(HASWELL, "max")
+        assert minimum.write_latency.sum() <= median.write_latency.sum() \
+            <= maximum.write_latency.sum()
+
+    def test_invalid_statistic(self):
+        with pytest.raises(ValueError):
+            build_measured_latency_table(HASWELL, "mean")
+
+    def test_memory_forms_overcounted(self):
+        """Measured latencies include the memory round-trip the simulator
+        models separately — the Section II-B measurability mismatch."""
+        maximum = build_measured_latency_table(HASWELL, "max")
+        default = build_default_mca_table(HASWELL)
+        assert maximum.latency_of("ADD32mr") > default.latency_of("ADD32mr")
+
+    def test_measured_tables_degrade_error(self, haswell_hardware, block_generator):
+        """Plugging measured max latencies into llvm-mca should be much worse
+        than the defaults (the paper reports 218% vs 25%)."""
+        blocks = block_generator.generate_blocks(60)
+        truths = haswell_hardware.measure_many(blocks, noisy=False)
+        default_error = np.mean(np.abs(
+            MCASimulator(build_default_mca_table(HASWELL)).predict_many(blocks) - truths) / truths)
+        measured_error = np.mean(np.abs(
+            MCASimulator(build_measured_latency_table(HASWELL, "max")).predict_many(blocks)
+            - truths) / truths)
+        assert measured_error > default_error * 1.5
