@@ -42,17 +42,36 @@ def random_search(adapter: SimulatorAdapter, blocks: Sequence[BasicBlock],
     spec = adapter.parameter_spec()
     rng = np.random.default_rng(seed)
     true_timings = np.asarray(true_timings, dtype=np.float64)
+
+    if blocks_per_evaluation is None or blocks_per_evaluation >= len(blocks):
+        # Full-dataset evaluation draws nothing from ``rng`` besides the
+        # tables themselves, so candidates can be sampled a chunk at a time
+        # and handed to the adapter's batch API — which fans tables out
+        # across processes when engine workers are configured — without
+        # changing the sampled sequence.  Chunking keeps memory proportional
+        # to the chunk, not the full sample budget.
+        chunk_size = 32
+        best_arrays = None
+        best_error = float("inf")
+        remaining = num_samples
+        while remaining > 0:
+            candidates = [spec.sample(rng) for _ in range(min(chunk_size, remaining))]
+            remaining -= len(candidates)
+            predictions = adapter.predict_timings_batch(candidates, blocks)
+            for arrays, row in zip(candidates, predictions):
+                error = mape_loss_value(row, true_timings)
+                if error < best_error:
+                    best_arrays, best_error = arrays, error
+        assert best_arrays is not None
+        return best_arrays, best_error
+
     best_arrays: Optional[ParameterArrays] = None
     best_error = float("inf")
     for _ in range(num_samples):
         arrays = spec.sample(rng)
-        if blocks_per_evaluation is not None and blocks_per_evaluation < len(blocks):
-            indices = rng.choice(len(blocks), size=blocks_per_evaluation, replace=False)
-            subset = [blocks[int(index)] for index in indices]
-            targets = true_timings[indices]
-        else:
-            subset = list(blocks)
-            targets = true_timings
+        indices = rng.choice(len(blocks), size=blocks_per_evaluation, replace=False)
+        subset = [blocks[int(index)] for index in indices]
+        targets = true_timings[indices]
         error = mape_loss_value(adapter.predict_timings(arrays, subset), targets)
         if error < best_error:
             best_arrays, best_error = arrays, error

@@ -37,11 +37,12 @@ import numpy as np
 
 from repro.bhive import BasicBlockDataset, build_dataset
 from repro.core import DiffTune, MCAAdapter, fast_config, paper_config
+from repro.engine import mca_engine
 from repro.eval.experiments import ExperimentScale, run_table4_for_uarch
 from repro.eval.metrics import error_and_tau
 from repro.eval.plots import Series, ascii_line_plot
 from repro.eval.tables import format_results_table
-from repro.llvm_mca import MCAParameterTable, MCASimulator, TimelineView
+from repro.llvm_mca import MCAParameterTable, TimelineView
 from repro.targets import get_uarch
 
 
@@ -81,7 +82,8 @@ def _command_learn(arguments: argparse.Namespace) -> int:
     train_blocks, train_timings, test_blocks, test_timings = _split(dataset)
 
     adapter = MCAAdapter(uarch, narrow_sampling=not arguments.paper_sampling,
-                         learn_fields=arguments.learn_fields)
+                         learn_fields=arguments.learn_fields,
+                         engine_workers=arguments.workers)
     config = paper_config(arguments.seed) if arguments.paper_config else fast_config(arguments.seed)
     difftune = DiffTune(adapter, config, log=lambda message: print(f"[difftune] {message}"))
     result = difftune.learn(train_blocks, train_timings)
@@ -108,7 +110,7 @@ def _command_evaluate(arguments: argparse.Namespace) -> int:
     else:
         table = adapter.default_table()
         label = "default parameters"
-    predictions = MCASimulator(table).predict_many(test_blocks)
+    predictions = adapter.engine.run_one(table, test_blocks)
     error, tau = error_and_tau(predictions, test_timings)
     print(f"{dataset.uarch_name} test split ({len(test_blocks)} blocks), {label}:")
     print(f"  error {error * 100:.1f}%, Kendall's tau {tau:.3f}")
@@ -155,7 +157,7 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
 
     field = arguments.field
     values = list(range(arguments.low, arguments.high + 1, arguments.step))
-    errors = []
+    candidates = []
     for value in values:
         candidate = table.copy()
         if field == "DispatchWidth":
@@ -164,9 +166,12 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
             candidate.reorder_buffer_size = max(1, int(value))
         else:
             raise SystemExit(f"unsupported sweep field: {field}")
-        predictions = MCASimulator(candidate).predict_many(test_blocks)
-        error, _ = error_and_tau(predictions, test_timings)
-        errors.append(error * 100.0)
+        candidates.append(candidate)
+    # One batched engine call: the test blocks are compiled once for the
+    # whole sweep, and tables fan out across processes with --workers.
+    engine = mca_engine(num_workers=arguments.workers)
+    predictions = engine.run(candidates, test_blocks)
+    errors = [error_and_tau(row, test_timings)[0] * 100.0 for row in predictions]
     series = Series(field, x=[float(value) for value in values], y=errors)
     print(ascii_line_plot([series], title=f"{field} sensitivity ({dataset.uarch_name})",
                           x_label=field, y_label="error %"))
@@ -182,6 +187,9 @@ def _command_tune_baseline(arguments: argparse.Namespace) -> int:
 
     dataset = _load_dataset(arguments.dataset)
     uarch = get_uarch(dataset.uarch_name)
+    # The four tuners are inherently sequential (each proposal depends on the
+    # previous evaluation), so no --workers flag here; they still benefit
+    # from the adapter engine's result cache and compile sharing.
     adapter = MCAAdapter(uarch, narrow_sampling=True)
     train_blocks, train_timings, test_blocks, test_timings = _split(dataset)
     budget = arguments.budget
@@ -241,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="use the paper's wide sampling ranges")
     learn_parser.add_argument("--learn-fields", nargs="*", default=None,
                               help="subset of fields to learn (e.g. WriteLatency)")
+    learn_parser.add_argument("--workers", type=int, default=0,
+                              help="engine worker processes for parallel simulated-dataset "
+                                   "collection")
     learn_parser.set_defaults(handler=_command_learn)
 
     evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a parameter table")
@@ -274,6 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--low", type=int, default=1)
     sweep_parser.add_argument("--high", type=int, default=10)
     sweep_parser.add_argument("--step", type=int, default=1)
+    sweep_parser.add_argument("--workers", type=int, default=0,
+                              help="engine worker processes (one task per swept value)")
     sweep_parser.set_defaults(handler=_command_sweep)
 
     baseline_parser = subparsers.add_parser(

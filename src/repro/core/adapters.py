@@ -17,12 +17,16 @@ Two adapters are provided, matching the paper's two evaluation targets:
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+import functools
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.parameters import (ParameterArrays, ParameterField, ParameterSpec,
                                    PORT_MAP_FIELD_NAME)
+from repro.engine.binding import (LRUCache, llvm_sim_table_digest, mca_table_digest,
+                                  parameter_arrays_digest)
+from repro.engine.engine import DEFAULT_CACHE_SIZE, SimulationEngine
 from repro.isa.basic_block import BasicBlock
 from repro.isa.opcodes import DEFAULT_OPCODE_TABLE, OpcodeTable
 from repro.llvm_mca.params import MCAParameterTable, NUM_PORTS, NUM_READ_ADVANCE_SLOTS
@@ -37,6 +41,11 @@ class SimulatorAdapter(abc.ABC):
     """Interface the DiffTune optimizer and black-box baselines program against."""
 
     opcode_table: OpcodeTable
+
+    #: Capacity of the per-adapter ``arrays -> native table`` memoization.
+    #: Black-box searchers hold a handful of live candidates at a time, so a
+    #: small LRU captures nearly every repeat conversion.
+    TABLE_CACHE_SIZE = 256
 
     @abc.abstractmethod
     def parameter_spec(self) -> ParameterSpec:
@@ -53,6 +62,69 @@ class SimulatorAdapter(abc.ABC):
 
     def predict_timing(self, arrays: ParameterArrays, block: BasicBlock) -> float:
         return float(self.predict_timings(arrays, [block])[0])
+
+    def predict_timings_batch(self, candidates: Sequence[ParameterArrays],
+                              blocks: Sequence[BasicBlock]) -> np.ndarray:
+        """Timings of ``blocks`` under every candidate, shape ``(C, B)``.
+
+        Routes through the engine's batch API when the adapter provides one
+        — which parallelizes across candidates when workers are configured —
+        and falls back to per-candidate :meth:`predict_timings` otherwise.
+        """
+        blocks = list(blocks)
+        try:
+            engine = self.engine
+        except NotImplementedError:
+            if not candidates:
+                return np.zeros((0, len(blocks)), dtype=np.float64)
+            return np.stack([self.predict_timings(arrays, blocks)
+                             for arrays in candidates])
+        return engine.run([self.native_table(arrays) for arrays in candidates], blocks)
+
+    # ------------------------------------------------------------------
+    # Shared simulation-engine plumbing
+    # ------------------------------------------------------------------
+    def create_engine(self) -> SimulationEngine:
+        """Build the :class:`SimulationEngine` backing :attr:`engine`.
+
+        Engine-backed adapters override this; adapters for custom simulators
+        that implement :meth:`predict_timings` directly need not.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not provide a simulation engine")
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The adapter's lazily constructed, shared simulation engine.
+
+        All ``predict_timings`` traffic of an engine-backed adapter flows
+        through this one instance, so block compilations and timing results
+        are shared across dataset collection, baseline search, and
+        evaluation.
+        """
+        engine = getattr(self, "_engine", None)
+        if engine is None:
+            engine = self.create_engine()
+            self._engine = engine
+        return engine
+
+    def native_table(self, arrays: ParameterArrays):
+        """``table_from_arrays`` memoized by the content digest of ``arrays``.
+
+        Searchers re-evaluate the same candidate arrays against different
+        block batches constantly; rebuilding the full native table on every
+        call was pure waste.  Requires the adapter to define
+        ``table_from_arrays`` (both built-in adapters do).
+        """
+        cache = getattr(self, "_native_table_cache", None)
+        if cache is None:
+            cache = LRUCache(self.TABLE_CACHE_SIZE)
+            self._native_table_cache = cache
+        digest = parameter_arrays_digest(arrays)
+        table = cache.get(digest)
+        if table is None:
+            table = self.table_from_arrays(arrays)
+            cache.put(digest, table)
+        return table
 
     def freeze_unlearned_fields(self, arrays: ParameterArrays) -> ParameterArrays:
         """Replace fields that are not being learned with their default values.
@@ -78,7 +150,9 @@ class MCAAdapter(SimulatorAdapter):
 
     def __init__(self, uarch: UarchSpec, opcode_table: Optional[OpcodeTable] = None,
                  learn_fields: Optional[Sequence[str]] = None,
-                 narrow_sampling: bool = False) -> None:
+                 narrow_sampling: bool = False,
+                 engine_cache_size: int = DEFAULT_CACHE_SIZE,
+                 engine_workers: int = 0) -> None:
         """Create an adapter.
 
         Args:
@@ -96,11 +170,17 @@ class MCAAdapter(SimulatorAdapter):
                 optimization well inside the region the surrogate models.
                 Section VII of the paper discusses exactly this sensitivity
                 to the sampling distributions.
+            engine_cache_size: Capacity of the engine's timing result cache.
+            engine_workers: Opt-in process fan-out for batched table
+                evaluation (``0`` = serial; see
+                :class:`~repro.engine.engine.SimulationEngine`).
         """
         self.uarch = uarch
         self.opcode_table = opcode_table or DEFAULT_OPCODE_TABLE
         self.learn_fields = set(learn_fields) if learn_fields is not None else None
         self.narrow_sampling = narrow_sampling
+        self.engine_cache_size = engine_cache_size
+        self.engine_workers = engine_workers
         self._default_table = build_default_mca_table(uarch, self.opcode_table)
         self._spec = self._build_spec()
 
@@ -203,7 +283,7 @@ class MCAAdapter(SimulatorAdapter):
                 field_slice = spec.per_instruction_field_slice(field_.name)
                 frozen.per_instruction_values[:, field_slice] = \
                     default.per_instruction_values[:, field_slice]
-        for index, field_ in enumerate(spec.global_fields):
+        for field_ in spec.global_fields:
             if field_.name not in self.learn_fields:
                 field_slice = spec.global_field_slice(field_.name)
                 frozen.global_values[field_slice] = default.global_values[field_slice]
@@ -223,21 +303,36 @@ class MCAAdapter(SimulatorAdapter):
                 global_mask[spec.global_field_slice(field_.name)] = True
         return per_mask, global_mask
 
+    def simulator_factory(self) -> Callable[[MCAParameterTable], MCASimulator]:
+        """Picklable ``table -> simulator`` used by the engine *and*
+        :meth:`build_simulator`; override to customize simulator
+        construction (warmup/measure windows, instruction caps) for both
+        paths at once."""
+        return MCASimulator
+
     def build_simulator(self, arrays: ParameterArrays) -> MCASimulator:
-        return MCASimulator(self.table_from_arrays(arrays))
+        return self.simulator_factory()(self.table_from_arrays(arrays))
+
+    def create_engine(self) -> SimulationEngine:
+        return SimulationEngine(self.simulator_factory(), mca_table_digest,
+                                cache_size=self.engine_cache_size,
+                                num_workers=self.engine_workers)
 
     def predict_timings(self, arrays: ParameterArrays,
                         blocks: Sequence[BasicBlock]) -> np.ndarray:
-        simulator = self.build_simulator(arrays)
-        return simulator.predict_many(blocks)
+        return self.engine.run_one(self.native_table(arrays), blocks)
 
 
 class LLVMSimAdapter(SimulatorAdapter):
     """Adapter for the llvm_sim model (Table VII parameter set)."""
 
-    def __init__(self, uarch: UarchSpec, opcode_table: Optional[OpcodeTable] = None) -> None:
+    def __init__(self, uarch: UarchSpec, opcode_table: Optional[OpcodeTable] = None,
+                 engine_cache_size: int = DEFAULT_CACHE_SIZE,
+                 engine_workers: int = 0) -> None:
         self.uarch = uarch
         self.opcode_table = opcode_table or DEFAULT_OPCODE_TABLE
+        self.engine_cache_size = engine_cache_size
+        self.engine_workers = engine_workers
         self._default_table = build_default_llvm_sim_table(uarch, self.opcode_table)
         self._spec = ParameterSpec(
             global_fields=[],
@@ -279,11 +374,20 @@ class LLVMSimAdapter(SimulatorAdapter):
         return LLVMSimParameterTable(opcode_table=self.opcode_table,
                                      write_latency=write_latency, port_uops=port_uops)
 
+    def simulator_factory(self) -> Callable[[LLVMSimParameterTable], LLVMSimSimulator]:
+        """Picklable ``table -> simulator`` shared by the engine and
+        :meth:`build_simulator` (see :meth:`MCAAdapter.simulator_factory`)."""
+        return functools.partial(LLVMSimSimulator,
+                                 frontend_uops_per_cycle=self.uarch.dispatch_width)
+
     def build_simulator(self, arrays: ParameterArrays) -> LLVMSimSimulator:
-        return LLVMSimSimulator(self.table_from_arrays(arrays),
-                                frontend_uops_per_cycle=self.uarch.dispatch_width)
+        return self.simulator_factory()(self.table_from_arrays(arrays))
+
+    def create_engine(self) -> SimulationEngine:
+        return SimulationEngine(self.simulator_factory(), llvm_sim_table_digest,
+                                cache_size=self.engine_cache_size,
+                                num_workers=self.engine_workers)
 
     def predict_timings(self, arrays: ParameterArrays,
                         blocks: Sequence[BasicBlock]) -> np.ndarray:
-        simulator = self.build_simulator(arrays)
-        return simulator.predict_many(blocks)
+        return self.engine.run_one(self.native_table(arrays), blocks)

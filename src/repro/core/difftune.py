@@ -87,11 +87,24 @@ class DiffTune:
                                   rng: np.random.Generator) -> List[SimulatedExample]:
         self._log(f"collecting simulated dataset ({self.config.simulated_dataset_size} examples)")
         spec = self.adapter.parameter_spec()
-        return collect_simulated_dataset(
+        examples = collect_simulated_dataset(
             self.adapter, blocks, self.config.simulated_dataset_size, rng,
             blocks_per_table=self.config.blocks_per_table,
             table_sampler=lambda generator: self.adapter.freeze_unlearned_fields(
                 spec.sample(generator)))
+        self._log_engine_stats()
+        return examples
+
+    def _log_engine_stats(self) -> None:
+        """Report the shared engine's cache behaviour (engine-backed adapters)."""
+        try:
+            stats = self.adapter.engine.stats
+        except NotImplementedError:
+            return
+        self._log(f"engine: {stats['executed']} simulations, "
+                  f"{stats['result_hits']} cache hits, "
+                  f"{stats['compile_misses']} blocks compiled "
+                  f"(reused {stats['compile_hits']} times)")
 
     def build_surrogate(self):
         return build_surrogate(self.adapter.parameter_spec(), self.featurizer,

@@ -6,6 +6,12 @@ repeatedly (a) sampling a basic block from the ground-truth dataset,
 (c) instantiating the original simulator with that table, and (d) recording
 the simulator's prediction for the block.  The surrogate is then trained to
 map ``(parameters, block) -> simulated timing``.
+
+Simulation requests flow through the adapter's shared
+:class:`~repro.engine.engine.SimulationEngine`, so block compilations are
+reused across all sampled tables and any (table, block) pair already
+evaluated elsewhere in the pipeline is served from the engine's result
+cache.
 """
 
 from __future__ import annotations
@@ -68,18 +74,40 @@ def collect_simulated_dataset(adapter: SimulatorAdapter, blocks: Sequence[BasicB
     if not blocks:
         raise ValueError("need at least one block to build the simulated dataset")
     spec = adapter.parameter_spec()
+    try:
+        engine = adapter.engine
+    except NotImplementedError:
+        engine = None
+    # With engine workers configured, tables are drawn in rounds and fanned
+    # out across processes.  All rng draws happen in the drawing phase and
+    # evaluation consumes none, so the sampled sequence — and therefore the
+    # dataset — is identical to the serial path.
+    parallel = engine is not None and engine.num_workers > 1
+    tables_per_round = engine.num_workers * 2 if parallel else 1
+
     examples: List[SimulatedExample] = []
     while len(examples) < num_examples:
-        arrays = table_sampler(rng) if table_sampler is not None else spec.sample(rng)
-        chunk = min(blocks_per_table, num_examples - len(examples))
-        block_indices = rng.integers(0, len(blocks), size=chunk)
-        selected = [blocks[int(index)] for index in block_indices]
-        timings = adapter.predict_timings(arrays, selected)
-        for block_index, block, timing in zip(block_indices, selected, timings):
-            examples.append(SimulatedExample(arrays=arrays, block_index=int(block_index),
-                                             block=block, simulated_timing=float(timing)))
-        if progress is not None:
-            progress(len(examples), num_examples)
+        planned = len(examples)
+        drawn = []
+        while len(drawn) < tables_per_round and planned < num_examples:
+            arrays = table_sampler(rng) if table_sampler is not None else spec.sample(rng)
+            chunk = min(blocks_per_table, num_examples - planned)
+            block_indices = rng.integers(0, len(blocks), size=chunk)
+            selected = [blocks[int(index)] for index in block_indices]
+            drawn.append((arrays, block_indices, selected))
+            planned += chunk
+        if parallel and len(drawn) > 1:
+            timing_rows = engine.run_pairs(
+                [(adapter.native_table(arrays), selected) for arrays, _, selected in drawn])
+        else:
+            timing_rows = [adapter.predict_timings(arrays, selected)
+                           for arrays, _, selected in drawn]
+        for (arrays, block_indices, selected), timings in zip(drawn, timing_rows):
+            for block_index, block, timing in zip(block_indices, selected, timings):
+                examples.append(SimulatedExample(arrays=arrays, block_index=int(block_index),
+                                                 block=block, simulated_timing=float(timing)))
+            if progress is not None:
+                progress(len(examples), num_examples)
     return examples
 
 
@@ -92,10 +120,13 @@ def random_table_errors(adapter: SimulatorAdapter, blocks: Sequence[BasicBlock],
     the sampling distribution has error 171.4% ± 95.7% on Haswell.
     """
     spec = adapter.parameter_spec()
-    errors = []
-    for _ in range(num_tables):
-        arrays = spec.sample(rng)
-        predictions = adapter.predict_timings(arrays, blocks)
-        errors.append(float(np.mean(np.abs(predictions - true_timings) /
-                                    np.maximum(true_timings, 1e-9))))
-    return np.array(errors, dtype=np.float64)
+    true_timings = np.asarray(true_timings, dtype=np.float64)
+    # Sampling draws nothing from ``rng`` between tables, so all candidates
+    # can be drawn up front and evaluated through the adapter's batch API
+    # (which parallelizes across tables when workers are configured) without
+    # changing the sampled sequence.
+    candidates = [spec.sample(rng) for _ in range(num_tables)]
+    predictions = adapter.predict_timings_batch(candidates, blocks)
+    errors = np.mean(np.abs(predictions - true_timings[None, :]) /
+                     np.maximum(true_timings, 1e-9)[None, :], axis=1)
+    return errors.astype(np.float64)

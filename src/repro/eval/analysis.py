@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.bhive.categories import BlockCategory
 from repro.bhive.dataset import BasicBlockDataset
+from repro.engine.factories import mca_engine
 from repro.eval.metrics import mean_absolute_percentage_error
 from repro.isa.basic_block import BasicBlock
 from repro.llvm_mca.params import MCAParameterTable
@@ -108,17 +109,19 @@ def global_parameter_sensitivity(table: MCAParameterTable, dataset: BasicBlockDa
         examples = examples[:max_blocks]
     blocks = [example.block for example in examples]
     targets = np.array([example.timing for example in examples])
-    results: List[Tuple[int, float]] = []
+    swept_tables = []
     for value in values:
         swept = table.copy()
         if parameter == "DispatchWidth":
             swept.dispatch_width = int(value)
         else:
             swept.reorder_buffer_size = int(value)
-        simulator = MCASimulator(swept)
-        predictions = simulator.predict_many(blocks)
-        results.append((int(value), mean_absolute_percentage_error(predictions, targets)))
-    return results
+        swept_tables.append(swept)
+    # A sweep is the canonical repeated-table workload: one batched engine
+    # call compiles each block once and reuses it for every swept value.
+    predictions = mca_engine().run(swept_tables, blocks)
+    return [(int(value), mean_absolute_percentage_error(row, targets))
+            for value, row in zip(values, predictions)]
 
 
 # ----------------------------------------------------------------------

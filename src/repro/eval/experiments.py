@@ -30,7 +30,6 @@ from repro.eval.analysis import (case_study_report, global_parameter_sensitivity
                                  per_category_error)
 from repro.eval.metrics import error_and_tau, mean_absolute_percentage_error
 from repro.isa.parser import parse_block
-from repro.llvm_mca.simulator import MCASimulator
 from repro.targets import get_uarch
 from repro.targets.hardware import HardwareModel
 from repro.targets.measured_tables import build_measured_latency_table
@@ -292,8 +291,9 @@ def run_section2b_measured_tables(num_blocks: int = 400, seed: int = 0) -> Dict[
     results["default"] = mean_absolute_percentage_error(default_predictions, test_timings)
     for statistic in ("min", "median", "max"):
         table = build_measured_latency_table(spec, statistic)
-        simulator = MCASimulator(table)
-        predictions = simulator.predict_many(test_blocks)
+        # Same engine as the default-table run above, so the test blocks are
+        # compiled once and shared across all four tables.
+        predictions = adapter.engine.run_one(table, test_blocks)
         results[statistic] = mean_absolute_percentage_error(predictions, test_timings)
     return results
 

@@ -33,12 +33,13 @@ approximates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.binding import MCABoundBlock, bind_mca_block
+from repro.engine.compile import BlockCompiler
 from repro.isa.basic_block import BasicBlock
-from repro.isa.instruction import Instruction
 from repro.llvm_mca.params import MCAParameterTable, NUM_PORTS, NUM_READ_ADVANCE_SLOTS
 from repro.llvm_mca.ports import PortSet
 from repro.llvm_mca.reorder_buffer import ReorderBuffer
@@ -78,18 +79,126 @@ class SimulationResult:
         return self.cycles_per_iteration
 
 
-@dataclass
-class _StaticInstructionInfo:
-    """Per-opcode information resolved once per block before simulation."""
+def simulate_bound_mca(bound: MCABoundBlock, dispatch_width: int,
+                       reorder_buffer_size: int, warmup: int, measure: int
+                       ) -> SimulationResult:
+    """Execute one compiled-and-bound block through the four-stage pipeline.
 
-    opcode_index: int
-    num_micro_ops: int
-    write_latency: int
-    read_advance: Tuple[int, ...]
-    port_cycles: Tuple[int, ...]
-    source_registers: Tuple[str, ...]
-    destination_registers: Tuple[str, ...]
-    max_port_cycles: int
+    This is the simulation kernel shared by :class:`MCASimulator` and the
+    engine layer.  It operates purely on the bound per-instruction records
+    (parameters gathered per opcode, registers interned to block-local
+    integer ids), so the register scoreboard is a flat integer list instead
+    of a string-keyed dictionary; the cycle-level semantics are identical to
+    the original per-call implementation.
+    """
+    total_iterations = warmup + measure
+    ports = PortSet(NUM_PORTS)
+    reorder_buffer = ReorderBuffer(reorder_buffer_size)
+
+    # Register scoreboard: interned register id -> cycle at which its value
+    # becomes available.  The zero initialization is equivalent to "never
+    # written": a ready cycle of 0 can never push operands_ready above the
+    # dispatch cycle it is initialized to.
+    register_ready = [0] * bound.compiled.num_registers
+
+    # Dispatch bandwidth bookkeeping: current dispatch cycle and how many
+    # micro-ops have been dispatched in it.
+    dispatch_cycle = 0
+    dispatched_micro_ops_this_cycle = 0
+
+    # In-order retirement: an instruction retires no earlier than the one
+    # before it.
+    previous_retire_cycle = 0
+    retire_cycles: List[int] = []
+    dispatch_cycles: List[int] = []
+    issue_cycles: List[int] = []
+    port_busy_cycles = [0] * NUM_PORTS
+    iteration_end_cycles: List[int] = []
+
+    for _ in range(total_iterations):
+        for (num_micro_ops, write_latency, read_advance, port_cycles,
+             source_ids, destination_ids) in bound.instructions:
+            # ----------------------------------------------------------
+            # Dispatch stage
+            # ----------------------------------------------------------
+            micro_ops = max(1, num_micro_ops)
+            # Advance the dispatch cycle until the bandwidth allows this
+            # instruction.  Instructions wider than the dispatch width
+            # consume whole cycles (they dispatch alone).
+            needed = min(micro_ops, dispatch_width)
+            if dispatched_micro_ops_this_cycle + needed > dispatch_width:
+                dispatch_cycle += 1
+                dispatched_micro_ops_this_cycle = 0
+            # Wider instructions additionally block the dispatcher for the
+            # extra cycles their remaining micro-ops need.
+            extra_dispatch_cycles = 0
+            if micro_ops > dispatch_width:
+                extra_dispatch_cycles = (micro_ops - 1) // dispatch_width
+
+            # Reorder-buffer space.
+            dispatch_at = reorder_buffer.earliest_cycle_with_space(
+                micro_ops, dispatch_cycle)
+            if dispatch_at > dispatch_cycle:
+                dispatch_cycle = dispatch_at
+                dispatched_micro_ops_this_cycle = 0
+            dispatched_micro_ops_this_cycle += needed
+
+            # ----------------------------------------------------------
+            # Issue stage: wait for register operands.
+            # ----------------------------------------------------------
+            operands_ready = dispatch_cycle
+            for slot, register in enumerate(source_ids):
+                ready = register_ready[register]
+                advance = read_advance[min(slot, NUM_READ_ADVANCE_SLOTS - 1)]
+                operands_ready = max(operands_ready, ready - advance, dispatch_cycle)
+
+            # ----------------------------------------------------------
+            # Execute stage: wait for ports, then reserve them.
+            # ----------------------------------------------------------
+            issue_cycle = ports.earliest_issue_cycle(port_cycles, operands_ready)
+            resource_completion = ports.reserve(port_cycles, issue_cycle)
+
+            # Destinations become readable WriteLatency cycles after issue.
+            write_back_cycle = issue_cycle + write_latency
+            for register in destination_ids:
+                register_ready[register] = write_back_cycle
+
+            # ----------------------------------------------------------
+            # Retire stage: in order, after execution completes.
+            # ----------------------------------------------------------
+            completion = max(write_back_cycle, resource_completion,
+                             issue_cycle + 1, dispatch_cycle + 1)
+            retire_cycle = max(completion, previous_retire_cycle)
+            previous_retire_cycle = retire_cycle
+            reorder_buffer.allocate(micro_ops, retire_cycle)
+            retire_cycles.append(retire_cycle)
+            dispatch_cycles.append(dispatch_cycle)
+            issue_cycles.append(issue_cycle)
+            for port, cycles in enumerate(port_cycles):
+                port_busy_cycles[port] += int(cycles)
+
+            if extra_dispatch_cycles:
+                dispatch_cycle += extra_dispatch_cycles
+                dispatched_micro_ops_this_cycle = 0
+
+        iteration_end_cycles.append(previous_retire_cycle)
+
+    total_cycles = iteration_end_cycles[-1]
+    if measure > 0 and total_iterations > warmup:
+        start = iteration_end_cycles[warmup - 1] if warmup > 0 else 0
+        cycles_per_iteration = (iteration_end_cycles[-1] - start) / measure
+    else:
+        cycles_per_iteration = iteration_end_cycles[-1] / max(1, total_iterations)
+    cycles_per_iteration = max(cycles_per_iteration, 1.0 / TIMING_ITERATIONS)
+    return SimulationResult(
+        cycles_per_iteration=float(cycles_per_iteration),
+        total_cycles=int(total_cycles),
+        iterations_simulated=total_iterations,
+        retire_cycles=retire_cycles,
+        dispatch_cycles=dispatch_cycles,
+        issue_cycles=issue_cycles,
+        port_busy_cycles=port_busy_cycles,
+    )
 
 
 class MCASimulator:
@@ -98,7 +207,8 @@ class MCASimulator:
     def __init__(self, parameters: MCAParameterTable,
                  warmup_iterations: int = 4,
                  measure_iterations: int = 8,
-                 max_dynamic_instructions: int = 2048) -> None:
+                 max_dynamic_instructions: int = 2048,
+                 compiler: Optional[BlockCompiler] = None) -> None:
         """Create a simulator.
 
         Args:
@@ -109,6 +219,9 @@ class MCASimulator:
                 measured.
             max_dynamic_instructions: Cap on the total unrolled instruction
                 count, to bound simulation cost on very long blocks.
+            compiler: Block compiler to use; pass a shared instance (as the
+                :class:`~repro.engine.engine.SimulationEngine` does) to reuse
+                block compilations across simulators.
         """
         if warmup_iterations < 1 or measure_iterations < 1:
             raise ValueError("warmup and measurement windows must be >= 1 iteration")
@@ -116,27 +229,7 @@ class MCASimulator:
         self.warmup_iterations = warmup_iterations
         self.measure_iterations = measure_iterations
         self.max_dynamic_instructions = max_dynamic_instructions
-
-    # ------------------------------------------------------------------
-    # Static preparation
-    # ------------------------------------------------------------------
-    def _prepare(self, block: BasicBlock) -> List[_StaticInstructionInfo]:
-        parameters = self.parameters
-        infos: List[_StaticInstructionInfo] = []
-        for instruction in block:
-            index = parameters.opcode_table.index_of(instruction.opcode.name)
-            port_cycles = tuple(int(value) for value in parameters.port_map[index])
-            infos.append(_StaticInstructionInfo(
-                opcode_index=index,
-                num_micro_ops=int(parameters.num_micro_ops[index]),
-                write_latency=int(parameters.write_latency[index]),
-                read_advance=tuple(int(value) for value in parameters.read_advance_cycles[index]),
-                port_cycles=port_cycles,
-                source_registers=instruction.source_registers(),
-                destination_registers=instruction.destination_registers(),
-                max_port_cycles=max(port_cycles) if any(port_cycles) else 0,
-            ))
-        return infos
+        self.compiler = compiler or BlockCompiler(parameters.opcode_table)
 
     def _iteration_counts(self, block_length: int) -> Tuple[int, int]:
         """Shrink the warmup/measure windows for very long blocks."""
@@ -156,118 +249,12 @@ class MCASimulator:
     # ------------------------------------------------------------------
     def simulate(self, block: BasicBlock) -> SimulationResult:
         """Simulate ``block`` executed repeatedly and return its timing."""
-        infos = self._prepare(block)
+        compiled = self.compiler.compile(block)
+        bound = bind_mca_block(self.parameters, compiled)
         warmup, measure = self._iteration_counts(len(block))
-        total_iterations = warmup + measure
-
-        dispatch_width = int(self.parameters.dispatch_width)
-        ports = PortSet(NUM_PORTS)
-        reorder_buffer = ReorderBuffer(int(self.parameters.reorder_buffer_size))
-
-        # Register scoreboard: canonical register -> cycle at which its value
-        # becomes available, together with the producing write latency so that
-        # ReadAdvanceCycles can be credited against the right edge.
-        register_ready: Dict[str, int] = {}
-
-        # Dispatch bandwidth bookkeeping: current dispatch cycle and how many
-        # micro-ops have been dispatched in it.
-        dispatch_cycle = 0
-        dispatched_micro_ops_this_cycle = 0
-
-        # In-order retirement: an instruction retires no earlier than the one
-        # before it.
-        previous_retire_cycle = 0
-        retire_cycles: List[int] = []
-        dispatch_cycles: List[int] = []
-        issue_cycles: List[int] = []
-        port_busy_cycles = [0] * NUM_PORTS
-        iteration_end_cycles: List[int] = []
-
-        for iteration in range(total_iterations):
-            for position, (instruction, info) in enumerate(zip(block, infos)):
-                # ----------------------------------------------------------
-                # Dispatch stage
-                # ----------------------------------------------------------
-                micro_ops = max(1, info.num_micro_ops)
-                # Advance the dispatch cycle until the bandwidth allows this
-                # instruction.  Instructions wider than the dispatch width
-                # consume whole cycles (they dispatch alone).
-                needed = min(micro_ops, dispatch_width)
-                if dispatched_micro_ops_this_cycle + needed > dispatch_width:
-                    dispatch_cycle += 1
-                    dispatched_micro_ops_this_cycle = 0
-                # Wider instructions additionally block the dispatcher for the
-                # extra cycles their remaining micro-ops need.
-                extra_dispatch_cycles = 0
-                if micro_ops > dispatch_width:
-                    extra_dispatch_cycles = (micro_ops - 1) // dispatch_width
-
-                # Reorder-buffer space.
-                dispatch_at = reorder_buffer.earliest_cycle_with_space(
-                    micro_ops, dispatch_cycle)
-                if dispatch_at > dispatch_cycle:
-                    dispatch_cycle = dispatch_at
-                    dispatched_micro_ops_this_cycle = 0
-                dispatched_micro_ops_this_cycle += needed
-
-                # ----------------------------------------------------------
-                # Issue stage: wait for register operands.
-                # ----------------------------------------------------------
-                operands_ready = dispatch_cycle
-                for slot, register in enumerate(info.source_registers):
-                    ready = register_ready.get(register)
-                    if ready is None:
-                        continue
-                    advance = info.read_advance[min(slot, NUM_READ_ADVANCE_SLOTS - 1)]
-                    operands_ready = max(operands_ready, ready - advance, dispatch_cycle)
-
-                # ----------------------------------------------------------
-                # Execute stage: wait for ports, then reserve them.
-                # ----------------------------------------------------------
-                issue_cycle = ports.earliest_issue_cycle(info.port_cycles, operands_ready)
-                resource_completion = ports.reserve(info.port_cycles, issue_cycle)
-
-                # Destinations become readable WriteLatency cycles after issue.
-                write_back_cycle = issue_cycle + info.write_latency
-                for register in info.destination_registers:
-                    register_ready[register] = write_back_cycle
-
-                # ----------------------------------------------------------
-                # Retire stage: in order, after execution completes.
-                # ----------------------------------------------------------
-                completion = max(write_back_cycle, resource_completion,
-                                 issue_cycle + 1, dispatch_cycle + 1)
-                retire_cycle = max(completion, previous_retire_cycle)
-                previous_retire_cycle = retire_cycle
-                reorder_buffer.allocate(micro_ops, retire_cycle)
-                retire_cycles.append(retire_cycle)
-                dispatch_cycles.append(dispatch_cycle)
-                issue_cycles.append(issue_cycle)
-                for port, cycles in enumerate(info.port_cycles):
-                    port_busy_cycles[port] += int(cycles)
-
-                if extra_dispatch_cycles:
-                    dispatch_cycle += extra_dispatch_cycles
-                    dispatched_micro_ops_this_cycle = 0
-
-            iteration_end_cycles.append(previous_retire_cycle)
-
-        total_cycles = iteration_end_cycles[-1]
-        if measure > 0 and total_iterations > warmup:
-            start = iteration_end_cycles[warmup - 1] if warmup > 0 else 0
-            cycles_per_iteration = (iteration_end_cycles[-1] - start) / measure
-        else:
-            cycles_per_iteration = iteration_end_cycles[-1] / max(1, total_iterations)
-        cycles_per_iteration = max(cycles_per_iteration, 1.0 / TIMING_ITERATIONS)
-        return SimulationResult(
-            cycles_per_iteration=float(cycles_per_iteration),
-            total_cycles=int(total_cycles),
-            iterations_simulated=total_iterations,
-            retire_cycles=retire_cycles,
-            dispatch_cycles=dispatch_cycles,
-            issue_cycles=issue_cycles,
-            port_busy_cycles=port_busy_cycles,
-        )
+        return simulate_bound_mca(bound, int(self.parameters.dispatch_width),
+                                  int(self.parameters.reorder_buffer_size),
+                                  warmup, measure)
 
     # ------------------------------------------------------------------
     # Convenience API

@@ -18,14 +18,15 @@ cycles per iteration of the block executed in a loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.binding import LLVMSimBoundBlock, bind_llvm_sim_block
+from repro.engine.compile import BlockCompiler
 from repro.isa.basic_block import BasicBlock
 from repro.llvm_sim.frontend import Frontend
 from repro.llvm_sim.params import LLVMSimParameterTable, NUM_PORTS
-from repro.llvm_sim.uops import decode_instruction
 
 
 @dataclass
@@ -41,6 +42,69 @@ class LLVMSimResult:
         return self.cycles_per_iteration
 
 
+def simulate_bound_llvm_sim(bound: LLVMSimBoundBlock, frontend_uops_per_cycle: int,
+                            warmup: int, measure: int) -> LLVMSimResult:
+    """Execute one compiled-and-bound block through the llvm_sim pipeline.
+
+    The simulation kernel shared by :class:`LLVMSimSimulator` and the engine
+    layer; registers are block-local integer ids (see
+    :mod:`repro.engine.compile`), so the scoreboard is a flat list.  The
+    cycle-level semantics are identical to the original per-call
+    implementation.
+    """
+    total_iterations = warmup + measure
+    frontend = Frontend(uops_per_cycle=frontend_uops_per_cycle)
+
+    # Port availability: next free cycle per port.
+    port_free = [0] * NUM_PORTS
+    register_ready = [0] * bound.compiled.num_registers
+    previous_retire = 0
+    iteration_end_cycles: List[int] = []
+
+    for _ in range(total_iterations):
+        for sources, destinations, latency, micro_op_ports in bound.instructions:
+            # Frontend: all the instruction's micro-ops must be delivered.
+            delivery = 0
+            for _ in micro_op_ports:
+                delivery = max(delivery, frontend.next_delivery_cycle())
+
+            # Rename/dispatch: wait for the instruction's register sources.
+            ready = delivery
+            for register in sources:
+                ready = max(ready, register_ready[register])
+
+            # Execute micro-ops: each occupies its port for one cycle;
+            # the instruction's result is available WriteLatency cycles
+            # after its last micro-op starts executing.
+            last_start = ready
+            for port in micro_op_ports:
+                if port < 0:
+                    start = ready
+                else:
+                    start = max(ready, port_free[port])
+                    port_free[port] = start + 1
+                last_start = max(last_start, start)
+            write_back = last_start + latency
+            for register in destinations:
+                register_ready[register] = write_back
+
+            # Retire in order once every micro-op has finished.
+            completion = max(write_back, last_start + 1)
+            previous_retire = max(previous_retire, completion)
+        iteration_end_cycles.append(previous_retire)
+
+    if total_iterations > warmup:
+        start_cycle = iteration_end_cycles[warmup - 1] if warmup > 0 else 0
+        cycles_per_iteration = (iteration_end_cycles[-1] - start_cycle) / measure
+    else:
+        cycles_per_iteration = iteration_end_cycles[-1] / max(1, total_iterations)
+    return LLVMSimResult(
+        cycles_per_iteration=float(max(cycles_per_iteration, 0.01)),
+        total_cycles=int(iteration_end_cycles[-1]),
+        iterations_simulated=total_iterations,
+    )
+
+
 class LLVMSimSimulator:
     """Simulates basic blocks under an :class:`LLVMSimParameterTable`."""
 
@@ -48,12 +112,14 @@ class LLVMSimSimulator:
                  frontend_uops_per_cycle: int = 4,
                  warmup_iterations: int = 4,
                  measure_iterations: int = 8,
-                 max_dynamic_instructions: int = 2048) -> None:
+                 max_dynamic_instructions: int = 2048,
+                 compiler: Optional[BlockCompiler] = None) -> None:
         self.parameters = parameters
         self.frontend_uops_per_cycle = frontend_uops_per_cycle
         self.warmup_iterations = warmup_iterations
         self.measure_iterations = measure_iterations
         self.max_dynamic_instructions = max_dynamic_instructions
+        self.compiler = compiler or BlockCompiler(parameters.opcode_table)
 
     def _iteration_counts(self, block_length: int) -> Tuple[int, int]:
         warmup = self.warmup_iterations
@@ -65,70 +131,10 @@ class LLVMSimSimulator:
         return warmup, measure
 
     def simulate(self, block: BasicBlock) -> LLVMSimResult:
-        parameters = self.parameters
+        compiled = self.compiler.compile(block)
+        bound = bind_llvm_sim_block(self.parameters, compiled)
         warmup, measure = self._iteration_counts(len(block))
-        total_iterations = warmup + measure
-        frontend = Frontend(uops_per_cycle=self.frontend_uops_per_cycle)
-
-        # Port availability: next free cycle per port.
-        port_free = np.zeros(NUM_PORTS, dtype=np.int64)
-        register_ready: Dict[str, int] = {}
-        previous_retire = 0
-        iteration_end_cycles: List[int] = []
-
-        # Pre-resolve static per-instruction info.
-        static_info = []
-        for index, instruction in enumerate(block):
-            opcode_index = parameters.opcode_table.index_of(instruction.opcode.name)
-            static_info.append((
-                instruction.source_registers(),
-                instruction.destination_registers(),
-                int(parameters.write_latency[opcode_index]),
-                decode_instruction(instruction, index, parameters),
-            ))
-
-        for _ in range(total_iterations):
-            for sources, destinations, latency, micro_ops in static_info:
-                # Frontend: all the instruction's micro-ops must be delivered.
-                delivery = 0
-                for _ in micro_ops:
-                    delivery = max(delivery, frontend.next_delivery_cycle())
-
-                # Rename/dispatch: wait for the instruction's register sources.
-                ready = delivery
-                for register in sources:
-                    ready = max(ready, register_ready.get(register, 0))
-
-                # Execute micro-ops: each occupies its port for one cycle;
-                # the instruction's result is available WriteLatency cycles
-                # after its last micro-op starts executing.
-                last_start = ready
-                for micro_op in micro_ops:
-                    if micro_op.port < 0:
-                        start = ready
-                    else:
-                        start = max(ready, int(port_free[micro_op.port]))
-                        port_free[micro_op.port] = start + 1
-                    last_start = max(last_start, start)
-                write_back = last_start + latency
-                for register in destinations:
-                    register_ready[register] = write_back
-
-                # Retire in order once every micro-op has finished.
-                completion = max(write_back, last_start + 1)
-                previous_retire = max(previous_retire, completion)
-            iteration_end_cycles.append(previous_retire)
-
-        if total_iterations > warmup:
-            start_cycle = iteration_end_cycles[warmup - 1] if warmup > 0 else 0
-            cycles_per_iteration = (iteration_end_cycles[-1] - start_cycle) / measure
-        else:
-            cycles_per_iteration = iteration_end_cycles[-1] / max(1, total_iterations)
-        return LLVMSimResult(
-            cycles_per_iteration=float(max(cycles_per_iteration, 0.01)),
-            total_cycles=int(iteration_end_cycles[-1]),
-            iterations_simulated=total_iterations,
-        )
+        return simulate_bound_llvm_sim(bound, self.frontend_uops_per_cycle, warmup, measure)
 
     def predict_timing(self, block: BasicBlock) -> float:
         return self.simulate(block).cycles_per_iteration

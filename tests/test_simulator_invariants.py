@@ -15,7 +15,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bhive.generator import BlockGenerator
+from repro.core import LLVMSimAdapter, MCAAdapter
+from repro.engine import llvm_sim_engine, mca_engine
 from repro.llvm_mca import MCASimulator
+from repro.llvm_sim.simulator import LLVMSimSimulator
 from repro.targets import HASWELL
 from repro.targets.defaults import build_default_mca_table
 
@@ -29,6 +32,16 @@ def default_table():
 def generated_blocks():
     generator = BlockGenerator(seed=123)
     return generator.generate_blocks(12)
+
+
+@pytest.fixture(scope="module")
+def module_mca_adapter():
+    return MCAAdapter(HASWELL)
+
+
+@pytest.fixture(scope="module")
+def module_llvm_sim_adapter():
+    return LLVMSimAdapter(HASWELL)
 
 
 def _timing(table, block):
@@ -154,3 +167,105 @@ class TestConsistency:
         timing = _timing(free, block)
         dispatch_bound = len(block) / free.dispatch_width
         assert timing <= dispatch_bound + 1.0 + 1e-9
+
+
+class TestEngineEquivalence:
+    """The engine's batched / cached / parallel paths must be *bit-identical*
+    to calling the simulators directly: the engine only reorganizes when and
+    where simulations run (compile sharing, result caching, process fan-out),
+    never what they compute.  Any drift here would silently decouple the
+    searchers and dataset collection from the simulator they claim to tune.
+    """
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_mca_batched_and_cached_match_direct(self, seed, module_mca_adapter,
+                                                 generated_blocks):
+        adapter = module_mca_adapter
+        rng = np.random.default_rng(seed)
+        tables = [adapter.table_from_arrays(adapter.parameter_spec().sample(rng))
+                  for _ in range(2)]
+        direct = np.stack([MCASimulator(table).predict_many(generated_blocks)
+                           for table in tables])
+        engine = mca_engine()
+        batched = engine.run(tables, generated_blocks)
+        assert np.array_equal(batched, direct)
+        cached = engine.run(tables, generated_blocks)
+        assert np.array_equal(cached, direct)
+        assert engine.stats["result_hits"] >= direct.size
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_llvm_sim_batched_and_cached_match_direct(self, seed, module_llvm_sim_adapter,
+                                                      generated_blocks):
+        adapter = module_llvm_sim_adapter
+        rng = np.random.default_rng(seed)
+        tables = [adapter.table_from_arrays(adapter.parameter_spec().sample(rng))
+                  for _ in range(2)]
+        direct = np.stack([
+            LLVMSimSimulator(table,
+                             frontend_uops_per_cycle=HASWELL.dispatch_width
+                             ).predict_many(generated_blocks)
+            for table in tables])
+        engine = llvm_sim_engine(frontend_uops_per_cycle=HASWELL.dispatch_width)
+        assert np.array_equal(engine.run(tables, generated_blocks), direct)
+        assert np.array_equal(engine.run(tables, generated_blocks), direct)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_adapter_predict_timings_matches_direct(self, seed, module_mca_adapter,
+                                                    generated_blocks):
+        adapter = module_mca_adapter
+        rng = np.random.default_rng(seed)
+        arrays = adapter.parameter_spec().sample(rng)
+        direct = MCASimulator(adapter.table_from_arrays(arrays)).predict_many(generated_blocks)
+        assert np.array_equal(adapter.predict_timings(arrays, generated_blocks), direct)
+
+    def test_parallel_execution_matches_direct(self, module_mca_adapter, generated_blocks):
+        """The multiprocessing executor returns the same matrix, in the same
+        deterministic (table-row, block-column) order, as direct calls."""
+        adapter = module_mca_adapter
+        rng = np.random.default_rng(2024)
+        tables = [adapter.table_from_arrays(adapter.parameter_spec().sample(rng))
+                  for _ in range(3)]
+        direct = np.stack([MCASimulator(table).predict_many(generated_blocks)
+                           for table in tables])
+        parallel = mca_engine(num_workers=2)
+        assert np.array_equal(parallel.run(tables, generated_blocks), direct)
+        assert parallel.stats["parallel_batches"] == 1
+        # A second run is served from the cache without another fan-out.
+        assert np.array_equal(parallel.run(tables, generated_blocks), direct)
+        assert parallel.stats["parallel_batches"] == 1
+
+    def test_parallel_dataset_collection_is_seed_identical(self, generated_blocks):
+        """collect_simulated_dataset with engine workers draws the same rng
+        sequence and produces the same examples as the serial path."""
+        from repro.core.simulated_dataset import collect_simulated_dataset
+
+        def collect(workers):
+            adapter = MCAAdapter(HASWELL, narrow_sampling=True, engine_workers=workers)
+            return collect_simulated_dataset(adapter, generated_blocks, 40,
+                                             np.random.default_rng(17), blocks_per_table=6)
+
+        serial = collect(0)
+        parallel = collect(2)
+        assert [(e.block_index, e.simulated_timing) for e in serial] == \
+            [(e.block_index, e.simulated_timing) for e in parallel]
+        assert all(np.array_equal(s.arrays.per_instruction_values,
+                                  p.arrays.per_instruction_values)
+                   for s, p in zip(serial, parallel))
+
+    def test_parallel_llvm_sim_matches_direct(self, module_llvm_sim_adapter,
+                                              generated_blocks):
+        adapter = module_llvm_sim_adapter
+        rng = np.random.default_rng(2025)
+        tables = [adapter.table_from_arrays(adapter.parameter_spec().sample(rng))
+                  for _ in range(2)]
+        direct = np.stack([
+            LLVMSimSimulator(table,
+                             frontend_uops_per_cycle=HASWELL.dispatch_width
+                             ).predict_many(generated_blocks)
+            for table in tables])
+        parallel = llvm_sim_engine(frontend_uops_per_cycle=HASWELL.dispatch_width,
+                                   num_workers=2)
+        assert np.array_equal(parallel.run(tables, generated_blocks), direct)
