@@ -1,53 +1,14 @@
 """Ablation — port-group semantics vs the paper's flattened PortMap.
 
-Section V-A sets every port-group entry in llvm-mca's PortMap to zero because
-the group semantics do not correspond to a standard port mapping.  This
-benchmark quantifies what that modeling choice costs: it compares the default
-per-port tables against a variant in which ALU-class occupancy is expressed
-through the Haswell port groups and resolved to least-loaded member ports
-before simulation (repro.llvm_mca.port_groups).
+Thin wrapper over the registered ``ablation_port_groups`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run ablation_port_groups --tier quick
 """
 
-import numpy as np
-from conftest import record_result
-
-from repro.core import MCAAdapter
-from repro.eval.metrics import mean_absolute_percentage_error
-from repro.eval.tables import format_table
-from repro.llvm_mca import HASWELL_PORT_GROUPS, MCASimulator, resolve_grouped_port_map
-from repro.targets import HASWELL
+from conftest import run_scenario_benchmark
 
 
-def _regrouped_table(adapter):
-    """Re-express each opcode's ALU occupancy through the P0156 group."""
-    table = adapter.default_table()
-    regrouped = table.copy()
-    alu_ports = set(HASWELL_PORT_GROUPS["P0156"].ports)
-    for index in range(len(table.opcode_table)):
-        row = table.port_map[index]
-        grouped_cycles = int(sum(int(row[port]) for port in alu_ports))
-        per_port = [0 if port in alu_ports else int(row[port]) for port in range(len(row))]
-        regrouped.port_map[index] = resolve_grouped_port_map(
-            per_port, {"P0156": grouped_cycles}, HASWELL_PORT_GROUPS, num_ports=len(row))
-    return regrouped
-
-
-def bench_ablation_port_groups(benchmark, haswell_dataset):
-    test = haswell_dataset.test_examples
-    blocks = [example.block for example in test]
-    timings = np.array([example.timing for example in test])
-    adapter = MCAAdapter(HASWELL)
-
-    def run():
-        default_error = mean_absolute_percentage_error(
-            MCASimulator(adapter.default_table()).predict_many(blocks), timings)
-        regrouped_error = mean_absolute_percentage_error(
-            MCASimulator(_regrouped_table(adapter)).predict_many(blocks), timings)
-        return {"per-port PortMap (paper)": default_error,
-                "group-resolved PortMap": regrouped_error}
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [[name, f"{error * 100:.1f}%"] for name, error in results.items()]
-    print("\n" + format_table(["PortMap representation", "Test error"], rows,
-                              title="Ablation: port-group semantics (Haswell)"))
-    record_result("ablation_port_groups", results)
+def bench_ablation_port_groups(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "ablation_port_groups")

@@ -1,51 +1,14 @@
 """Ablation — surrogate architecture and refinement rounds.
 
-Not a table in the paper, but DESIGN.md calls out two design choices this
-reproduction makes for CPU-scale training: the structured (analytical)
-surrogate and the local-refinement rounds.  This benchmark measures the
-learned-table error with each choice toggled, so their contribution is
-recorded alongside the main results.
+Thin wrapper over the registered ``ablation_surrogate`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run ablation_surrogate --tier quick
 """
 
-import numpy as np
-from conftest import record_result
-
-from repro.core import DiffTune, MCAAdapter
-from repro.eval.metrics import mean_absolute_percentage_error
-from repro.eval.tables import format_table
-from repro.targets import HASWELL
+from conftest import run_scenario_benchmark
 
 
-def bench_ablation_surrogate(benchmark, scale, haswell_dataset):
-    train = haswell_dataset.train_examples
-    test = haswell_dataset.test_examples
-    train_blocks = [example.block for example in train]
-    train_timings = np.array([example.timing for example in train])
-    test_blocks = [example.block for example in test]
-    test_timings = np.array([example.timing for example in test])
-
-    def run():
-        results = {}
-        for label, kind, refinement in [("analytical + refinement", "analytical", 1),
-                                        ("pooled, no refinement", "pooled", 0)]:
-            adapter = MCAAdapter(HASWELL, narrow_sampling=True)
-            config = scale.difftune
-            config = type(config)(**{**config.__dict__})
-            config.surrogate = type(config.surrogate)(**{**config.surrogate.__dict__})
-            config.surrogate.kind = kind
-            config.refinement_rounds = refinement
-            difftune = DiffTune(adapter, config)
-            learned = difftune.learn(train_blocks, train_timings)
-            predictions = adapter.predict_timings(learned.learned_arrays, test_blocks)
-            results[label] = mean_absolute_percentage_error(predictions, test_timings)
-        default_adapter = MCAAdapter(HASWELL)
-        results["default parameters"] = mean_absolute_percentage_error(
-            default_adapter.predict_timings(default_adapter.default_arrays(), test_blocks),
-            test_timings)
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [[name, f"{error * 100:.1f}%"] for name, error in results.items()]
-    print("\n" + format_table(["Configuration", "Test error"], rows,
-                              title="Ablation: surrogate variant and refinement (Haswell)"))
-    record_result("ablation_surrogate", results)
+def bench_ablation_surrogate(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "ablation_surrogate")

@@ -1,61 +1,14 @@
 """Black-box search baselines beyond OpenTuner (Section V-C context).
 
-Table IV compares DiffTune against OpenTuner only; this benchmark adds the
-other classic black-box searches implemented in ``repro.baselines`` — genetic
-algorithm, simulated annealing, greedy coordinate descent — all given the same
-(reduced) evaluation budget, so the Section V-C conclusion ("black-box global
-optimization cannot match DiffTune at this budget") is checked against more
-than one representative technique.
+Thin wrapper over the registered ``baseline_search`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run baseline_search --tier quick
 """
 
-import numpy as np
-from conftest import record_result
-
-from repro.baselines import (AnnealingConfig, CoordinateDescentConfig, CoordinateDescentTuner,
-                             GeneticConfig, GeneticTuner, SimulatedAnnealingTuner)
-from repro.core import MCAAdapter
-from repro.eval.metrics import mean_absolute_percentage_error
-from repro.eval.tables import format_table
-from repro.targets import HASWELL
-
-#: Shared evaluation budget (block evaluations) for every search technique.
-SEARCH_BUDGET = 6000
+from conftest import run_scenario_benchmark
 
 
-def bench_baseline_search(benchmark, haswell_dataset):
-    train = haswell_dataset.train_examples
-    test = haswell_dataset.test_examples
-    train_blocks = [example.block for example in train]
-    train_timings = np.array([example.timing for example in train])
-    test_blocks = [example.block for example in test]
-    test_timings = np.array([example.timing for example in test])
-
-    def run():
-        adapter = MCAAdapter(HASWELL, narrow_sampling=True)
-        results = {}
-        genetic = GeneticTuner(adapter, GeneticConfig(
-            evaluation_budget=SEARCH_BUDGET, population_size=10,
-            blocks_per_evaluation=32, seed=0)).tune(train_blocks, train_timings)
-        results["genetic algorithm"] = mean_absolute_percentage_error(
-            adapter.predict_timings(genetic.best_arrays, test_blocks), test_timings)
-        annealing = SimulatedAnnealingTuner(adapter, AnnealingConfig(
-            evaluation_budget=SEARCH_BUDGET, blocks_per_evaluation=32,
-            seed=0)).tune(train_blocks, train_timings)
-        results["simulated annealing"] = mean_absolute_percentage_error(
-            adapter.predict_timings(annealing.best_arrays, test_blocks), test_timings)
-        coordinate = CoordinateDescentTuner(adapter, CoordinateDescentConfig(
-            evaluation_budget=SEARCH_BUDGET, blocks_per_evaluation=32,
-            rounds=2, seed=0)).tune(train_blocks, train_timings)
-        results["coordinate descent"] = mean_absolute_percentage_error(
-            adapter.predict_timings(coordinate.best_arrays, test_blocks), test_timings)
-        default = MCAAdapter(HASWELL)
-        results["default parameters"] = mean_absolute_percentage_error(
-            default.predict_timings(default.default_arrays(), test_blocks), test_timings)
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [[name, f"{error * 100:.1f}%"] for name, error in results.items()]
-    print("\n" + format_table(["Search technique", "Test error"], rows,
-                              title=f"Black-box search baselines (Haswell, "
-                                    f"budget {SEARCH_BUDGET} block evaluations)"))
-    record_result("baseline_search", results)
+def bench_baseline_search(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "baseline_search")

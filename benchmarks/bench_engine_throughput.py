@@ -1,158 +1,71 @@
 """Simulation-engine throughput micro-benchmark.
 
-Measures blocks/second through the three execution paths the engine layer
-provides, so future PRs have a perf trajectory to regress against:
+The measurement itself is the registered ``engine_throughput`` scenario in
+:mod:`repro.bench.scenarios` (scalar vs engine_cold vs engine_cached vs
+engine_parallel, bit-identity asserted between all paths).
 
-* **scalar** — the seed behaviour: a fresh simulator per table with block
-  compilation redone on every ``simulate()`` call (compiler cache disabled);
-* **engine_cold** — the engine's batch API with an empty result cache:
-  blocks are compiled once and rebound per table (the win is pure block
-  compilation sharing);
-* **engine_cached** — the same batch re-run against a warm result cache
-  (the black-box-search steady state: overlapping table/block pairs);
-* **engine_parallel** — the cold batch through the opt-in multiprocessing
-  executor (one task per table).
+.. deprecated::
+    The standalone entrypoint below is kept for compatibility with existing
+    automation; prefer the scenario runner, which emits the same schema for
+    every scenario::
 
-Results are printed and written to ``BENCH_engine.json`` at the repository
-root (plus ``benchmarks/results/engine_throughput.json``).  Run standalone::
+        PYTHONPATH=src python -m repro.bench run engine_throughput --tier smoke
+
+Run standalone (writes ``BENCH_engine.json`` at the repository root)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--smoke]
 
-``--smoke`` (or ``ENGINE_BENCH_SMOKE=1``) shrinks the workload for CI.
+``--smoke`` (or ``ENGINE_BENCH_SMOKE=1``) selects the smoke tier for CI.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
-import time
-from typing import Dict, List
-
-import numpy as np
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from conftest import record_result  # noqa: E402
+from conftest import run_scenario_benchmark  # noqa: E402
 
-from repro.bhive.generator import BlockGenerator  # noqa: E402
-from repro.core import MCAAdapter  # noqa: E402
-from repro.engine import BlockCompiler, mca_engine  # noqa: E402
-from repro.llvm_mca.simulator import MCASimulator  # noqa: E402
-from repro.targets import HASWELL  # noqa: E402
+from repro.bench import Runner, RunnerConfig  # noqa: E402
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_engine.json")
-
-
-def _build_workload(num_blocks: int, num_tables: int, seed: int):
-    adapter = MCAAdapter(HASWELL)
-    blocks = BlockGenerator(seed=seed).generate_blocks(num_blocks)
-    rng = np.random.default_rng(seed)
-    spec = adapter.parameter_spec()
-    tables = [adapter.table_from_arrays(spec.sample(rng)) for _ in range(num_tables)]
-    return adapter, blocks, tables
-
-
-def _throughput(elapsed: float, simulations: int) -> float:
-    return simulations / max(elapsed, 1e-9)
-
-
-def run_benchmark(num_blocks: int = 64, num_tables: int = 8, seed: int = 0,
-                  workers: int = 2) -> Dict:
-    adapter, blocks, tables = _build_workload(num_blocks, num_tables, seed)
-    simulations = num_blocks * num_tables
-    results: Dict[str, Dict[str, float]] = {}
-
-    # Scalar: seed behaviour — per-call compilation, no sharing, no caching.
-    start = time.perf_counter()
-    scalar = np.stack([
-        MCASimulator(table,
-                     compiler=BlockCompiler(adapter.opcode_table, max_entries=0)
-                     ).predict_many(blocks)
-        for table in tables])
-    elapsed = time.perf_counter() - start
-    results["scalar"] = {"seconds": elapsed,
-                         "blocks_per_sec": _throughput(elapsed, simulations)}
-
-    # Engine, cold cache: compile once per block, bind per table.
-    engine = mca_engine()
-    start = time.perf_counter()
-    cold = engine.run(tables, blocks)
-    elapsed = time.perf_counter() - start
-    results["engine_cold"] = {"seconds": elapsed,
-                              "blocks_per_sec": _throughput(elapsed, simulations)}
-
-    # Engine, warm cache: the repeated-table workload of black-box search.
-    start = time.perf_counter()
-    cached = engine.run(tables, blocks)
-    elapsed = time.perf_counter() - start
-    results["engine_cached"] = {"seconds": elapsed,
-                                "blocks_per_sec": _throughput(elapsed, simulations)}
-
-    # Engine, parallel executor, cold cache.
-    parallel_engine = mca_engine(num_workers=workers)
-    start = time.perf_counter()
-    parallel = parallel_engine.run(tables, blocks)
-    elapsed = time.perf_counter() - start
-    results["engine_parallel"] = {"seconds": elapsed,
-                                  "blocks_per_sec": _throughput(elapsed, simulations),
-                                  "workers": workers}
-
-    assert np.array_equal(scalar, cold), "engine diverged from scalar path"
-    assert np.array_equal(scalar, cached), "cached results diverged"
-    assert np.array_equal(scalar, parallel), "parallel results diverged"
-
-    payload = {
-        "workload": {"num_blocks": num_blocks, "num_tables": num_tables,
-                     "simulations": simulations, "seed": seed, "uarch": "haswell"},
-        "paths": results,
-        "speedups_vs_scalar": {
-            name: results[name]["blocks_per_sec"] / results["scalar"]["blocks_per_sec"]
-            for name in ("engine_cold", "engine_cached", "engine_parallel")
-        },
-        "engine_stats": engine.stats,
-    }
-    return payload
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny workload for CI (also ENGINE_BENCH_SMOKE=1)")
-    parser.add_argument("--blocks", type=int, default=64)
-    parser.add_argument("--tables", type=int, default=8)
+                        help="smoke-tier workload for CI (also ENGINE_BENCH_SMOKE=1)")
+    parser.add_argument("--tier", default=None,
+                        help="explicit scale tier (overrides --smoke)")
     parser.add_argument("--workers", type=int, default=2)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--output-dir", default=REPO_ROOT)
     arguments = parser.parse_args(argv)
     smoke = arguments.smoke or os.environ.get("ENGINE_BENCH_SMOKE") == "1"
-    if smoke:
-        arguments.blocks, arguments.tables = 12, 3
+    tier = arguments.tier or ("smoke" if smoke else "quick")
+    print("note: this entrypoint is deprecated; prefer "
+          f"`python -m repro.bench run engine_throughput --tier {tier}`")
 
-    payload = run_benchmark(num_blocks=arguments.blocks, num_tables=arguments.tables,
-                            seed=arguments.seed, workers=arguments.workers)
-    payload["mode"] = "smoke" if smoke else "full"
+    runner = Runner(RunnerConfig(tier=tier, suite="engine", workers=arguments.workers,
+                                 seed=arguments.seed, output_dir=arguments.output_dir))
+    payload = runner.run(names=["engine_throughput"])
+    path = runner.write(payload)
 
-    with open(OUTPUT_PATH, "w") as handle:
-        json.dump(payload, handle, indent=2)
-    record_result("engine_throughput", payload)
-
-    print(f"engine throughput ({payload['mode']}, "
-          f"{payload['workload']['simulations']} simulations):")
-    for name, row in payload["paths"].items():
+    entry = payload["scenarios"]["engine_throughput"]
+    metrics = entry["metrics"]
+    print(f"engine throughput ({tier}, {metrics['workload']['simulations']} simulations):")
+    for name, row in metrics["paths"].items():
         print(f"  {name:16s} {row['blocks_per_sec']:10.0f} blocks/sec "
               f"({row['seconds']:.3f}s)")
-    for name, speedup in payload["speedups_vs_scalar"].items():
+    for name, speedup in metrics["speedups_vs_scalar"].items():
         print(f"  {name:16s} {speedup:.2f}x vs scalar")
-    print(f"wrote {OUTPUT_PATH}")
+    print(f"wrote {path}")
     return 0
 
 
-def bench_engine_throughput(benchmark):
-    """pytest-benchmark hook, consistent with the other bench_* modules."""
-    payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
-    record_result("engine_throughput", payload)
-    print(json.dumps(payload["speedups_vs_scalar"], indent=2))
+def bench_engine_throughput(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "engine_throughput")
 
 
 if __name__ == "__main__":

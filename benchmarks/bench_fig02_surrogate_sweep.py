@@ -1,21 +1,14 @@
-"""Figure 2 — llvm-mca vs the trained surrogate while sweeping DispatchWidth
-for a single-instruction block (`shrq $5, 16(%rsp)`)."""
+"""Figure 2 — llvm-mca vs the trained surrogate while sweeping DispatchWidth.
 
-from conftest import record_result
+Thin wrapper over the registered ``fig02_surrogate_sweep`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
 
-from repro.eval.experiments import run_figure2_surrogate_sweep
-from repro.eval.tables import format_table
+    PYTHONPATH=src python -m repro.bench run fig02_surrogate_sweep --tier quick
+"""
+
+from conftest import run_scenario_benchmark
 
 
-def bench_fig02_surrogate_sweep(benchmark, scale, haswell_dataset):
-    def run():
-        return run_figure2_surrogate_sweep(scale, dataset=haswell_dataset)
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    simulator_curve = dict(results["llvm_mca"])
-    surrogate_curve = dict(results["surrogate"])
-    rows = [[width, f"{simulator_curve[width]:.2f}", f"{surrogate_curve[width]:.2f}"]
-            for width in sorted(simulator_curve)]
-    print("\n" + format_table(["DispatchWidth", "llvm-mca timing", "Surrogate timing"], rows,
-                              title=f"Figure 2 analogue: {results['block']}"))
-    record_result("fig02_surrogate_sweep", results)
+def bench_fig02_surrogate_sweep(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "fig02_surrogate_sweep")

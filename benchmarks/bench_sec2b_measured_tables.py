@@ -1,22 +1,14 @@
 """Section II-B — error of measured min/median/max latency tables on Haswell.
 
-The paper reports 103% / 150% / 218% for min / median / max observed latency,
-against 25% for the expert defaults — the measurability argument for learning
-parameters from end-to-end data instead of plugging in measurements.
+Thin wrapper over the registered ``sec2b_measured_tables`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run sec2b_measured_tables --tier quick
 """
 
-from conftest import record_result
-
-from repro.eval.experiments import run_section2b_measured_tables
-from repro.eval.tables import format_table
+from conftest import run_scenario_benchmark
 
 
-def bench_sec2b_measured_tables(benchmark, scale):
-    def run():
-        return run_section2b_measured_tables(num_blocks=scale.num_blocks, seed=scale.seed)
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [[name, f"{error * 100:.1f}%"] for name, error in results.items()]
-    print("\n" + format_table(["WriteLatency source", "Error"], rows,
-                              title="Section II-B analogue: measured-latency tables (Haswell)"))
-    record_result("sec2b_measured_tables", results)
+def bench_sec2b_measured_tables(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "sec2b_measured_tables")

@@ -1,21 +1,14 @@
 """Section V-A — error of randomly sampled parameter tables on Haswell.
 
-The paper reports 171.4% ± 95.7% for tables drawn from the training sampling
-distribution; this benchmark regenerates that sanity number.
+Thin wrapper over the registered ``sec5a_random_tables`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run sec5a_random_tables --tier quick
 """
 
-from conftest import record_result
-
-from repro.eval.experiments import run_section5a_random_tables
-from repro.eval.tables import format_table
+from conftest import run_scenario_benchmark
 
 
-def bench_sec5a_random_tables(benchmark, scale):
-    def run():
-        return run_section5a_random_tables(num_blocks=200, num_tables=8, seed=scale.seed)
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [[key, f"{value * 100:.1f}%"] for key, value in results.items()]
-    print("\n" + format_table(["Statistic", "Error"], rows,
-                              title="Section V-A analogue: random parameter tables (Haswell)"))
-    record_result("sec5a_random_tables", results)
+def bench_sec5a_random_tables(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "sec5a_random_tables")

@@ -1,22 +1,14 @@
 """Section VI-B — learning only WriteLatency vs learning every parameter.
 
-The paper reports that WriteLatency-only learning (16.2% error) beats
-full-table learning (23.7%), showing the full-table optimum found by DiffTune
-is not globally optimal.
+Thin wrapper over the registered ``sec6b_writelatency_only`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run sec6b_writelatency_only --tier quick
 """
 
-from conftest import record_result
-
-from repro.eval.experiments import run_section6b_writelatency_only
-from repro.eval.tables import format_results_table
+from conftest import run_scenario_benchmark
 
 
-def bench_sec6b_writelatency_only(benchmark, scale, haswell_dataset):
-    def run():
-        return run_section6b_writelatency_only(scale, dataset=haswell_dataset)
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print("\n" + format_results_table({"Haswell": results},
-                                      title="Section VI-B analogue: WriteLatency-only learning"))
-    record_result("sec6b_writelatency_only",
-                  {predictor: list(values) for predictor, values in results.items()})
+def bench_sec6b_writelatency_only(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "sec6b_writelatency_only")

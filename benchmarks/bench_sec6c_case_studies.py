@@ -1,27 +1,14 @@
 """Section VI-C — case studies: PUSH64r, XOR32rr (zero idiom), ADD32mr.
 
-For each case-study block the benchmark reports the measured timing, the
-default llvm-mca prediction, the prediction with learned WriteLatency values,
-and the default/learned latency of the opcode of interest.
+Thin wrapper over the registered ``sec6c_case_studies`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run sec6c_case_studies --tier quick
 """
 
-from conftest import record_result
-
-from repro.eval.experiments import run_section6c_case_studies
-from repro.eval.tables import format_table
+from conftest import run_scenario_benchmark
 
 
-def bench_sec6c_case_studies(benchmark, scale, haswell_dataset):
-    def run():
-        return run_section6c_case_studies(scale, dataset=haswell_dataset)
-
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = []
-    for case in report:
-        rows.append([case.name, f"{case.true_timing:.2f}",
-                     f"{case.default_prediction:.2f}", f"{case.learned_prediction:.2f}",
-                     case.default_latency, case.learned_latency])
-    print("\n" + format_table(
-        ["Case", "True", "Default pred", "Learned pred", "Default lat", "Learned lat"], rows,
-        title="Section VI-C analogue: case studies (Haswell, WriteLatency-only learning)"))
-    record_result("sec6c_case_studies", [case.__dict__ for case in report])
+def bench_sec6c_case_studies(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "sec6c_case_studies")

@@ -1,25 +1,14 @@
-"""Table III — dataset summary statistics per microarchitecture."""
+"""Table III — dataset summary statistics per microarchitecture.
 
-from conftest import record_result
+Thin wrapper over the registered ``table03_dataset`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
 
-from repro.eval.experiments import run_table3_dataset_statistics
-from repro.eval.tables import format_table
+    PYTHONPATH=src python -m repro.bench run table03_dataset --tier quick
+"""
+
+from conftest import run_scenario_benchmark
 
 
-def bench_table03_dataset_statistics(benchmark, scale):
-    def run():
-        return run_table3_dataset_statistics(num_blocks=scale.num_blocks, seed=scale.seed)
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = []
-    for uarch, stats in results.items():
-        rows.append([uarch, stats["num_blocks_total"], stats["num_blocks_train"],
-                     stats["num_blocks_test"], f"{stats['block_length_median']:.1f}",
-                     f"{stats['block_length_mean']:.2f}", stats["block_length_max"],
-                     f"{stats['median_block_timing']:.2f}", stats["unique_opcodes_total"]])
-    table = format_table(
-        ["Architecture", "Blocks", "Train", "Test", "Med len", "Mean len", "Max len",
-         "Med timing", "Opcodes"],
-        rows, title="Table III analogue: dataset summary statistics")
-    print("\n" + table)
-    record_result("table03_dataset", results)
+def bench_table03_dataset_statistics(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "table03_dataset")

@@ -1,25 +1,14 @@
 """Table IV — error and Kendall's tau of every predictor on every target.
 
-One benchmark per microarchitecture so the per-target cost is visible in the
-pytest-benchmark output; each runs Default / DiffTune / Ithemal / IACA /
-OpenTuner on a freshly generated dataset for that target.
+Thin wrapper over the registered ``table04_main_results`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run table04_main_results --tier quick
 """
 
-import pytest
-from conftest import record_result
-
-from repro.eval.experiments import run_table4_for_uarch
-from repro.eval.tables import format_results_table
+from conftest import run_scenario_benchmark
 
 
-@pytest.mark.parametrize("uarch", ["ivybridge", "haswell", "skylake", "zen2"])
-def bench_table04_main_results(benchmark, scale, uarch):
-    def run():
-        return run_table4_for_uarch(uarch, scale)
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = format_results_table({uarch: results},
-                                 title=f"Table IV analogue ({uarch})")
-    print("\n" + table)
-    record_result(f"table04_{uarch}", {predictor: list(values)
-                                       for predictor, values in results.items()})
+def bench_table04_main_results(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "table04_main_results")

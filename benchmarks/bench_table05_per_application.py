@@ -1,26 +1,14 @@
-"""Table V — per-application and per-category error on Haswell."""
+"""Table V — per-application and per-category error on Haswell.
 
-from conftest import record_result
+Thin wrapper over the registered ``table05_per_application`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
 
-from repro.eval.experiments import run_table5
-from repro.eval.tables import format_table
+    PYTHONPATH=src python -m repro.bench run table05_per_application --tier quick
+"""
+
+from conftest import run_scenario_benchmark
 
 
-def bench_table05_per_application(benchmark, scale, haswell_dataset):
-    def run():
-        return run_table5(scale, dataset=haswell_dataset)
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = []
-    for group_kind in ("per_application", "per_category"):
-        default_groups = results[group_kind]["default"]
-        learned_groups = results[group_kind]["learned"]
-        for name in sorted(default_groups):
-            count, default_error = default_groups[name]
-            _count, learned_error = learned_groups.get(name, (0, float("nan")))
-            rows.append([name, count, f"{default_error * 100:.1f}%",
-                         f"{learned_error * 100:.1f}%"])
-    table = format_table(["Block type", "# Blocks", "Default error", "Learned error"], rows,
-                         title="Table V analogue: per-application / per-category error (Haswell)")
-    print("\n" + table)
-    record_result("table05_per_application", results)
+def bench_table05_per_application(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "table05_per_application")

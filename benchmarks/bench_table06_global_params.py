@@ -1,43 +1,14 @@
-"""Table VI + Figures 4 and 5 — learned global parameters, parameter-value
-histograms, and sensitivity sweeps on Haswell.
+"""Table VI + Figures 4 and 5 — learned globals, histograms, sensitivity (Haswell).
 
-These three artifacts share one DiffTune run, so they are regenerated by a
-single benchmark (the driver returns all three).
+Thin wrapper over the registered ``table06_global_params`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run table06_global_params --tier quick
 """
 
-from conftest import record_result
-
-from repro.eval.experiments import run_table6_and_figures
-from repro.eval.tables import format_table
+from conftest import run_scenario_benchmark
 
 
-def bench_table06_and_figures(benchmark, scale, haswell_dataset):
-    def run():
-        return run_table6_and_figures(scale, dataset=haswell_dataset)
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    table6 = results["table6"]
-    rows = [["Default", table6["default"]["DispatchWidth"],
-             table6["default"]["ReorderBufferSize"]],
-            ["Learned", table6["learned"]["DispatchWidth"],
-             table6["learned"]["ReorderBufferSize"]]]
-    print("\n" + format_table(["Parameters", "DispatchWidth", "ReorderBufferSize"], rows,
-                              title="Table VI analogue: global parameters (Haswell)"))
-
-    histogram_rows = []
-    for family, histograms in results["figure4"].items():
-        histogram_rows.append([family, "default"] + histograms["default"][:6])
-        histogram_rows.append([family, "learned"] + histograms["learned"][:6])
-    print("\n" + format_table(["Parameter", "Table", "0", "1", "2", "3", "4", "5"],
-                              histogram_rows,
-                              title="Figure 4 analogue: parameter-value histograms (counts)"))
-
-    sweep_rows = []
-    for parameter, sweeps in results["figure5"].items():
-        for table_name, sweep in sweeps.items():
-            for value, error in sweep:
-                sweep_rows.append([parameter, table_name, value, f"{error * 100:.1f}%"])
-    print("\n" + format_table(["Parameter", "Table", "Value", "Error"], sweep_rows,
-                              title="Figure 5 analogue: global-parameter sensitivity"))
-    record_result("table06_fig4_fig5", results)
+def bench_table06_and_figures(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "table06_global_params")

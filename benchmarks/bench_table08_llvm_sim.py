@@ -1,17 +1,14 @@
-"""Table VIII (Appendix A) — llvm_sim with default vs learned parameters."""
+"""Table VIII (Appendix A) — llvm_sim with default vs learned parameters.
 
-from conftest import record_result
+Thin wrapper over the registered ``table08_llvm_sim`` scenario
+(:mod:`repro.bench.scenarios`); the experiment logic, scale tiers, and
+result schema live in ``src/repro/bench/``.  Run it without pytest via::
 
-from repro.eval.experiments import run_table8_llvm_sim
-from repro.eval.tables import format_results_table
+    PYTHONPATH=src python -m repro.bench run table08_llvm_sim --tier quick
+"""
+
+from conftest import run_scenario_benchmark
 
 
-def bench_table08_llvm_sim(benchmark, scale, haswell_dataset):
-    def run():
-        return run_table8_llvm_sim(scale, dataset=haswell_dataset)
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print("\n" + format_results_table({"Haswell (llvm_sim)": results},
-                                      title="Table VIII analogue: llvm_sim"))
-    record_result("table08_llvm_sim",
-                  {predictor: list(values) for predictor, values in results.items()})
+def bench_table08_llvm_sim(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "table08_llvm_sim")

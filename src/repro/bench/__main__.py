@@ -1,0 +1,114 @@
+"""``python -m repro.bench`` — list, run, and compare benchmark scenarios.
+
+Examples::
+
+    python -m repro.bench list
+    python -m repro.bench list --tag ci
+    python -m repro.bench run --tier smoke
+    python -m repro.bench run table04_main_results sec5a_random_tables --tier quick
+    python -m repro.bench run --tag ci --tier smoke --suite smoke --workers 2
+    python -m repro.bench compare benchmarks/baselines/BENCH_smoke.json \\
+        BENCH_smoke.json --max-wall-ratio 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (DEFAULT_REGISTRY, CompareConfig, Runner, RunnerConfig,
+                         compare_payloads, load_payload)
+from repro.eval.experiments import SCALE_TIERS
+
+
+def _command_list(arguments: argparse.Namespace) -> int:
+    selected = DEFAULT_REGISTRY.select(tags=arguments.tag or None)
+    print(f"{len(selected)} registered scenario(s):")
+    for entry in selected:
+        uarches = ", ".join(entry.uarches) if entry.uarches else "self-managed"
+        tags = ", ".join(entry.tags) or "-"
+        print(f"  {entry.name:26s} [{tags}] ({uarches})")
+        print(f"      {entry.description}")
+    return 0
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    config = RunnerConfig(tier=arguments.tier, suite=arguments.suite,
+                          workers=arguments.workers, rounds=arguments.rounds,
+                          warmup=arguments.warmup, seed=arguments.seed,
+                          output_dir=arguments.output_dir)
+    runner = Runner(config)
+    payload = runner.run(names=arguments.scenarios or None, tags=arguments.tag or None)
+    path = runner.write(payload)
+    print(f"{len(payload['scenarios'])} scenario(s), "
+          f"{payload['total_wall_time_seconds']:.2f}s total")
+    print(f"wrote {path}")
+    return 0
+
+
+def _command_compare(arguments: argparse.Namespace) -> int:
+    baseline = load_payload(arguments.baseline)
+    current = load_payload(arguments.current)
+    config = CompareConfig(max_wall_ratio=arguments.max_wall_ratio,
+                           min_seconds=arguments.min_seconds,
+                           max_metric_ratio=arguments.max_metric_ratio)
+    report = compare_payloads(baseline, current, config)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list registered scenarios")
+    list_parser.add_argument("--tag", action="append",
+                             help="only scenarios with this tag (repeatable)")
+    list_parser.set_defaults(handler=_command_list)
+
+    run_parser = subparsers.add_parser("run", help="run scenarios and write BENCH_<suite>.json")
+    run_parser.add_argument("scenarios", nargs="*",
+                            help="scenario names (default: all registered)")
+    run_parser.add_argument("--tier", default="smoke", choices=list(SCALE_TIERS))
+    run_parser.add_argument("--tag", action="append",
+                            help="only scenarios with this tag (repeatable)")
+    run_parser.add_argument("--suite", help="result-file suffix (default: the tier name)")
+    run_parser.add_argument("--workers", type=int, default=0,
+                            help="engine worker processes for batched simulation")
+    run_parser.add_argument("--rounds", type=int, default=1,
+                            help="timed repetitions per scenario")
+    run_parser.add_argument("--warmup", type=int, default=0,
+                            help="untimed repetitions before measuring")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override every scale preset's seed")
+    run_parser.add_argument("--output-dir", default=".",
+                            help="where BENCH_<suite>.json is written")
+    run_parser.set_defaults(handler=_command_run)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="diff two BENCH_*.json files and fail on regressions")
+    compare_parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    compare_parser.add_argument("current", help="freshly produced BENCH_*.json")
+    compare_parser.add_argument("--max-wall-ratio", type=float, default=2.0,
+                                help="fail when wall time grows past this factor")
+    compare_parser.add_argument("--min-seconds", type=float, default=0.25,
+                                help="ignore wall regressions on scenarios faster "
+                                     "than this baseline time (timer noise)")
+    compare_parser.add_argument("--max-metric-ratio", type=float, default=None,
+                                help="optionally fail when a numeric metric drifts "
+                                     "past this relative factor")
+    compare_parser.set_defaults(handler=_command_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

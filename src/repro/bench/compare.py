@@ -1,0 +1,162 @@
+"""Regression gating: diff two ``BENCH_*.json`` payloads.
+
+``repro.bench compare`` loads a committed baseline and a freshly produced
+result file and fails when:
+
+* a scenario present in the baseline is missing from the new results
+  (coverage regression);
+* a scenario's wall time grew by more than ``--max-wall-ratio`` (default
+  2x, per-scenario minimum across rounds, ignoring scenarios faster than
+  ``--min-seconds`` where timer noise dominates — but the suite total over
+  the baseline's scenarios is gated at the same ratio, so many small
+  regressions still accumulate into a failure);
+* optionally (``--max-metric-ratio``), a numeric metric drifted by more
+  than the given relative factor — off by default because many metrics are
+  stochastic at reduced scale.
+
+Tier mismatches always fail: wall times at different scales are not
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class CompareConfig:
+    max_wall_ratio: float = 2.0
+    min_seconds: float = 0.25
+    max_metric_ratio: Optional[float] = None
+
+
+@dataclass
+class CompareReport:
+    """Human-readable lines plus the failures that should gate CI."""
+
+    lines: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        out = list(self.lines)
+        if self.failures:
+            out.append("")
+            out.append(f"FAIL: {len(self.failures)} regression(s):")
+            out.extend(f"  - {failure}" for failure in self.failures)
+        else:
+            out.append("")
+            out.append("OK: no regressions")
+        return "\n".join(out)
+
+
+def _numeric_leaves(value: Any, prefix: str = "") -> Dict[str, float]:
+    """Flatten nested metrics to ``dotted.path -> float`` (numbers only)."""
+    leaves: Dict[str, float] = {}
+    if isinstance(value, bool):
+        return leaves
+    if isinstance(value, (int, float)):
+        leaves[prefix or "value"] = float(value)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(_numeric_leaves(item, path))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            path = f"{prefix}[{index}]"
+            leaves.update(_numeric_leaves(item, path))
+    return leaves
+
+
+def _compare_metrics(name: str, baseline: Any, current: Any,
+                     config: CompareConfig, report: CompareReport) -> None:
+    base_leaves = _numeric_leaves(baseline)
+    current_leaves = _numeric_leaves(current)
+    drifted: List[Tuple[str, float, float]] = []
+    for path, base_value in base_leaves.items():
+        if path not in current_leaves:
+            report.failures.append(f"{name}: metric {path!r} disappeared")
+            continue
+        new_value = current_leaves[path]
+        if base_value == new_value:
+            continue
+        denominator = max(abs(base_value), 1e-12)
+        ratio = abs(new_value - base_value) / denominator
+        drifted.append((path, base_value, new_value))
+        if config.max_metric_ratio is not None and ratio > config.max_metric_ratio:
+            report.failures.append(
+                f"{name}: metric {path} moved {base_value:.6g} -> {new_value:.6g} "
+                f"({ratio * 100:.1f}% > {config.max_metric_ratio * 100:.0f}% allowed)")
+    if drifted:
+        report.lines.append(f"  {len(drifted)}/{len(base_leaves)} numeric metrics "
+                            f"changed (threshold "
+                            f"{'off' if config.max_metric_ratio is None else config.max_metric_ratio})")
+
+
+def compare_payloads(baseline: Dict[str, Any], current: Dict[str, Any],
+                     config: Optional[CompareConfig] = None) -> CompareReport:
+    """Diff two schema-valid payloads; failures gate the CI job."""
+    config = config or CompareConfig()
+    report = CompareReport()
+    if baseline.get("tier") != current.get("tier"):
+        report.failures.append(
+            f"tier mismatch: baseline {baseline.get('tier')!r} vs "
+            f"current {current.get('tier')!r} — wall times are not comparable")
+        return report
+    base_scenarios = baseline["scenarios"]
+    current_scenarios = current["scenarios"]
+    report.lines.append(
+        f"comparing {len(current_scenarios)} scenario(s) against baseline "
+        f"suite {baseline.get('suite')!r} (tier {baseline.get('tier')!r}, "
+        f"max wall ratio {config.max_wall_ratio:g}x)")
+    base_env = baseline.get("environment") or {}
+    current_env = current.get("environment") or {}
+    differing = [key for key in ("python", "platform", "numpy", "cpu_count")
+                 if base_env.get(key) != current_env.get(key)]
+    if differing:
+        report.lines.append(
+            "warning: environment differs from baseline "
+            f"({', '.join(f'{key}: {base_env.get(key)!r} -> {current_env.get(key)!r}' for key in differing)}); "
+            "wall-time gates compare across machines and may be noisy")
+    for name in sorted(base_scenarios):
+        if name not in current_scenarios:
+            report.failures.append(f"{name}: present in baseline but missing from "
+                                   f"current results (coverage regression)")
+            continue
+        base_entry = base_scenarios[name]
+        current_entry = current_scenarios[name]
+        base_wall = float(base_entry["wall_time_seconds"]["min"])
+        current_wall = float(current_entry["wall_time_seconds"]["min"])
+        ratio = current_wall / max(base_wall, 1e-9)
+        report.lines.append(f"{name}: {base_wall:.3f}s -> {current_wall:.3f}s "
+                            f"({ratio:.2f}x)")
+        if base_wall >= config.min_seconds and ratio > config.max_wall_ratio:
+            report.failures.append(
+                f"{name}: wall time {base_wall:.3f}s -> {current_wall:.3f}s "
+                f"({ratio:.2f}x > {config.max_wall_ratio:g}x allowed)")
+        _compare_metrics(name, base_entry.get("metrics"),
+                         current_entry.get("metrics"), config, report)
+    new_names = sorted(set(current_scenarios) - set(base_scenarios))
+    if new_names:
+        report.lines.append(f"new scenarios not in baseline: {', '.join(new_names)}")
+    # Suite-total gate: individual scenarios under min_seconds are exempt
+    # from per-scenario gating (timer noise), but their regressions still
+    # accumulate here, over the baseline's scenario set only so added
+    # scenarios don't read as a regression.
+    base_total = sum(float(entry["wall_time_seconds"]["min"])
+                     for entry in base_scenarios.values())
+    current_total = sum(
+        float(current_scenarios[name]["wall_time_seconds"]["min"])
+        for name in base_scenarios if name in current_scenarios)
+    total_ratio = current_total / max(base_total, 1e-9)
+    report.lines.append(f"suite total: {base_total:.3f}s -> {current_total:.3f}s "
+                        f"({total_ratio:.2f}x)")
+    if base_total >= config.min_seconds and total_ratio > config.max_wall_ratio:
+        report.failures.append(
+            f"suite total wall time {base_total:.3f}s -> {current_total:.3f}s "
+            f"({total_ratio:.2f}x > {config.max_wall_ratio:g}x allowed)")
+    return report

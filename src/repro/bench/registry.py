@@ -1,0 +1,186 @@
+"""Scenario registry: every paper experiment as a first-class, runnable unit.
+
+A :class:`Scenario` bundles what used to live in an ad-hoc ``benchmarks/``
+script: a stable name, the microarchitectures it parametrizes over, per-tier
+scale presets (smoke / quick / full), and a run callable that returns plain
+metric data.  Scenarios are declared with the :func:`scenario` decorator and
+collected in a :class:`ScenarioRegistry`; the default registry is what
+``python -m repro.bench`` and the pytest harness discover.
+
+The run callable receives a :class:`ScenarioContext` carrying the resolved
+scale, the worker count for the simulation engine's parallel path, and a
+dataset cache shared across scenarios in one runner invocation (the
+equivalent of the old session-scoped ``haswell_dataset`` fixture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from repro.eval.experiments import SCALE_TIERS, ExperimentScale
+
+
+@dataclass
+class ScenarioContext:
+    """Everything a scenario's run callable needs, resolved by the runner."""
+
+    tier: str
+    scale: ExperimentScale
+    uarch: Optional[str] = None
+    workers: int = 0
+    #: Shared ``(uarch, num_blocks, seed) -> BasicBlockDataset`` cache.
+    dataset_cache: Dict[Tuple[str, int, int], Any] = field(default_factory=dict)
+
+    @property
+    def seed(self) -> int:
+        return self.scale.seed
+
+    def by_tier(self, **values: Any) -> Any:
+        """Pick a value per tier, e.g. ``ctx.by_tier(smoke=3, quick=8, full=10)``."""
+        return values[self.tier]
+
+    def dataset(self, uarch: Optional[str] = None, num_blocks: Optional[int] = None,
+                seed: Optional[int] = None):
+        """A measured dataset, memoized across scenarios in this run."""
+        from repro.bhive import build_dataset
+
+        uarch = uarch or self.uarch or "haswell"
+        num_blocks = self.scale.num_blocks if num_blocks is None else num_blocks
+        seed = self.scale.seed if seed is None else seed
+        key = (uarch, num_blocks, seed)
+        if key not in self.dataset_cache:
+            self.dataset_cache[key] = build_dataset(uarch, num_blocks=num_blocks, seed=seed)
+        return self.dataset_cache[key]
+
+    def mca_adapter(self, uarch_name: Optional[str] = None, **kwargs):
+        """An :class:`MCAAdapter` wired to the engine with this run's workers."""
+        from repro.core.adapters import MCAAdapter
+        from repro.targets import get_uarch
+
+        kwargs.setdefault("engine_workers", self.workers)
+        return MCAAdapter(get_uarch(uarch_name or self.uarch or "haswell"), **kwargs)
+
+    def mca_engine(self, **kwargs):
+        """A standalone llvm-mca engine honoring this run's ``--workers``."""
+        from repro.engine import mca_engine
+
+        kwargs.setdefault("num_workers", self.workers)
+        return mca_engine(**kwargs)
+
+
+#: Signature of a scenario's run callable.
+RunCallable = Callable[[ScenarioContext], Any]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered experiment from the paper's evaluation grid."""
+
+    name: str
+    description: str
+    run: RunCallable
+    #: Microarchitectures to parametrize over.  ``None`` means the scenario
+    #: manages its own targets and runs exactly once; otherwise the runner
+    #: invokes ``run`` once per entry and keys the metrics by uarch.
+    uarches: Optional[Tuple[str, ...]] = None
+    #: Per-tier scale presets; every tier in SCALE_TIERS is present.
+    scales: Mapping[str, ExperimentScale] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+    #: Optional pretty-printer for the metrics (used by the pytest harness).
+    formatter: Optional[Callable[[Any], str]] = None
+
+    def scale_for(self, tier: str) -> ExperimentScale:
+        if tier not in SCALE_TIERS:
+            raise ValueError(f"unknown scale tier {tier!r}; expected one of {SCALE_TIERS}")
+        preset = self.scales.get(tier)
+        return preset if preset is not None else ExperimentScale.for_tier(tier)
+
+
+class DuplicateScenarioError(ValueError):
+    """Raised when two different scenarios claim the same name."""
+
+
+class ScenarioRegistry:
+    """Name-keyed collection of scenarios with duplicate detection."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario) -> Scenario:
+        existing = self._scenarios.get(scenario.name)
+        if existing is not None:
+            if existing is scenario:  # idempotent re-import
+                return scenario
+            raise DuplicateScenarioError(
+                f"scenario {scenario.name!r} is already registered "
+                f"({existing.description!r}); names must be unique")
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            known = ", ".join(sorted(self._scenarios)) or "<none>"
+            raise KeyError(f"unknown scenario {name!r}; registered: {known}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def names(self) -> List[str]:
+        return sorted(self._scenarios)
+
+    def all(self) -> List[Scenario]:
+        return [self._scenarios[name] for name in self.names()]
+
+    def select(self, names: Optional[Sequence[str]] = None,
+               tags: Optional[Iterable[str]] = None) -> List[Scenario]:
+        """Scenarios by explicit name and/or tag; no filters selects all."""
+        if names:
+            selected = [self.get(name) for name in names]
+        else:
+            selected = self.all()
+        if tags:
+            wanted = set(tags)
+            selected = [s for s in selected if wanted.intersection(s.tags)]
+        return selected
+
+
+#: The registry ``python -m repro.bench`` and the pytest harness discover.
+DEFAULT_REGISTRY = ScenarioRegistry()
+
+
+def scenario(name: str, description: str = "",
+             uarches: Optional[Sequence[str]] = None,
+             scales: Optional[Mapping[str, ExperimentScale]] = None,
+             tags: Sequence[str] = (),
+             formatter: Optional[Callable[[Any], str]] = None,
+             registry: Optional[ScenarioRegistry] = None) -> Callable[[RunCallable], Scenario]:
+    """Decorator registering a run callable as a :class:`Scenario`.
+
+    The decorated function is replaced by the Scenario object, so importing
+    the defining module twice re-registers the identical object (a no-op)
+    rather than tripping duplicate detection.
+    """
+
+    def decorate(run: RunCallable) -> Scenario:
+        doc = (run.__doc__ or "").strip()
+        declared = Scenario(
+            name=name,
+            description=description or (doc.splitlines()[0] if doc else name),
+            run=run,
+            uarches=tuple(uarches) if uarches is not None else None,
+            scales=dict(scales or {}),
+            tags=tuple(tags),
+            formatter=formatter,
+        )
+        # `is not None`, not truthiness: an empty registry has len() == 0.
+        target = registry if registry is not None else DEFAULT_REGISTRY
+        return target.register(declared)
+
+    return decorate

@@ -1,0 +1,382 @@
+"""The registered scenario catalog: every experiment in the paper's grid.
+
+Each scenario used to be a free-standing ``benchmarks/bench_*.py`` script;
+they are now thin registry entries over the drivers in
+:mod:`repro.eval.experiments` (plus the few ablations whose logic lives
+here).  The old pytest files delegate to these via
+``benchmarks/conftest.py``, and ``python -m repro.bench run`` executes them
+directly.
+
+Tags group scenarios for selection: ``paper`` (tables/figures from the
+paper), ``ablation``, ``perf`` (engine micro-benchmarks), ``search``
+(black-box baselines).  The representative CI subset is tagged ``ci``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bench.registry import ScenarioContext, scenario
+from repro.eval import experiments
+from repro.eval.tables import format_results_table, format_table
+
+ALL_UARCHES = ("ivybridge", "haswell", "skylake", "zen2")
+
+
+def _percent_rows(results: Dict[str, float]) -> List[List[str]]:
+    return [[name, f"{value * 100:.1f}%"] for name, value in results.items()]
+
+
+# ----------------------------------------------------------------------
+# Paper tables and figures
+# ----------------------------------------------------------------------
+def _format_table03(metrics) -> str:
+    rows = []
+    for uarch, stats in metrics.items():
+        rows.append([uarch, stats["num_blocks_total"], stats["num_blocks_train"],
+                     stats["num_blocks_test"], f"{stats['block_length_median']:.1f}",
+                     f"{stats['block_length_mean']:.2f}", stats["block_length_max"],
+                     f"{stats['median_block_timing']:.2f}", stats["unique_opcodes_total"]])
+    return format_table(
+        ["Architecture", "Blocks", "Train", "Test", "Med len", "Mean len", "Max len",
+         "Med timing", "Opcodes"],
+        rows, title="Table III analogue: dataset summary statistics")
+
+
+@scenario("table03_dataset", tags=("paper", "ci"), formatter=_format_table03)
+def table03_dataset(ctx: ScenarioContext):
+    """Table III — dataset summary statistics per microarchitecture."""
+    return experiments.run_table3_dataset_statistics(
+        num_blocks=ctx.scale.num_blocks, seed=ctx.seed)
+
+
+def _format_table04(metrics) -> str:
+    return format_results_table(metrics, title="Table IV analogue")
+
+
+@scenario("table04_main_results", uarches=ALL_UARCHES, tags=("paper",),
+          formatter=_format_table04)
+def table04_main_results(ctx: ScenarioContext):
+    """Table IV — error and Kendall's tau of every predictor on one target."""
+    return experiments.run_table4_for_uarch(ctx.uarch, ctx.scale)
+
+
+def _format_table05(metrics) -> str:
+    rows = []
+    for group_kind in ("per_application", "per_category"):
+        default_groups = metrics[group_kind]["default"]
+        learned_groups = metrics[group_kind]["learned"]
+        for name in sorted(default_groups):
+            count, default_error = default_groups[name]
+            _count, learned_error = learned_groups.get(name, (0, float("nan")))
+            rows.append([name, count, f"{default_error * 100:.1f}%",
+                         f"{learned_error * 100:.1f}%"])
+    return format_table(["Block type", "# Blocks", "Default error", "Learned error"], rows,
+                        title="Table V analogue: per-application / per-category error "
+                              "(Haswell)")
+
+
+@scenario("table05_per_application", tags=("paper",), formatter=_format_table05)
+def table05_per_application(ctx: ScenarioContext):
+    """Table V — per-application and per-category error on Haswell."""
+    return experiments.run_table5(ctx.scale, dataset=ctx.dataset("haswell"))
+
+
+def _format_table06(metrics) -> str:
+    table6 = metrics["table6"]
+    rows = [["Default", table6["default"]["DispatchWidth"],
+             table6["default"]["ReorderBufferSize"]],
+            ["Learned", table6["learned"]["DispatchWidth"],
+             table6["learned"]["ReorderBufferSize"]]]
+    return format_table(["Parameters", "DispatchWidth", "ReorderBufferSize"], rows,
+                        title="Table VI analogue: global parameters (Haswell)")
+
+
+@scenario("table06_global_params", tags=("paper", "ci"), formatter=_format_table06)
+def table06_global_params(ctx: ScenarioContext):
+    """Table VI + Figures 4/5 — learned globals, histograms, sensitivity."""
+    return experiments.run_table6_and_figures(ctx.scale, dataset=ctx.dataset("haswell"))
+
+
+def _format_table08(metrics) -> str:
+    return format_results_table({"Haswell (llvm_sim)": metrics},
+                                title="Table VIII analogue: llvm_sim")
+
+
+@scenario("table08_llvm_sim", tags=("paper", "ci"), formatter=_format_table08)
+def table08_llvm_sim(ctx: ScenarioContext):
+    """Table VIII (Appendix A) — llvm_sim with default vs learned parameters."""
+    return experiments.run_table8_llvm_sim(ctx.scale, dataset=ctx.dataset("haswell"))
+
+
+def _format_fig02(metrics) -> str:
+    simulator_curve = dict(metrics["llvm_mca"])
+    surrogate_curve = dict(metrics["surrogate"])
+    rows = [[width, f"{simulator_curve[width]:.2f}", f"{surrogate_curve[width]:.2f}"]
+            for width in sorted(simulator_curve)]
+    return format_table(["DispatchWidth", "llvm-mca timing", "Surrogate timing"], rows,
+                        title=f"Figure 2 analogue: {metrics['block']}")
+
+
+@scenario("fig02_surrogate_sweep", tags=("paper",), formatter=_format_fig02)
+def fig02_surrogate_sweep(ctx: ScenarioContext):
+    """Figure 2 — llvm-mca vs the trained surrogate while sweeping DispatchWidth."""
+    return experiments.run_figure2_surrogate_sweep(ctx.scale,
+                                                   dataset=ctx.dataset("haswell"))
+
+
+# ----------------------------------------------------------------------
+# Section experiments
+# ----------------------------------------------------------------------
+def _format_sec2b(metrics) -> str:
+    return format_table(["WriteLatency source", "Error"], _percent_rows(metrics),
+                        title="Section II-B analogue: measured-latency tables (Haswell)")
+
+
+@scenario("sec2b_measured_tables", tags=("paper", "ci"), formatter=_format_sec2b)
+def sec2b_measured_tables(ctx: ScenarioContext):
+    """Section II-B — error of measured min/median/max latency tables."""
+    return experiments.run_section2b_measured_tables(num_blocks=ctx.scale.num_blocks,
+                                                     seed=ctx.seed)
+
+
+def _format_sec5a(metrics) -> str:
+    return format_table(["Statistic", "Error"], _percent_rows(metrics),
+                        title="Section V-A analogue: random parameter tables (Haswell)")
+
+
+@scenario("sec5a_random_tables", tags=("paper", "ci"), formatter=_format_sec5a)
+def sec5a_random_tables(ctx: ScenarioContext):
+    """Section V-A — error of randomly sampled parameter tables on Haswell."""
+    num_blocks = ctx.by_tier(smoke=120, quick=200, full=400)
+    num_tables = ctx.by_tier(smoke=3, quick=8, full=10)
+    return experiments.run_section5a_random_tables(num_blocks=num_blocks,
+                                                   num_tables=num_tables, seed=ctx.seed)
+
+
+def _format_sec6b(metrics) -> str:
+    return format_results_table({"Haswell": metrics},
+                                title="Section VI-B analogue: WriteLatency-only learning")
+
+
+@scenario("sec6b_writelatency_only", tags=("paper",), formatter=_format_sec6b)
+def sec6b_writelatency_only(ctx: ScenarioContext):
+    """Section VI-B — learning only WriteLatency vs learning every parameter."""
+    return experiments.run_section6b_writelatency_only(ctx.scale,
+                                                       dataset=ctx.dataset("haswell"))
+
+
+def _format_sec6c(metrics) -> str:
+    rows = [[case["name"], f"{case['true_timing']:.2f}",
+             f"{case['default_prediction']:.2f}", f"{case['learned_prediction']:.2f}",
+             case["default_latency"], case["learned_latency"]] for case in metrics]
+    return format_table(
+        ["Case", "True", "Default pred", "Learned pred", "Default lat", "Learned lat"],
+        rows, title="Section VI-C analogue: case studies (Haswell)")
+
+
+@scenario("sec6c_case_studies", tags=("paper",), formatter=_format_sec6c)
+def sec6c_case_studies(ctx: ScenarioContext):
+    """Section VI-C — case studies: PUSH64r, XOR32rr (zero idiom), ADD32mr."""
+    report = experiments.run_section6c_case_studies(ctx.scale,
+                                                    dataset=ctx.dataset("haswell"))
+    return [vars(case) for case in report]
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def _regrouped_table(adapter):
+    """Re-express each opcode's ALU occupancy through the P0156 group."""
+    from repro.llvm_mca import HASWELL_PORT_GROUPS, resolve_grouped_port_map
+
+    table = adapter.default_table()
+    regrouped = table.copy()
+    alu_ports = set(HASWELL_PORT_GROUPS["P0156"].ports)
+    for index in range(len(table.opcode_table)):
+        row = table.port_map[index]
+        grouped_cycles = int(sum(int(row[port]) for port in alu_ports))
+        per_port = [0 if port in alu_ports else int(row[port]) for port in range(len(row))]
+        regrouped.port_map[index] = resolve_grouped_port_map(
+            per_port, {"P0156": grouped_cycles}, HASWELL_PORT_GROUPS, num_ports=len(row))
+    return regrouped
+
+
+def _format_ablation_ports(metrics) -> str:
+    return format_table(["PortMap representation", "Test error"], _percent_rows(metrics),
+                        title="Ablation: port-group semantics (Haswell)")
+
+
+@scenario("ablation_port_groups", tags=("ablation", "ci"),
+          formatter=_format_ablation_ports)
+def ablation_port_groups(ctx: ScenarioContext):
+    """Ablation — port-group semantics vs the paper's flattened PortMap."""
+    from repro.eval.metrics import mean_absolute_percentage_error
+
+    test = ctx.dataset("haswell").test_examples
+    blocks = [example.block for example in test]
+    timings = np.array([example.timing for example in test])
+    adapter = ctx.mca_adapter("haswell")
+    # One batched engine call: the test blocks are compiled once and the two
+    # tables fan out across workers when --workers is set.
+    predictions = ctx.mca_engine().run(
+        [adapter.default_table(), _regrouped_table(adapter)], blocks)
+    return {
+        "per-port PortMap (paper)": mean_absolute_percentage_error(predictions[0], timings),
+        "group-resolved PortMap": mean_absolute_percentage_error(predictions[1], timings),
+    }
+
+
+def _format_ablation_surrogate(metrics) -> str:
+    return format_table(["Configuration", "Test error"], _percent_rows(metrics),
+                        title="Ablation: surrogate variant and refinement (Haswell)")
+
+
+@scenario("ablation_surrogate", tags=("ablation",),
+          formatter=_format_ablation_surrogate)
+def ablation_surrogate(ctx: ScenarioContext):
+    """Ablation — surrogate architecture and refinement rounds."""
+    from repro.core import DiffTune
+    from repro.eval.metrics import mean_absolute_percentage_error
+
+    dataset = ctx.dataset("haswell")
+    train = dataset.train_examples
+    test = dataset.test_examples
+    train_blocks = [example.block for example in train]
+    train_timings = np.array([example.timing for example in train])
+    test_blocks = [example.block for example in test]
+    test_timings = np.array([example.timing for example in test])
+    results = {}
+    for label, kind, refinement in [("analytical + refinement", "analytical", 1),
+                                    ("pooled, no refinement", "pooled", 0)]:
+        adapter = ctx.mca_adapter("haswell", narrow_sampling=True)
+        config = ctx.scale.difftune
+        config = type(config)(**{**config.__dict__})
+        config.surrogate = type(config.surrogate)(**{**config.surrogate.__dict__})
+        config.surrogate.kind = kind
+        config.refinement_rounds = refinement
+        difftune = DiffTune(adapter, config)
+        learned = difftune.learn(train_blocks, train_timings)
+        predictions = adapter.predict_timings(learned.learned_arrays, test_blocks)
+        results[label] = mean_absolute_percentage_error(predictions, test_timings)
+    default_adapter = ctx.mca_adapter("haswell")
+    results["default parameters"] = mean_absolute_percentage_error(
+        default_adapter.predict_timings(default_adapter.default_arrays(), test_blocks),
+        test_timings)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Black-box search baselines (Section V-C context)
+# ----------------------------------------------------------------------
+def _format_baseline_search(metrics) -> str:
+    return format_table(["Search technique", "Test error"], _percent_rows(metrics),
+                        title="Black-box search baselines (Haswell)")
+
+
+@scenario("baseline_search", tags=("search",), formatter=_format_baseline_search)
+def baseline_search(ctx: ScenarioContext):
+    """Black-box searches (genetic / annealing / coordinate descent) vs default."""
+    from repro.baselines import (AnnealingConfig, CoordinateDescentConfig,
+                                 CoordinateDescentTuner, GeneticConfig, GeneticTuner,
+                                 SimulatedAnnealingTuner)
+    from repro.eval.metrics import mean_absolute_percentage_error
+
+    budget = ctx.by_tier(smoke=1200, quick=6000, full=12000)
+    dataset = ctx.dataset("haswell")
+    train = dataset.train_examples
+    test = dataset.test_examples
+    train_blocks = [example.block for example in train]
+    train_timings = np.array([example.timing for example in train])
+    test_blocks = [example.block for example in test]
+    test_timings = np.array([example.timing for example in test])
+    adapter = ctx.mca_adapter("haswell", narrow_sampling=True)
+    results = {}
+    genetic = GeneticTuner(adapter, GeneticConfig(
+        evaluation_budget=budget, population_size=10,
+        blocks_per_evaluation=32, seed=ctx.seed)).tune(train_blocks, train_timings)
+    results["genetic algorithm"] = mean_absolute_percentage_error(
+        adapter.predict_timings(genetic.best_arrays, test_blocks), test_timings)
+    annealing = SimulatedAnnealingTuner(adapter, AnnealingConfig(
+        evaluation_budget=budget, blocks_per_evaluation=32,
+        seed=ctx.seed)).tune(train_blocks, train_timings)
+    results["simulated annealing"] = mean_absolute_percentage_error(
+        adapter.predict_timings(annealing.best_arrays, test_blocks), test_timings)
+    coordinate = CoordinateDescentTuner(adapter, CoordinateDescentConfig(
+        evaluation_budget=budget, blocks_per_evaluation=32,
+        rounds=2, seed=ctx.seed)).tune(train_blocks, train_timings)
+    results["coordinate descent"] = mean_absolute_percentage_error(
+        adapter.predict_timings(coordinate.best_arrays, test_blocks), test_timings)
+    default = ctx.mca_adapter("haswell")
+    results["default parameters"] = mean_absolute_percentage_error(
+        default.predict_timings(default.default_arrays(), test_blocks), test_timings)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Engine throughput (perf trajectory for the PR-1 engine layer)
+# ----------------------------------------------------------------------
+def _format_engine_throughput(metrics) -> str:
+    rows = [[name, f"{row['blocks_per_sec']:.0f}", f"{row['seconds']:.3f}s"]
+            for name, row in metrics["paths"].items()]
+    return format_table(["Path", "Blocks/sec", "Wall time"], rows,
+                        title="Engine throughput (scalar vs engine paths)")
+
+
+@scenario("engine_throughput", tags=("perf", "ci"),
+          formatter=_format_engine_throughput)
+def engine_throughput(ctx: ScenarioContext):
+    """Blocks/second through the scalar, cold, cached, and parallel paths."""
+    from repro.bhive.generator import BlockGenerator
+    from repro.engine import BlockCompiler
+    from repro.llvm_mca.simulator import MCASimulator
+
+    num_blocks = ctx.by_tier(smoke=12, quick=64, full=128)
+    num_tables = ctx.by_tier(smoke=3, quick=8, full=12)
+    workers = ctx.workers or 2
+    adapter = ctx.mca_adapter("haswell")
+    blocks = BlockGenerator(seed=ctx.seed).generate_blocks(num_blocks)
+    rng = np.random.default_rng(ctx.seed)
+    spec = adapter.parameter_spec()
+    tables = [adapter.table_from_arrays(spec.sample(rng)) for _ in range(num_tables)]
+    simulations = num_blocks * num_tables
+    results: Dict[str, Dict[str, float]] = {}
+
+    def timed(label, runner, **extra):
+        start = time.perf_counter()
+        predictions = runner()
+        elapsed = time.perf_counter() - start
+        results[label] = {"seconds": elapsed,
+                          "blocks_per_sec": simulations / max(elapsed, 1e-9), **extra}
+        return predictions
+
+    # Scalar: seed behaviour — per-call compilation, no sharing, no caching.
+    scalar = timed("scalar", lambda: np.stack([
+        MCASimulator(table,
+                     compiler=BlockCompiler(adapter.opcode_table, max_entries=0)
+                     ).predict_many(blocks)
+        for table in tables]))
+    engine = ctx.mca_engine(num_workers=0)
+    cold = timed("engine_cold", lambda: engine.run(tables, blocks))
+    cached = timed("engine_cached", lambda: engine.run(tables, blocks))
+    parallel_engine = ctx.mca_engine(num_workers=workers)
+    parallel = timed("engine_parallel", lambda: parallel_engine.run(tables, blocks),
+                     workers=workers)
+
+    for label, predictions in [("engine_cold", cold), ("engine_cached", cached),
+                               ("engine_parallel", parallel)]:
+        assert np.array_equal(scalar, predictions), f"{label} diverged from scalar path"
+
+    return {
+        "workload": {"num_blocks": num_blocks, "num_tables": num_tables,
+                     "simulations": simulations, "seed": ctx.seed, "uarch": "haswell"},
+        "paths": results,
+        "speedups_vs_scalar": {
+            name: results[name]["blocks_per_sec"] / results["scalar"]["blocks_per_sec"]
+            for name in ("engine_cold", "engine_cached", "engine_parallel")
+        },
+        "engine_stats": engine.stats,
+    }

@@ -1,0 +1,122 @@
+"""The uniform ``BENCH_<suite>.json`` result schema.
+
+Every runner invocation emits one payload with this shape::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke",                  # file is BENCH_<suite>.json
+      "tier": "smoke",                   # smoke | quick | full
+      "workers": 0,                      # engine worker processes
+      "environment": {                   # reproducibility fingerprint
+        "python": "3.12.3", "platform": "...", "numpy": "1.26.4",
+        "cpu_count": 8, "git_sha": "..." | null
+      },
+      "scenarios": {
+        "<name>": {
+          "name": "...", "description": "...",
+          "tier": "smoke", "seed": 0, "workers": 0,
+          "uarches": ["haswell", ...] | null,
+          "scale": {"num_blocks": ..., ...},     # ExperimentScale.describe()
+          "rounds": 1, "warmup": 0,
+          "wall_time_seconds": {"rounds": [..], "min": .., "mean": ..},
+          "metrics": {...}                       # scenario-specific, JSON-pure
+        }
+      },
+      "total_wall_time_seconds": ...
+    }
+
+:func:`validate_payload` checks this structure and is used by the test
+suite and by ``repro.bench compare`` before gating regressions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+SCHEMA_VERSION = 1
+
+_TOP_LEVEL_KEYS = ("schema_version", "suite", "tier", "workers", "environment",
+                   "scenarios", "total_wall_time_seconds")
+_ENVIRONMENT_KEYS = ("python", "platform", "numpy", "cpu_count")
+_SCENARIO_KEYS = ("name", "description", "tier", "seed", "workers", "uarches",
+                  "scale", "rounds", "warmup", "wall_time_seconds", "metrics")
+_WALL_TIME_KEYS = ("rounds", "min", "mean")
+
+
+class SchemaError(ValueError):
+    """A result payload does not conform to the BENCH_* schema."""
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+def _check_keys(mapping: Any, keys, where: str, problems: List[str]) -> bool:
+    if not isinstance(mapping, dict):
+        problems.append(f"{where}: expected an object, got {type(mapping).__name__}")
+        return False
+    for key in keys:
+        if key not in mapping:
+            problems.append(f"{where}: missing key {key!r}")
+    return True
+
+
+def collect_problems(payload: Any) -> List[str]:
+    """Every schema violation in ``payload`` (empty list means valid)."""
+    problems: List[str] = []
+    if not _check_keys(payload, _TOP_LEVEL_KEYS, "payload", problems):
+        return problems
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append(f"payload: schema_version {payload.get('schema_version')!r} "
+                        f"!= {SCHEMA_VERSION}")
+    _check_keys(payload.get("environment"), _ENVIRONMENT_KEYS, "environment", problems)
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        problems.append("scenarios: expected a non-empty object")
+        return problems
+    for name, entry in scenarios.items():
+        where = f"scenarios[{name!r}]"
+        if not _check_keys(entry, _SCENARIO_KEYS, where, problems):
+            continue
+        if entry.get("name") != name:
+            problems.append(f"{where}: name field {entry.get('name')!r} != key")
+        wall = entry.get("wall_time_seconds")
+        if _check_keys(wall, _WALL_TIME_KEYS, f"{where}.wall_time_seconds", problems):
+            rounds = wall.get("rounds")
+            if not isinstance(rounds, list) or not rounds:
+                problems.append(f"{where}.wall_time_seconds.rounds: expected a "
+                                f"non-empty list")
+    return problems
+
+
+def validate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Return ``payload`` unchanged, raising :class:`SchemaError` if invalid."""
+    problems = collect_problems(payload)
+    if problems:
+        raise SchemaError(problems)
+    return payload
+
+
+def jsonify(value: Any) -> Any:
+    """Coerce scenario metrics to JSON-pure data.
+
+    Handles numpy scalars/arrays, tuples, dataclass-style objects (via
+    ``__dict__``), and mapping keys that are not strings.
+    """
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [jsonify(item) for item in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "__dict__"):
+        return jsonify(vars(value))
+    return str(value)

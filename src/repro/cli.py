@@ -14,6 +14,9 @@ Seven subcommands cover the day-to-day workflow:
   (the Figure 5 analysis) as a text plot.
 * ``tune-baseline`` — run one of the black-box baselines (OpenTuner-style,
   genetic, annealing, coordinate descent) for comparison with DiffTune.
+* ``bench``    — the benchmark-scenario subsystem: list registered paper
+  experiments, run them at a scale tier, and compare result files
+  (forwards to ``python -m repro.bench``).
 
 Examples::
 
@@ -24,6 +27,8 @@ Examples::
     python -m repro.cli timeline --block "addq %rax, %rbx; imulq %rbx, %rcx"
     python -m repro.cli sweep --dataset haswell.json --field DispatchWidth
     python -m repro.cli tune-baseline --dataset haswell.json --method genetic
+    python -m repro.cli bench list
+    python -m repro.cli bench run --tier smoke --workers 2
 """
 
 from __future__ import annotations
@@ -224,6 +229,14 @@ def _command_tune_baseline(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(arguments: argparse.Namespace) -> int:
+    # Forward to the benchmark subsystem's own CLI so `repro bench ...` and
+    # `python -m repro.bench ...` stay identical.
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(arguments.bench_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -299,6 +312,13 @@ def build_parser() -> argparse.ArgumentParser:
     baseline_parser.add_argument("--seed", type=int, default=0)
     baseline_parser.add_argument("--output", help="where to save the tuned table JSON")
     baseline_parser.set_defaults(handler=_command_tune_baseline)
+
+    bench_parser = subparsers.add_parser(
+        "bench", add_help=False,
+        help="benchmark scenarios: list / run / compare (python -m repro.bench)")
+    bench_parser.add_argument("bench_args", nargs=argparse.REMAINDER,
+                              help="arguments forwarded to repro.bench")
+    bench_parser.set_defaults(handler=_command_bench)
     return parser
 
 

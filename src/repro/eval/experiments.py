@@ -35,6 +35,10 @@ from repro.targets.hardware import HardwareModel
 from repro.targets.measured_tables import build_measured_latency_table
 
 
+#: The scale tiers every benchmark scenario supports, smallest first.
+SCALE_TIERS = ("smoke", "quick", "full")
+
+
 @dataclass
 class ExperimentScale:
     """Knobs that shrink or grow every experiment uniformly."""
@@ -56,11 +60,58 @@ class ExperimentScale:
 
     @classmethod
     def smoke(cls) -> "ExperimentScale":
-        """A tiny scale for integration tests (seconds per experiment)."""
+        """A tiny scale for integration tests and CI gating (seconds)."""
         from repro.core.config import test_config
 
         return cls(num_blocks=120, difftune=test_config(), opentuner_budget=2000,
                    ithemal_epochs=1)
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """The reduced scale the benchmark harness records (minutes total).
+
+        This is the scale EXPERIMENTS.md results were collected at; it used
+        to live in ``benchmarks/conftest.py`` as ``benchmark_scale()``.
+        """
+        config = fast_config()
+        config.simulated_dataset_size = 2200
+        config.surrogate_training.epochs = 3
+        config.table_optimization.epochs = 8
+        config.refinement_rounds = 2
+        config.refinement_dataset_size = 1000
+        config.refinement_epochs = 2
+        return cls(num_blocks=480, difftune=config, opentuner_budget=25000,
+                   ithemal_epochs=5, seed=0)
+
+    @classmethod
+    def full(cls) -> "ExperimentScale":
+        """The largest routinely-run scale (closest to the paper's grid)."""
+        config = fast_config()
+        config.simulated_dataset_size = 4000
+        config.refinement_rounds = 2
+        return cls(num_blocks=1000, difftune=config, opentuner_budget=40000,
+                   ithemal_epochs=6)
+
+    @classmethod
+    def for_tier(cls, tier: str) -> "ExperimentScale":
+        """The preset for one of :data:`SCALE_TIERS`."""
+        try:
+            return {"smoke": cls.smoke, "quick": cls.quick, "full": cls.full}[tier]()
+        except KeyError:
+            raise ValueError(f"unknown scale tier {tier!r}; expected one of {SCALE_TIERS}")
+
+    def describe(self) -> Dict[str, float]:
+        """A flat, JSON-ready summary of the knobs (for result fingerprints)."""
+        return {
+            "num_blocks": self.num_blocks,
+            "seed": self.seed,
+            "opentuner_budget": self.opentuner_budget,
+            "ithemal_epochs": self.ithemal_epochs,
+            "simulated_dataset_size": self.difftune.simulated_dataset_size,
+            "surrogate_epochs": self.difftune.surrogate_training.epochs,
+            "table_optimization_epochs": self.difftune.table_optimization.epochs,
+            "refinement_rounds": self.difftune.refinement_rounds,
+        }
 
 
 def _dataset_split(dataset: BasicBlockDataset):
