@@ -1,0 +1,15 @@
+"""Surrogate-training throughput — per-example loop vs the batched fast path.
+
+Thin wrapper over the registered ``surrogate_training_throughput`` scenario
+(:mod:`repro.bench.scenarios`); the workload trains the same seeded pooled
+surrogate through both execution paths and reports examples/second for each.
+Run it without pytest via::
+
+    python -m repro.bench run surrogate_training_throughput --tier quick
+"""
+
+from conftest import run_scenario_benchmark
+
+
+def bench_surrogate_training_throughput(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "surrogate_training_throughput")

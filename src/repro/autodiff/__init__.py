@@ -19,7 +19,8 @@ optimization loop require, with shapes and semantics chosen to mirror the
 corresponding PyTorch operations.
 """
 
-from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff.tensor import (Tensor, no_grad, is_grad_enabled, gather,
+                                   masked_mean, masked_sum)
 from repro.autodiff import functional
 from repro.autodiff.modules import (
     Module,
@@ -54,6 +55,9 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "gather",
+    "masked_sum",
+    "masked_mean",
     "functional",
     "Module",
     "Parameter",

@@ -7,11 +7,14 @@ surrogate and parameter-table optimization.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.autodiff.tensor import Tensor, concat, stack
+from repro.autodiff.tensor import gather as _gather
+from repro.autodiff.tensor import masked_mean as _masked_mean
+from repro.autodiff.tensor import masked_sum as _masked_sum
 
 ArrayLike = Union[Tensor, np.ndarray, float, int]
 
@@ -83,6 +86,28 @@ def stack_tensors(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def dot(a: Tensor, b: Tensor) -> Tensor:
     """Inner product of two 1-D tensors."""
     return (as_tensor(a) * as_tensor(b)).sum()
+
+
+# ----------------------------------------------------------------------
+# Batched primitives (minibatch fast path).  Stacked matmul needs no
+# wrapper: `matmul` above already broadcasts leading batch dimensions with
+# gradients reduced back to each operand's shape.
+# ----------------------------------------------------------------------
+def gather(source: Tensor, indices, axis: int = 0) -> Tensor:
+    """Per-row gather (embedding-style lookup) with scatter-add gradients."""
+    return _gather(as_tensor(source), indices, axis=axis)
+
+
+def masked_sum(x: Tensor, mask, axis: Union[int, Tuple[int, ...], None] = None,
+               keepdims: bool = False) -> Tensor:
+    """Masked reduction over ragged (padded) batches: sum of unmasked entries."""
+    return _masked_sum(as_tensor(x), mask, axis=axis, keepdims=keepdims)
+
+
+def masked_mean(x: Tensor, mask, axis: Union[int, Tuple[int, ...], None] = None,
+                keepdims: bool = False) -> Tensor:
+    """Masked reduction over ragged (padded) batches: mean of unmasked entries."""
+    return _masked_mean(as_tensor(x), mask, axis=axis, keepdims=keepdims)
 
 
 # ----------------------------------------------------------------------

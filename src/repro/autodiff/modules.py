@@ -22,7 +22,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.autodiff import init
-from repro.autodiff.tensor import Tensor, concat
+from repro.autodiff.tensor import Tensor, concat, gather
 
 
 class Parameter(Tensor):
@@ -150,12 +150,14 @@ class Embedding(Module):
                                 name="weight")
 
     def forward(self, token_ids: Sequence[int]) -> Tensor:
+        """Look up ``token_ids`` (any shape — scalars, sequences, or padded
+        ``(B, I, T)`` id arrays); the result appends the embedding dim."""
         indices = np.asarray(token_ids, dtype=np.int64)
         if np.any(indices < 0) or np.any(indices >= self.num_embeddings):
             raise IndexError(
                 f"token id out of range [0, {self.num_embeddings}): {indices.tolist()}"
             )
-        return self.weight[indices]
+        return gather(self.weight, indices)
 
 
 class ReLU(Module):
@@ -393,6 +395,38 @@ class LSTM(Module):
             hidden_states.append(hidden)
         return hidden_states
 
+    def forward_batch(self, steps: Sequence[Tensor], mask: np.ndarray) -> Tensor:
+        """Final hidden state of a padded minibatch: ``steps[t]`` is ``(B, D)``.
+
+        ``mask`` has shape ``(T, B)`` with 1 where the step is real and 0 on
+        padding.  Masked steps hold the previous state, so after the loop each
+        row's hidden state equals its state after its own last real step —
+        identical to running that example alone through :meth:`forward`.
+        """
+        return self.forward_all_batch(steps, mask)[-1]
+
+    def forward_all_batch(self, steps: Sequence[Tensor],
+                          mask: np.ndarray) -> List[Tensor]:
+        """Per-step hidden states of a padded minibatch (masked state holds)."""
+        if len(steps) == 0:
+            raise ValueError("LSTM.forward_batch requires a non-empty sequence")
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape[0] != len(steps):
+            raise ValueError(f"mask covers {mask.shape[0]} steps, got {len(steps)}")
+        hidden, cell = self.cell.initial_state(steps[0].shape[:-1])
+        hidden_states: List[Tensor] = []
+        for index, element in enumerate(steps):
+            step_mask = mask[index]
+            new_hidden, new_cell = self.cell(element, (hidden, cell))
+            if step_mask.all():
+                hidden, cell = new_hidden, new_cell
+            else:
+                keep = step_mask[..., None]
+                hidden = new_hidden * keep + hidden * (1.0 - keep)
+                cell = new_cell * keep + cell * (1.0 - keep)
+            hidden_states.append(hidden)
+        return hidden_states
+
 
 class StackedLSTM(Module):
     """A stack of LSTM layers, as used by the DiffTune surrogate.
@@ -429,3 +463,16 @@ class StackedLSTM(Module):
             layer: LSTM = getattr(self, name)
             current = layer.forward_all(current)
         return current
+
+    def forward_batch(self, steps: Sequence[Tensor], mask: np.ndarray) -> Tensor:
+        """Final top-layer hidden state over a padded minibatch (see LSTM).
+
+        Masked steps hold every layer's state, so each lower layer feeds the
+        next exactly the per-step hidden states the per-example path would
+        produce; padding never leaks across layers.
+        """
+        current: List[Tensor] = list(steps)
+        for name in self._layer_names:
+            layer: LSTM = getattr(self, name)
+            current = layer.forward_all_batch(current, mask)
+        return current[-1]

@@ -419,7 +419,8 @@ class Tensor:
     # ------------------------------------------------------------------
     # Reductions and shape manipulation
     # ------------------------------------------------------------------
-    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+    def sum(self, axis: Union[int, Tuple[int, ...], None] = None,
+            keepdims: bool = False) -> "Tensor":
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def _backward(grad: np.ndarray) -> None:
@@ -434,12 +435,25 @@ class Tensor:
 
         return Tensor._make(data, (self,), _backward)
 
-    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+    def mean(self, axis: Union[int, Tuple[int, ...], None] = None,
+             keepdims: bool = False) -> "Tensor":
         if axis is None:
             count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[entry] for entry in axis]))
         else:
             count = self.data.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
+        """Broadcast to ``shape``; gradients are summed back over the new dims."""
+        data = np.broadcast_to(self.data, shape)
+
+        def _backward(grad: np.ndarray) -> None:
+            # _accumulate's _unbroadcast reduces the gradient back to our shape.
+            self._accumulate(np.asarray(grad))
+
+        return Tensor._make(np.array(data), (self,), _backward)
 
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
@@ -542,3 +556,80 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             tensor._accumulate(np.take(grad, index, axis=axis))
 
     return Tensor._make(data, tuple(tensors), _backward)
+
+
+def gather(source: Tensor, indices, axis: int = 0) -> Tensor:
+    """Index ``source`` along ``axis`` with an integer array, scatter-adding grads.
+
+    The batched analogue of ``source[indices]``: ``indices`` may have any
+    shape, and the result replaces ``axis`` with the index shape (NumPy
+    ``take`` semantics).  Repeated indices accumulate gradient into the same
+    source row, which is what embedding lookups over whole minibatches need.
+    """
+    source = source if isinstance(source, Tensor) else Tensor(source)
+    idx = np.asarray(indices, dtype=np.int64)
+    axis_norm = axis % max(source.data.ndim, 1)
+    data = np.take(source.data, idx, axis=axis_norm)
+
+    def _backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        full = np.zeros_like(source.data)
+        # The result axes [axis, axis + idx.ndim) index into `axis` of the
+        # source; move them (and the source axis) to the front so a single
+        # np.add.at scatters every row, accumulating duplicates.
+        moved_full = np.moveaxis(full, axis_norm, 0)
+        moved_grad = np.moveaxis(grad,
+                                 tuple(range(axis_norm, axis_norm + idx.ndim)),
+                                 tuple(range(idx.ndim)))
+        np.add.at(moved_full, idx, moved_grad)
+        source._accumulate(full)
+
+    return Tensor._make(data, (source,), _backward)
+
+
+def masked_sum(x: Tensor, mask, axis: Union[int, Tuple[int, ...], None] = None,
+               keepdims: bool = False) -> Tensor:
+    """Sum of ``x * mask`` over ``axis``; gradients flow only where mask != 0.
+
+    ``mask`` is a constant (NumPy) array broadcastable against ``x`` — the
+    padding masks of ragged minibatches.  A single fused primitive avoids
+    materializing the masked intermediate in the autodiff graph.
+    """
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    mask_array = np.asarray(mask, dtype=np.float64)
+    data = (x.data * mask_array).sum(axis=axis, keepdims=keepdims)
+
+    def _backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        x._accumulate(np.broadcast_to(g, np.broadcast(x.data, mask_array).shape)
+                      * mask_array)
+
+    return Tensor._make(data, (x,), _backward)
+
+
+def masked_mean(x: Tensor, mask, axis: Union[int, Tuple[int, ...], None] = None,
+                keepdims: bool = False, minimum_count: float = 1.0) -> Tensor:
+    """Mean of the unmasked entries of ``x`` over ``axis``.
+
+    Divides each output element by the number of mask-selected inputs that
+    contributed to it (clamped to ``minimum_count`` so fully masked slots —
+    padded instructions past a block's real length — yield 0, not NaN).  The
+    division is implemented as multiplication by a reciprocal so values match
+    :meth:`Tensor.mean` bit patterns on fully unmasked inputs.
+    """
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    mask_array = np.asarray(mask, dtype=np.float64)
+    full_shape = np.broadcast(x.data, mask_array).shape
+    counts = np.broadcast_to(mask_array, full_shape).sum(axis=axis, keepdims=keepdims)
+    inverse = 1.0 / np.maximum(counts, minimum_count)
+    data = (x.data * mask_array).sum(axis=axis, keepdims=keepdims) * inverse
+
+    def _backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad) * inverse
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        x._accumulate(np.broadcast_to(g, full_shape) * mask_array)
+
+    return Tensor._make(data, (x,), _backward)

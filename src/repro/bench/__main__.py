@@ -14,6 +14,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -48,11 +49,20 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
 
 def _command_compare(arguments: argparse.Namespace) -> int:
-    baseline = load_payload(arguments.baseline)
+    # The current results file must exist and be schema-valid even when the
+    # baseline is tolerated as missing — a green gate with an unreadable
+    # results file would mean zero checks actually ran.
     current = load_payload(arguments.current)
+    if arguments.allow_missing and not os.path.exists(arguments.baseline):
+        print(f"note: baseline {arguments.baseline!r} does not exist; "
+              f"current results validated ({len(current['scenarios'])} "
+              "scenario(s)) but nothing to compare against (--allow-missing)")
+        return 0
+    baseline = load_payload(arguments.baseline)
     config = CompareConfig(max_wall_ratio=arguments.max_wall_ratio,
                            min_seconds=arguments.min_seconds,
-                           max_metric_ratio=arguments.max_metric_ratio)
+                           max_metric_ratio=arguments.max_metric_ratio,
+                           allow_missing=arguments.allow_missing)
     report = compare_payloads(baseline, current, config)
     print(report.render())
     return 0 if report.ok else 1
@@ -100,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--max-metric-ratio", type=float, default=None,
                                 help="optionally fail when a numeric metric drifts "
                                      "past this relative factor")
+    compare_parser.add_argument("--allow-missing", action="store_true",
+                                help="tolerate a missing baseline file, absent "
+                                     "scenarios/metrics, and tier mismatches "
+                                     "(cross-tier runs skip wall-time gates)")
     compare_parser.set_defaults(handler=_command_compare)
     return parser
 

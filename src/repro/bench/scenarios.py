@@ -380,3 +380,70 @@ def engine_throughput(ctx: ScenarioContext):
         },
         "engine_stats": engine.stats,
     }
+
+
+# ----------------------------------------------------------------------
+# Surrogate-training throughput (batched fast path vs per-example loop)
+# ----------------------------------------------------------------------
+def _format_surrogate_training_throughput(metrics) -> str:
+    rows = [[name, f"{row['examples_per_sec']:.0f}", f"{row['seconds']:.3f}s"]
+            for name, row in metrics["paths"].items()]
+    rows.append(["speedup (batched/scalar)",
+                 f"{metrics['speedup_batched_vs_scalar']:.2f}x", ""])
+    return format_table(["Path", "Examples/sec", "Wall time"], rows,
+                        title="Surrogate-training throughput "
+                              "(per-example vs batched fast path)")
+
+
+@scenario("surrogate_training_throughput", tags=("perf", "ci"),
+          formatter=_format_surrogate_training_throughput)
+def surrogate_training_throughput(ctx: ScenarioContext):
+    """Examples/second of surrogate training: per-example loop vs batched path."""
+    from repro.bhive.generator import BlockGenerator
+    from repro.core import SurrogateConfig, build_surrogate, collect_simulated_dataset
+    from repro.core.surrogate import BlockFeaturizer
+    from repro.core.surrogate_training import SurrogateTrainingConfig, train_surrogate
+
+    num_blocks = ctx.by_tier(smoke=16, quick=32, full=48)
+    num_examples = ctx.by_tier(smoke=96, quick=384, full=1024)
+    epochs = ctx.by_tier(smoke=1, quick=2, full=2)
+    batch_size = ctx.by_tier(smoke=32, quick=64, full=64)
+    adapter = ctx.mca_adapter("haswell", narrow_sampling=True)
+    spec = adapter.parameter_spec()
+    blocks = BlockGenerator(seed=ctx.seed).generate_blocks(num_blocks)
+    rng = np.random.default_rng(ctx.seed)
+    examples = collect_simulated_dataset(adapter, blocks, num_examples, rng,
+                                         blocks_per_table=16)
+
+    results: Dict[str, Dict[str, float]] = {}
+    epoch_losses: Dict[str, List[float]] = {}
+    # Fresh, identically seeded surrogate per path so both train the same
+    # model; the loss trajectories must agree (the property tests pin the two
+    # paths within 1e-9, and the max divergence is recorded as a metric).
+    for label, batched in (("scalar", False), ("batched", True)):
+        surrogate = build_surrogate(
+            spec, BlockFeaturizer(adapter.opcode_table),
+            SurrogateConfig(kind="pooled", seed=ctx.seed))
+        training = SurrogateTrainingConfig(epochs=epochs, batch_size=batch_size,
+                                           seed=ctx.seed, batched=batched)
+        start = time.perf_counter()
+        outcome = train_surrogate(surrogate, examples, training)
+        elapsed = time.perf_counter() - start
+        processed = num_examples * epochs
+        results[label] = {"seconds": elapsed,
+                          "examples_per_sec": processed / max(elapsed, 1e-9),
+                          "final_training_error": outcome.final_training_error}
+        epoch_losses[label] = outcome.epoch_losses
+
+    return {
+        "workload": {"num_blocks": num_blocks, "num_examples": num_examples,
+                     "epochs": epochs, "batch_size": batch_size,
+                     "surrogate_kind": "pooled", "seed": ctx.seed,
+                     "uarch": "haswell"},
+        "paths": results,
+        "speedup_batched_vs_scalar": (results["batched"]["examples_per_sec"]
+                                      / results["scalar"]["examples_per_sec"]),
+        "epoch_loss_max_abs_diff": max(
+            abs(scalar - batched) for scalar, batched
+            in zip(epoch_losses["scalar"], epoch_losses["batched"])),
+    }

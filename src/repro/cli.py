@@ -90,6 +90,7 @@ def _command_learn(arguments: argparse.Namespace) -> int:
                          learn_fields=arguments.learn_fields,
                          engine_workers=arguments.workers)
     config = paper_config(arguments.seed) if arguments.paper_config else fast_config(arguments.seed)
+    config.surrogate_training.batched = arguments.batch_training
     difftune = DiffTune(adapter, config, log=lambda message: print(f"[difftune] {message}"))
     result = difftune.learn(train_blocks, train_timings)
 
@@ -265,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
     learn_parser.add_argument("--workers", type=int, default=0,
                               help="engine worker processes for parallel simulated-dataset "
                                    "collection")
+    learn_parser.add_argument("--batch-training", action=argparse.BooleanOptionalAction,
+                              default=True,
+                              help="batched surrogate-training fast path (default on; "
+                                   "--no-batch-training restores the per-example loop)")
     learn_parser.set_defaults(handler=_command_learn)
 
     evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a parameter table")

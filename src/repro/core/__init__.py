@@ -29,11 +29,13 @@ from repro.core.constraints import (BoundConstraint, Constraint, ConstraintSet,
                                     ConstraintViolation, LessEqualConstraint,
                                     RelationConstraint, SumAtMostConstraint)
 from repro.core.adapters import SimulatorAdapter, MCAAdapter, LLVMSimAdapter
-from repro.core.surrogate import (SurrogateConfig, BlockFeaturizer, IthemalSurrogate,
-                                  PooledSurrogate, build_surrogate)
+from repro.core.surrogate import (SurrogateConfig, BlockFeaturizer, FeaturizationCache,
+                                  IthemalSurrogate, PackedBlockBatch, PooledSurrogate,
+                                  build_surrogate)
 from repro.core.simulated_dataset import SimulatedExample, collect_simulated_dataset
 from repro.core.losses import mape_loss_value, surrogate_loss
-from repro.core.surrogate_training import SurrogateTrainingConfig, train_surrogate
+from repro.core.surrogate_training import (SurrogateTrainingConfig, evaluate_surrogate,
+                                           train_surrogate)
 from repro.core.table_optimization import TableOptimizationConfig, optimize_parameter_table
 from repro.core.extraction import extract_parameter_arrays
 from repro.core.difftune import DiffTune, DiffTuneConfig, DiffTuneResult
@@ -62,6 +64,9 @@ __all__ = [
     "IthemalSurrogate",
     "PooledSurrogate",
     "build_surrogate",
+    "FeaturizationCache",
+    "PackedBlockBatch",
+    "evaluate_surrogate",
     "SimulatedExample",
     "collect_simulated_dataset",
     "mape_loss_value",

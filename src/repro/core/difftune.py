@@ -168,7 +168,9 @@ class DiffTune:
                 batch_size=self.config.surrogate_training.batch_size,
                 epochs=self.config.refinement_epochs,
                 gradient_clip=self.config.surrogate_training.gradient_clip,
-                seed=self.config.surrogate_training.seed + round_index + 1)
+                seed=self.config.surrogate_training.seed + round_index + 1,
+                log_every=self.config.surrogate_training.log_every,
+                batched=self.config.surrogate_training.batched)
             surrogate_result = train_surrogate(surrogate, local_examples, refinement_training)
             self._log(f"refined surrogate error: {surrogate_result.final_training_error:.3f}")
             table_result = optimize_parameter_table(

@@ -24,14 +24,27 @@ def mape_loss_value(predictions: np.ndarray, targets: np.ndarray,
     return float(np.mean(np.abs(predictions - targets) / np.maximum(np.abs(targets), epsilon)))
 
 
-def surrogate_loss(predictions: Sequence[Tensor], targets: Sequence[float],
+def surrogate_loss(predictions, targets: Sequence[float],
                    epsilon: float = 1e-6) -> Tensor:
-    """Differentiable MAPE over a batch of scalar prediction tensors."""
-    if len(predictions) != len(targets):
+    """Differentiable MAPE over a batch of predictions.
+
+    ``predictions`` is either a sequence of scalar tensors (the per-example
+    path stacks them) or a single 1-D :class:`Tensor` of shape ``(B,)`` (the
+    batched fast path hands the whole minibatch over at once).  Both routes
+    compute the identical loss expression.
+    """
+    if isinstance(predictions, Tensor):
+        if predictions.ndim != 1:
+            raise ValueError(
+                f"batched surrogate loss expects a 1-D prediction tensor, "
+                f"got shape {predictions.shape}")
+        prediction_vector = predictions
+    else:
+        if not predictions:
+            raise ValueError("cannot compute a loss over an empty batch")
+        prediction_vector = stack(list(predictions))
+    if len(prediction_vector) != len(targets):
         raise ValueError("predictions and targets must have the same length")
-    if not predictions:
-        raise ValueError("cannot compute a loss over an empty batch")
-    prediction_vector = stack(list(predictions))
     target_array = np.maximum(np.abs(np.asarray(targets, dtype=np.float64)), epsilon)
     diff = (prediction_vector - Tensor(target_array)).abs()
     return (diff / Tensor(target_array)).mean()

@@ -28,14 +28,14 @@ and output a positive scalar timing prediction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.autodiff import (Embedding, Linear, MLP, Module, StackedLSTM, Tensor)
 from repro.autodiff.modules import Parameter
-from repro.autodiff.tensor import concat, maximum, stack
-from repro.core.parameters import ParameterSpec, PORT_MAP_FIELD_NAME
+from repro.autodiff.tensor import concat, masked_mean, masked_sum, maximum, stack
+from repro.core.parameters import ParameterArrays, ParameterSpec, PORT_MAP_FIELD_NAME
 from repro.isa.basic_block import BasicBlock
 from repro.isa.canonicalize import CanonicalInstruction, TokenVocabulary, canonicalize_block
 from repro.isa.opcodes import OpcodeTable
@@ -171,8 +171,191 @@ class BlockFeaturizer:
         return len(self.vocabulary)
 
 
+@dataclass(frozen=True)
+class PackedBlockBatch:
+    """A minibatch of featurized blocks packed into padded, masked arrays.
+
+    Every array is batch-major; ``I`` is the longest instruction count and
+    ``T`` the longest per-instruction token count in the batch.  Padded slots
+    carry zeros and are excluded from every reduction by the masks.
+
+    Attributes:
+        token_ids: ``(B, I, T)`` int64 canonical token ids (0-padded).
+        token_mask: ``(B, I, T)`` 1.0 on real tokens, 0.0 on padding.
+        opcode_indices: ``(B, I)`` int64 opcode-table rows (0-padded).
+        instruction_mask: ``(B, I)`` 1.0 on real instructions.
+        structural_features: ``(B, I, NUM_STRUCTURAL_FEATURES)`` float64.
+        lengths: ``(B,)`` real instruction counts.
+        dependency_mask: ``(B, I, I)``; ``[b, i, p] = 1`` when instruction
+            ``p`` is an immediate dataflow producer of instruction ``i``.
+        loop_carried_mask: ``(B, I)``; 1 on the final writers of loop-carried
+            registers (the tails of the steady-state dependency chains).
+    """
+
+    token_ids: np.ndarray
+    token_mask: np.ndarray
+    opcode_indices: np.ndarray
+    instruction_mask: np.ndarray
+    structural_features: np.ndarray
+    lengths: np.ndarray
+    dependency_mask: np.ndarray
+    loop_carried_mask: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.token_ids.shape[0])
+
+    @property
+    def max_instructions(self) -> int:
+        return int(self.token_ids.shape[1])
+
+    @property
+    def max_tokens(self) -> int:
+        return int(self.token_ids.shape[2])
+
+
+class FeaturizationCache:
+    """Featurizes each basic block once per dataset and packs minibatches.
+
+    Wraps a :class:`BlockFeaturizer` with two levels of reuse the batched
+    training fast path needs:
+
+    * per-block packed arrays (token-id matrix, masks, structural features,
+      dependency masks) are computed once per distinct block and reused by
+      every minibatch that contains the block in any epoch;
+    * parameter-array normalization
+      (:meth:`ParameterSpec.normalize_for_surrogate_training`) is memoized
+      per sampled table, so a table shared by ``blocks_per_table`` examples
+      is normalized once per dataset rather than once per example per epoch.
+    """
+
+    def __init__(self, featurizer: BlockFeaturizer) -> None:
+        self.featurizer = featurizer
+        self._block_arrays: Dict[int, Tuple[FeaturizedBlock, Dict[str, np.ndarray]]] = {}
+        #: id(arrays) -> (arrays kept alive, normalized copy); keeping the
+        #: original referenced makes the id() key stable.
+        self._normalized: Dict[int, Tuple[ParameterArrays, ParameterArrays]] = {}
+
+    def featurize(self, block: BasicBlock) -> FeaturizedBlock:
+        return self.featurizer.featurize(block)
+
+    def normalized_arrays(self, spec: ParameterSpec,
+                          arrays: ParameterArrays) -> ParameterArrays:
+        """``arrays`` normalized for surrogate training, memoized per table."""
+        key = id(arrays)
+        cached = self._normalized.get(key)
+        if cached is not None and cached[0] is arrays:
+            return cached[1]
+        normalized = spec.normalize_for_surrogate_training(arrays)
+        self._normalized[key] = (arrays, normalized)
+        return normalized
+
+    def _arrays_for(self, featurized: FeaturizedBlock) -> Dict[str, np.ndarray]:
+        """Per-block packed arrays (unpadded), computed once per block."""
+        key = id(featurized)
+        cached = self._block_arrays.get(key)
+        if cached is not None and cached[0] is featurized:
+            return cached[1]
+        length = len(featurized.opcode_indices)
+        max_tokens = max((len(ids) for ids in featurized.token_ids), default=1)
+        token_ids = np.zeros((length, max_tokens), dtype=np.int64)
+        token_mask = np.zeros((length, max_tokens), dtype=np.float64)
+        for row, ids in enumerate(featurized.token_ids):
+            token_ids[row, :len(ids)] = ids
+            token_mask[row, :len(ids)] = 1.0
+        dependency = np.zeros((length, length), dtype=np.float64)
+        for consumer, producers in enumerate(featurized.dependency_producers):
+            for producer in producers:
+                dependency[consumer, producer] = 1.0
+        loop_carried = np.zeros(length, dtype=np.float64)
+        for writer in featurized.loop_carried_writers:
+            loop_carried[writer] = 1.0
+        arrays = {
+            "token_ids": token_ids,
+            "token_mask": token_mask,
+            "opcode_indices": np.asarray(featurized.opcode_indices, dtype=np.int64),
+            "structural_features": np.asarray(featurized.structural_features,
+                                              dtype=np.float64),
+            "dependency_mask": dependency,
+            "loop_carried_mask": loop_carried,
+        }
+        self._block_arrays[key] = (featurized, arrays)
+        return arrays
+
+    def pack(self, featurized_blocks: Sequence[FeaturizedBlock]) -> PackedBlockBatch:
+        """Pad a list of featurized blocks into one :class:`PackedBlockBatch`."""
+        if not featurized_blocks:
+            raise ValueError("cannot pack an empty batch")
+        per_block = [self._arrays_for(featurized) for featurized in featurized_blocks]
+        batch = len(per_block)
+        max_instructions = max(arrays["token_ids"].shape[0] for arrays in per_block)
+        max_tokens = max(arrays["token_ids"].shape[1] for arrays in per_block)
+        token_ids = np.zeros((batch, max_instructions, max_tokens), dtype=np.int64)
+        token_mask = np.zeros((batch, max_instructions, max_tokens), dtype=np.float64)
+        opcode_indices = np.zeros((batch, max_instructions), dtype=np.int64)
+        instruction_mask = np.zeros((batch, max_instructions), dtype=np.float64)
+        structural = np.zeros((batch, max_instructions, NUM_STRUCTURAL_FEATURES),
+                              dtype=np.float64)
+        lengths = np.zeros(batch, dtype=np.int64)
+        dependency = np.zeros((batch, max_instructions, max_instructions),
+                              dtype=np.float64)
+        loop_carried = np.zeros((batch, max_instructions), dtype=np.float64)
+        for row, arrays in enumerate(per_block):
+            length, tokens = arrays["token_ids"].shape
+            token_ids[row, :length, :tokens] = arrays["token_ids"]
+            token_mask[row, :length, :tokens] = arrays["token_mask"]
+            opcode_indices[row, :length] = arrays["opcode_indices"]
+            instruction_mask[row, :length] = 1.0
+            structural[row, :length] = arrays["structural_features"]
+            lengths[row] = length
+            dependency[row, :length, :length] = arrays["dependency_mask"]
+            loop_carried[row, :length] = arrays["loop_carried_mask"]
+        return PackedBlockBatch(
+            token_ids=token_ids, token_mask=token_mask,
+            opcode_indices=opcode_indices, instruction_mask=instruction_mask,
+            structural_features=structural, lengths=lengths,
+            dependency_mask=dependency, loop_carried_mask=loop_carried)
+
+    def pack_blocks(self, blocks: Sequence[BasicBlock]) -> PackedBlockBatch:
+        """Featurize (cached) and pack a list of raw basic blocks."""
+        return self.pack([self.featurize(block) for block in blocks])
+
+    def batch_parameters(self, spec: ParameterSpec,
+                         featurized_blocks: Sequence[FeaturizedBlock],
+                         tables: Sequence[ParameterArrays],
+                         max_instructions: Optional[int] = None
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Normalized per-instruction and global parameter inputs for a batch.
+
+        ``tables[b]`` is the (raw) sampled table of example ``b``;
+        normalization is memoized per table object.  Returns
+        ``(B, I, per_instruction_dim)`` and ``(B, global_dim)`` arrays with
+        zero padding past each block's real length.
+        """
+        if len(featurized_blocks) != len(tables):
+            raise ValueError("featurized_blocks and tables must be aligned")
+        batch = len(tables)
+        if max_instructions is None:
+            max_instructions = max(len(featurized.opcode_indices)
+                                   for featurized in featurized_blocks)
+        per_instruction = np.zeros((batch, max_instructions, spec.per_instruction_dim))
+        global_values = np.zeros((batch, spec.global_dim))
+        for row, (featurized, table) in enumerate(zip(featurized_blocks, tables)):
+            normalized = self.normalized_arrays(spec, table)
+            opcodes = np.asarray(featurized.opcode_indices, dtype=np.int64)
+            per_instruction[row, :len(opcodes)] = \
+                normalized.per_instruction_values[opcodes]
+            global_values[row] = normalized.global_values
+        return per_instruction, global_values
+
+
 class _SurrogateBase(Module):
     """Shared plumbing for both surrogate variants."""
+
+    #: Whether :meth:`forward_batch` is implemented.  The batched training
+    #: fast path checks this and falls back to the per-example loop when a
+    #: custom surrogate has no batch-major forward.
+    supports_batched_forward = False
 
     def __init__(self, spec: ParameterSpec, featurizer: BlockFeaturizer,
                  config: SurrogateConfig) -> None:
@@ -180,6 +363,28 @@ class _SurrogateBase(Module):
         self.spec = spec
         self.featurizer = featurizer
         self.config = config
+
+    def forward_batch(self, batch: PackedBlockBatch, per_instruction_params,
+                      global_params) -> Tensor:
+        """Batch-major forward: one ``(B,)`` prediction tensor per minibatch.
+
+        ``per_instruction_params`` is ``(B, I, per_instruction_dim)`` and
+        ``global_params`` is ``(B, global_dim)`` (both already normalized and
+        gathered per block, e.g. by
+        :meth:`FeaturizationCache.batch_parameters`).  Semantically identical
+        to calling :meth:`forward` per example — the property tests pin the
+        two paths together within 1e-9.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batched forward; "
+            "train with SurrogateTrainingConfig(batched=False)")
+
+    def _broadcast_global(self, global_vector: Tensor,
+                          batch: PackedBlockBatch) -> Tensor:
+        """``(B, G)`` globals replicated along the instruction axis: ``(B, I, G)``."""
+        batch_size, global_dim = global_vector.shape
+        return global_vector.reshape(batch_size, 1, global_dim).broadcast_to(
+            (batch_size, batch.max_instructions, global_dim))
 
     # The per-instruction parameter matrix and global vector may be plain
     # NumPy arrays (surrogate training: parameters are constants) or autodiff
@@ -236,6 +441,38 @@ class IthemalSurrogate(_SurrogateBase):
         # Softplus keeps the prediction positive, which stabilizes the MAPE
         # losses used during both optimization phases.
         return prediction.softplus()[0]
+
+    supports_batched_forward = True
+
+    def forward_batch(self, batch: PackedBlockBatch, per_instruction_params,
+                      global_params) -> Tensor:
+        params = self._as_tensor(per_instruction_params)
+        global_vector = self._as_tensor(global_params)
+        batch_size = batch.batch_size
+        max_instructions = batch.max_instructions
+        max_tokens = batch.max_tokens
+        # Token level: every (block, instruction) slot becomes one row of a
+        # (B*I)-wide LSTM batch; fully padded slots stay at the zero initial
+        # state because all their steps are masked.
+        flat_ids = batch.token_ids.reshape(batch_size * max_instructions, max_tokens)
+        flat_token_mask = batch.token_mask.reshape(
+            batch_size * max_instructions, max_tokens)
+        token_steps = [self.token_embedding(flat_ids[:, position])
+                       for position in range(max_tokens)]
+        instruction_vectors = self.instruction_lstm.forward_batch(
+            token_steps, flat_token_mask.T)
+        instruction_vectors = instruction_vectors.reshape(
+            batch_size, max_instructions, self.config.hidden_size)
+        pieces = [instruction_vectors, Tensor(batch.structural_features), params]
+        if global_vector.shape[-1] > 0:
+            pieces.append(self._broadcast_global(global_vector, batch))
+        block_inputs = concat(pieces, axis=-1)
+        block_steps = [block_inputs[:, position, :]
+                       for position in range(max_instructions)]
+        block_vector = self.block_lstm.forward_batch(
+            block_steps, batch.instruction_mask.T)
+        prediction = self.head(block_vector)
+        return prediction.softplus().reshape(batch_size)
 
 
 class PooledSurrogate(_SurrogateBase):
@@ -371,6 +608,86 @@ class PooledSurrogate(_SurrogateBase):
         block_vector = concat([structured, summed, averaged])
         prediction = self.head(block_vector)
         return prediction.softplus()[0]
+
+    # ------------------------------------------------------------------
+    # Batched forward
+    # ------------------------------------------------------------------
+    def _structured_features_batch(self, batch: PackedBlockBatch, params: Tensor,
+                                   global_vector: Tensor) -> Tensor:
+        """Batch-major mirror of :meth:`_structured_features`: ``(B, K)``."""
+        fields = self._feature_names
+        spec = self.spec
+        instruction_mask = batch.instruction_mask
+        row_mask = instruction_mask[..., None]
+        consumers = batch.structural_features[:, :, 0]
+        loop_carried = batch.structural_features[:, :, 1]
+        memory_ops = batch.structural_features[:, :, 3] + batch.structural_features[:, :, 4]
+        batch_size = batch.batch_size
+        features: List[Tensor] = [
+            Tensor(batch.lengths[:, None].astype(np.float64) / 16.0),
+            Tensor(memory_ops.sum(axis=1)[:, None] / 8.0),
+        ]
+
+        def column(name: str) -> Tensor:
+            return params[:, :, spec.per_instruction_field_slice(name)]
+
+        dispatch_term = None
+        if fields["dispatch"]:
+            dispatch_index = spec.global_field_slice("DispatchWidth").start
+            dispatch_term = global_vector[:, dispatch_index] + 0.15
+            features.append(dispatch_term.reshape(batch_size, 1))
+        if fields["uops"]:
+            total_uops = masked_sum(column("NumMicroOps"), row_mask, axis=(1, 2))
+            features.append(total_uops.reshape(batch_size, 1) * 0.1)
+            if dispatch_term is not None:
+                features.append(
+                    (total_uops / (dispatch_term * 9.0 + 1.0)).reshape(batch_size, 1))
+            else:
+                features.append(total_uops.reshape(batch_size, 1) * 0.1)
+        if fields["latency"]:
+            latency = column("WriteLatency").reshape(batch_size, batch.max_instructions)
+            features.append(
+                masked_sum(latency, instruction_mask, axis=1).reshape(batch_size, 1) * 0.2)
+            features.append(masked_sum(latency * Tensor(consumers), instruction_mask,
+                                       axis=1).reshape(batch_size, 1) * 0.4)
+            features.append(masked_sum(latency * Tensor(loop_carried), instruction_mask,
+                                       axis=1).reshape(batch_size, 1) * 0.4)
+            features.append(
+                masked_mean(latency, instruction_mask, axis=1).reshape(batch_size, 1))
+        if fields["advance"]:
+            advance = column("ReadAdvanceCycles").mean(axis=-1)
+            features.append(masked_sum(advance * Tensor(consumers), instruction_mask,
+                                       axis=1).reshape(batch_size, 1) * 0.2)
+        if fields["ports"]:
+            port_totals = masked_sum(column(PORT_MAP_FIELD_NAME), row_mask, axis=1)
+            features.append(port_totals * 0.3)
+            features.append((port_totals * port_totals).sum(axis=-1).sqrt()
+                            .reshape(batch_size, 1) * 0.3)
+        if fields["rob"]:
+            rob_index = spec.global_field_slice("ReorderBufferSize").start
+            features.append(global_vector[:, rob_index].reshape(batch_size, 1))
+        return concat(features, axis=-1)
+
+    supports_batched_forward = True
+
+    def forward_batch(self, batch: PackedBlockBatch, per_instruction_params,
+                      global_params) -> Tensor:
+        params = self._as_tensor(per_instruction_params)
+        global_vector = self._as_tensor(global_params)
+        batch_size = batch.batch_size
+        embeddings = self.token_embedding(batch.token_ids)
+        pooled_tokens = masked_mean(embeddings, batch.token_mask[..., None], axis=2)
+        pieces = [pooled_tokens, Tensor(batch.structural_features), params]
+        if global_vector.shape[-1] > 0:
+            pieces.append(self._broadcast_global(global_vector, batch))
+        encodings = self.instruction_mlp(concat(pieces, axis=-1))
+        instruction_mask = batch.instruction_mask[..., None]
+        summed = masked_sum(encodings, instruction_mask, axis=1) * 0.25
+        averaged = masked_mean(encodings, instruction_mask, axis=1)
+        structured = self._structured_features_batch(batch, params, global_vector)
+        block_vector = concat([structured, summed, averaged], axis=-1)
+        prediction = self.head(block_vector)
+        return prediction.softplus().reshape(batch_size)
 
 
 class AnalyticalSurrogate(_SurrogateBase):
@@ -532,6 +849,129 @@ class AnalyticalSurrogate(_SurrogateBase):
             combined = combined + (bound + 1e-4) ** power
         smooth_max = combined ** (1.0 / power)
         residual = self._residual(featurized)
+        scale = (self.output_scale.exp())[0]
+        prediction = smooth_max * scale + residual + self.output_bias[0]
+        return prediction.softplus()
+
+    # ------------------------------------------------------------------
+    # Batched forward
+    # ------------------------------------------------------------------
+    def _denormalized_column_batch(self, params: Tensor, name: str) -> Tensor:
+        field_ = self.spec.field_by_name(name)
+        column = params[:, :, self.spec.per_instruction_field_slice(name)]
+        return column * field_.scale + field_.lower_bound
+
+    def _denormalized_global_batch(self, global_vector: Tensor, name: str) -> Tensor:
+        field_ = self.spec.field_by_name(name)
+        index = self.spec.global_field_slice(name).start
+        return global_vector[:, index] * field_.scale + field_.lower_bound
+
+    def _dispatch_bound_batch(self, batch: PackedBlockBatch, params: Tensor,
+                              global_vector: Tensor) -> Tensor:
+        row_mask = batch.instruction_mask[..., None]
+        lengths = batch.lengths.astype(np.float64)
+        if self._has["uops"]:
+            total_uops = masked_sum(self._denormalized_column_batch(params, "NumMicroOps"),
+                                    row_mask, axis=(1, 2))
+        elif self._has["ports"]:
+            total_uops = masked_sum(
+                self._denormalized_column_batch(params, PORT_MAP_FIELD_NAME),
+                row_mask, axis=(1, 2)) + Tensor(lengths)
+        else:
+            total_uops = Tensor(lengths)
+        if self._has["dispatch"]:
+            dispatch_width = self._denormalized_global_batch(global_vector, "DispatchWidth")
+            return total_uops / (dispatch_width + 1e-3)
+        return total_uops * 0.25
+
+    def _port_bound_batch(self, batch: PackedBlockBatch, params: Tensor) -> Tensor:
+        port_cycles = self._denormalized_column_batch(params, PORT_MAP_FIELD_NAME)
+        totals = masked_sum(port_cycles, batch.instruction_mask[..., None], axis=1) + 1e-4
+        power = self.SMOOTH_MAX_POWER
+        return ((totals ** power).sum(axis=-1)) ** (1.0 / power)
+
+    @staticmethod
+    def _masked_running_max(running: Tensor, candidate: Tensor, mask: np.ndarray
+                            ) -> Tensor:
+        """``max(running, candidate)`` where mask is 1, ``running`` elsewhere.
+
+        Rows with mask 0 compare ``running`` against itself, so the tie sends
+        the gradient to ``running`` — exactly what the per-example path does
+        when the candidate is absent from that example's producer set.
+        """
+        gated = candidate * mask + running * (1.0 - mask)
+        return maximum(running, gated)
+
+    def _chain_bound_batch(self, batch: PackedBlockBatch, params: Tensor) -> Tensor:
+        batch_size = batch.batch_size
+        if not self._has["latency"]:
+            return Tensor(np.zeros(batch_size))
+        latency = self._denormalized_column_batch(params, "WriteLatency").reshape(
+            batch_size, batch.max_instructions)
+        if self._has["advance"]:
+            advance = self._denormalized_column_batch(
+                params, "ReadAdvanceCycles").mean(axis=-1)
+            effective = maximum(latency - advance, Tensor(np.zeros(latency.shape)))
+        else:
+            effective = latency
+        # The dataflow traversal runs position-major over the whole batch:
+        # each step is a handful of vectorized (B,)-shaped ops, with the
+        # per-example producer sets expressed through the dependency mask.
+        zero = Tensor(np.zeros(batch_size))
+        finish: List[Tensor] = []
+        for index in range(batch.max_instructions):
+            ready = zero
+            for producer in range(index):
+                producer_mask = batch.dependency_mask[:, index, producer]
+                if not producer_mask.any():
+                    continue
+                ready = self._masked_running_max(ready, finish[producer], producer_mask)
+            finish.append(ready + effective[:, index])
+        bound = zero
+        for writer in range(batch.max_instructions):
+            writer_mask = batch.loop_carried_mask[:, writer]
+            if not writer_mask.any():
+                continue
+            bound = self._masked_running_max(bound, finish[writer], writer_mask)
+        return bound
+
+    def _rob_bound_batch(self, batch: PackedBlockBatch, params: Tensor,
+                         global_vector: Tensor) -> Tensor:
+        if not (self._has["uops"] and self._has["rob"]):
+            return Tensor(np.zeros(batch.batch_size))
+        total_uops = masked_sum(self._denormalized_column_batch(params, "NumMicroOps"),
+                                batch.instruction_mask[..., None], axis=(1, 2))
+        rob = self._denormalized_global_batch(global_vector, "ReorderBufferSize")
+        return total_uops * Tensor(batch.lengths.astype(np.float64)) / (rob * 8.0 + 1.0)
+
+    def _residual_batch(self, batch: PackedBlockBatch) -> Tensor:
+        embeddings = self.token_embedding(batch.token_ids)
+        pooled_tokens = masked_mean(embeddings, batch.token_mask[..., None], axis=2)
+        encodings = self.instruction_mlp(
+            concat([pooled_tokens, Tensor(batch.structural_features)], axis=-1))
+        pooled = masked_mean(encodings, batch.instruction_mask[..., None], axis=1)
+        return self.residual_head(pooled).reshape(batch.batch_size)
+
+    supports_batched_forward = True
+
+    def forward_batch(self, batch: PackedBlockBatch, per_instruction_params,
+                      global_params) -> Tensor:
+        params = self._as_tensor(per_instruction_params)
+        global_vector = self._as_tensor(global_params)
+        weights = self.bound_weights.exp()
+        bounds = [
+            self._dispatch_bound_batch(batch, params, global_vector) * weights[0],
+            self._chain_bound_batch(batch, params) * weights[2],
+            self._rob_bound_batch(batch, params, global_vector) * weights[3],
+        ]
+        if self._has["ports"]:
+            bounds.insert(1, self._port_bound_batch(batch, params) * weights[1])
+        power = self.SMOOTH_MAX_POWER
+        combined = Tensor(1e-6)
+        for bound in bounds:
+            combined = combined + (bound + 1e-4) ** power
+        smooth_max = combined ** (1.0 / power)
+        residual = self._residual_batch(batch)
         scale = (self.output_scale.exp())[0]
         prediction = smooth_max * scale + residual + self.output_bias[0]
         return prediction.softplus()

@@ -3,11 +3,24 @@
 Solves Equation (2) of the paper: fit the differentiable surrogate so that
 ``surrogate(theta, x) ≈ simulator(theta, x)`` over the simulated dataset, with
 Adam and MAPE loss.
+
+Two execution paths produce the same losses and gradients (within floating-
+point reassociation, pinned to 1e-9 by property tests):
+
+* the **batched fast path** (default) featurizes every block once per dataset
+  through a :class:`~repro.core.surrogate.FeaturizationCache`, normalizes each
+  sampled parameter table once, and advances a whole padded minibatch per
+  autodiff op via the surrogate's ``forward_batch``;
+* the **per-example path** (``SurrogateTrainingConfig(batched=False)``, or any
+  surrogate without a batched forward) runs one example at a time — the
+  original semantics, kept as the escape hatch and the reference the property
+  tests compare against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -15,9 +28,9 @@ import numpy as np
 from repro.autodiff.optim import Adam
 from repro.autodiff.tensor import no_grad
 from repro.core.losses import mape_loss_value, surrogate_loss
-from repro.core.parameters import ParameterArrays, ParameterSpec
+from repro.core.parameters import ParameterSpec
 from repro.core.simulated_dataset import SimulatedExample
-from repro.core.surrogate import _SurrogateBase
+from repro.core.surrogate import FeaturizationCache, _SurrogateBase
 
 
 @dataclass
@@ -27,6 +40,10 @@ class SurrogateTrainingConfig:
     Defaults follow the paper where feasible (Adam, learning rate 0.001,
     batch-based updates); batch size and epoch count are scaled down for CPU
     training and can be overridden.
+
+    ``batched`` selects the batch-major fast path (on by default); it falls
+    back to the per-example loop automatically for surrogates that do not
+    implement ``forward_batch``.
     """
 
     learning_rate: float = 0.001
@@ -36,6 +53,7 @@ class SurrogateTrainingConfig:
     shuffle: bool = True
     seed: int = 0
     log_every: int = 0  # batches; 0 disables logging callbacks
+    batched: bool = True
 
 
 @dataclass
@@ -44,14 +62,34 @@ class SurrogateTrainingResult:
 
     epoch_losses: List[float]
     final_training_error: float
+    used_batched_path: bool = False
+    examples_per_second: float = 0.0
 
 
 def _normalized_inputs(spec: ParameterSpec, example: SimulatedExample,
-                       opcode_indices: Sequence[int]) -> tuple:
+                       opcode_indices: Sequence[int],
+                       cache: Optional[FeaturizationCache] = None) -> tuple:
     """Surrogate inputs for one example during surrogate training."""
-    normalized = spec.normalize_for_surrogate_training(example.arrays)
+    if cache is not None:
+        normalized = cache.normalized_arrays(spec, example.arrays)
+    else:
+        normalized = spec.normalize_for_surrogate_training(example.arrays)
     per_instruction = normalized.per_instruction_values[list(opcode_indices)]
     return per_instruction, normalized.global_values
+
+
+def _batch_inputs(spec: ParameterSpec, cache: FeaturizationCache,
+                  examples: Sequence[SimulatedExample], featurized: Sequence,
+                  batch_indices: np.ndarray):
+    """Packed batch + parameter inputs + targets for one minibatch."""
+    rows = [int(index) for index in batch_indices]
+    batch_featurized = [featurized[row] for row in rows]
+    packed = cache.pack(batch_featurized)
+    per_instruction, global_values = cache.batch_parameters(
+        spec, batch_featurized, [examples[row].arrays for row in rows],
+        max_instructions=packed.max_instructions)
+    targets = [examples[row].simulated_timing for row in rows]
+    return packed, per_instruction, global_values, targets
 
 
 def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExample],
@@ -64,7 +102,9 @@ def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExamp
         surrogate: The surrogate model (weights are updated in place).
         examples: The simulated dataset.
         config: Training hyper-parameters.
-        progress: Optional callback ``(epoch, batch, loss)``.
+        progress: Optional callback ``(epoch, batch, loss)``; with
+            ``log_every=N`` it fires every N batches and always on the final
+            (possibly partial) batch of each epoch.
 
     Returns:
         Per-epoch mean losses and the final full-pass training error.
@@ -76,7 +116,15 @@ def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExamp
     rng = np.random.default_rng(config.seed)
     order = np.arange(len(examples))
     epoch_losses: List[float] = []
+    use_batched = bool(config.batched) and surrogate.supports_batched_forward
 
+    # Featurize each distinct block once for the whole run; the cache also
+    # memoizes per-table normalization and per-block packed arrays.
+    cache = FeaturizationCache(surrogate.featurizer)
+    featurized = [cache.featurize(example.block) for example in examples]
+
+    num_batches = (len(order) + config.batch_size - 1) // config.batch_size
+    start_time = time.perf_counter()
     surrogate.train()
     for epoch in range(config.epochs):
         if config.shuffle:
@@ -84,43 +132,81 @@ def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExamp
         batch_losses: List[float] = []
         for batch_start in range(0, len(order), config.batch_size):
             batch_indices = order[batch_start:batch_start + config.batch_size]
-            predictions = []
-            targets = []
-            for example_index in batch_indices:
-                example = examples[int(example_index)]
-                featurized = surrogate.featurizer.featurize(example.block)
-                per_instruction, global_values = _normalized_inputs(
-                    spec, example, featurized.opcode_indices)
-                predictions.append(surrogate.forward(featurized, per_instruction, global_values))
-                targets.append(example.simulated_timing)
+            if use_batched:
+                packed, per_instruction, global_values, targets = _batch_inputs(
+                    spec, cache, examples, featurized, batch_indices)
+                predictions = surrogate.forward_batch(packed, per_instruction,
+                                                      global_values)
+            else:
+                predictions = []
+                targets = []
+                for example_index in batch_indices:
+                    example = examples[int(example_index)]
+                    example_featurized = featurized[int(example_index)]
+                    per_instruction, global_values = _normalized_inputs(
+                        spec, example, example_featurized.opcode_indices, cache)
+                    predictions.append(surrogate.forward(
+                        example_featurized, per_instruction, global_values))
+                    targets.append(example.simulated_timing)
             loss = surrogate_loss(predictions, targets)
             optimizer.zero_grad()
             loss.backward()
             optimizer.clip_grad_norm(config.gradient_clip)
             optimizer.step()
             batch_losses.append(loss.item())
-            if progress is not None and config.log_every and \
-                    (batch_start // config.batch_size) % config.log_every == 0:
-                progress(epoch, batch_start // config.batch_size, batch_losses[-1])
+            if progress is not None and config.log_every:
+                batch_index = batch_start // config.batch_size
+                is_final_batch = batch_index == num_batches - 1
+                if batch_index % config.log_every == 0 or is_final_batch:
+                    progress(epoch, batch_index, batch_losses[-1])
         epoch_losses.append(float(np.mean(batch_losses)))
+    elapsed = time.perf_counter() - start_time
+    examples_processed = len(examples) * config.epochs
 
     surrogate.eval()
-    final_error = evaluate_surrogate(surrogate, examples)
-    return SurrogateTrainingResult(epoch_losses=epoch_losses, final_training_error=final_error)
+    # The final evaluation pass follows the selected execution path too:
+    # with batched=False the whole run — including final_training_error — is
+    # the per-example reference, never touching forward_batch.
+    final_error = evaluate_surrogate(surrogate, examples,
+                                     batch_size=64 if use_batched else 0,
+                                     cache=cache)
+    return SurrogateTrainingResult(
+        epoch_losses=epoch_losses, final_training_error=final_error,
+        used_batched_path=use_batched,
+        examples_per_second=examples_processed / max(elapsed, 1e-9))
 
 
 def evaluate_surrogate(surrogate: _SurrogateBase,
-                       examples: Sequence[SimulatedExample]) -> float:
-    """MAPE of the surrogate against the simulator on ``examples``."""
+                       examples: Sequence[SimulatedExample],
+                       batch_size: int = 64,
+                       cache: Optional[FeaturizationCache] = None) -> float:
+    """MAPE of the surrogate against the simulator on ``examples``.
+
+    Uses the surrogate's batched forward in ``batch_size`` chunks when
+    available (pass ``batch_size=0`` to force the per-example path).
+    """
     spec = surrogate.spec
-    predictions = []
-    targets = []
+    cache = cache or FeaturizationCache(surrogate.featurizer)
+    predictions: List[float] = []
+    targets = [example.simulated_timing for example in examples]
+    use_batched = batch_size > 0 and surrogate.supports_batched_forward
     with no_grad():
-        for example in examples:
-            featurized = surrogate.featurizer.featurize(example.block)
-            per_instruction, global_values = _normalized_inputs(
-                spec, example, featurized.opcode_indices)
-            predictions.append(surrogate.forward(featurized, per_instruction,
-                                                 global_values).item())
-            targets.append(example.simulated_timing)
+        if use_batched:
+            featurized = [cache.featurize(example.block) for example in examples]
+            for chunk_start in range(0, len(examples), batch_size):
+                chunk = np.arange(chunk_start,
+                                  min(chunk_start + batch_size, len(examples)))
+                packed, per_instruction, global_values, _ = _batch_inputs(
+                    spec, cache, examples, featurized, chunk)
+                chunk_predictions = surrogate.forward_batch(
+                    packed, per_instruction, global_values)
+                predictions.extend(float(value)
+                                   for value in chunk_predictions.numpy())
+        else:
+            for example in examples:
+                featurized_block = cache.featurize(example.block)
+                per_instruction, global_values = _normalized_inputs(
+                    spec, example, featurized_block.opcode_indices, cache)
+                predictions.append(surrogate.forward(featurized_block, per_instruction,
+                                                     global_values).item())
     return mape_loss_value(np.array(predictions), np.array(targets))

@@ -257,6 +257,31 @@ class TestCompare:
         report = compare_payloads(baseline, current)
         assert any("tier mismatch" in failure for failure in report.failures)
 
+    def test_allow_missing_downgrades_missing_scenarios_to_notes(self):
+        baseline = _payload_with_wall({"a": 1.0, "b": 1.0})
+        current = _payload_with_wall({"a": 1.0})
+        report = compare_payloads(baseline, current,
+                                  CompareConfig(allow_missing=True))
+        assert report.ok
+        assert any("coverage regression" in line for line in report.lines)
+
+    def test_allow_missing_tier_mismatch_skips_wall_gates(self):
+        # Cross-tier: 10x slower would normally fail, but wall times at
+        # different scales are not comparable, so only coverage is checked.
+        baseline = _payload_with_wall({"a": 1.0}, tier="smoke")
+        current = _payload_with_wall({"a": 10.0}, tier="quick")
+        report = compare_payloads(baseline, current,
+                                  CompareConfig(allow_missing=True))
+        assert report.ok
+        assert any("skipping wall-time gates" in line for line in report.lines)
+
+    def test_allow_missing_still_fails_on_wall_regressions_same_tier(self):
+        baseline = _payload_with_wall({"a": 1.0})
+        current = _payload_with_wall({"a": 9.0})
+        report = compare_payloads(baseline, current,
+                                  CompareConfig(allow_missing=True))
+        assert not report.ok
+
     def test_metric_gating_is_opt_in(self):
         baseline = _payload_with_wall({"a": 1.0})
         current = _payload_with_wall({"a": 1.0})
@@ -327,6 +352,27 @@ class TestCommandLine:
         json.dump(current, open(current_path, "w"))
         assert bench_main(["compare", base_path, current_path]) == 1
         assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_allow_missing_tolerates_absent_baseline(self, tmp_path, capsys):
+        current = _payload_with_wall({"a": 1.0})
+        current_path = os.path.join(str(tmp_path), "BENCH_current.json")
+        json.dump(current, open(current_path, "w"))
+        missing = os.path.join(str(tmp_path), "BENCH_nope.json")
+        assert bench_main(["compare", missing, current_path,
+                           "--allow-missing"]) == 0
+        assert "does not exist" in capsys.readouterr().out
+        # Without the flag the missing file is still an error.
+        with pytest.raises(FileNotFoundError):
+            bench_main(["compare", missing, current_path])
+
+    def test_compare_allow_missing_still_validates_current(self, tmp_path):
+        # A green gate must mean the produced results were at least readable
+        # and schema-valid, even when the baseline is tolerated as absent.
+        broken = os.path.join(str(tmp_path), "BENCH_broken.json")
+        open(broken, "w").write("{\"not\": \"a payload\"}")
+        missing = os.path.join(str(tmp_path), "BENCH_nope.json")
+        with pytest.raises(Exception):
+            bench_main(["compare", missing, broken, "--allow-missing"])
 
     def test_main_cli_forwards_bench(self, capsys):
         from repro import cli

@@ -1,0 +1,282 @@
+"""The batched surrogate-training fast path vs the per-example reference.
+
+The contract (ISSUE 3 tentpole): batched and scalar forward/backward agree
+within 1e-9, for every surrogate variant, so flipping
+``SurrogateTrainingConfig(batched=...)`` changes throughput and nothing else.
+A hypothesis property test drives the comparison over random block subsets
+and parameter tables; deterministic tests cover the
+:class:`~repro.core.surrogate.FeaturizationCache` packing, the training-loop
+integration, the ``log_every`` progress-callback semantics (including the
+final partial batch), and the ``surrogate_training_throughput`` scenario
+registration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bhive import BlockGenerator
+from repro.core import (FeaturizationCache, MCAAdapter, SurrogateConfig,
+                        build_surrogate, collect_simulated_dataset, surrogate_loss)
+from repro.core.surrogate import BlockFeaturizer
+from repro.core.surrogate_training import (SurrogateTrainingConfig, evaluate_surrogate,
+                                           train_surrogate)
+from repro.targets import HASWELL
+
+EQUIVALENCE_ATOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def adapter():
+    return MCAAdapter(HASWELL, narrow_sampling=True)
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return BlockGenerator(seed=11).generate_blocks(12)
+
+
+@pytest.fixture(scope="module")
+def simulated(adapter, blocks):
+    rng = np.random.default_rng(5)
+    return collect_simulated_dataset(adapter, blocks, 48, rng, blocks_per_table=8)
+
+
+def _build(adapter, kind, seed=0):
+    config = SurrogateConfig(kind=kind, embedding_size=8, hidden_size=12,
+                             num_lstm_layers=2, seed=seed)
+    return build_surrogate(adapter.parameter_spec(), BlockFeaturizer(adapter.opcode_table),
+                           config)
+
+
+def _scalar_and_batched(surrogate, adapter, blocks, tables):
+    """(scalar predictions, batched predictions) for aligned blocks/tables."""
+    spec = adapter.parameter_spec()
+    cache = FeaturizationCache(surrogate.featurizer)
+    featurized = [cache.featurize(block) for block in blocks]
+    packed = cache.pack(featurized)
+    per_instruction, global_values = cache.batch_parameters(spec, featurized, tables)
+    batched = surrogate.forward_batch(packed, per_instruction, global_values)
+    scalar = []
+    for featurized_block, table in zip(featurized, tables):
+        normalized = cache.normalized_arrays(spec, table)
+        rows = normalized.per_instruction_values[list(featurized_block.opcode_indices)]
+        scalar.append(surrogate.forward(featurized_block, rows,
+                                        normalized.global_values))
+    return scalar, batched
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("kind", ["pooled", "analytical", "ithemal"])
+    def test_predictions_match_within_1e9(self, adapter, blocks, kind):
+        surrogate = _build(adapter, kind)
+        rng = np.random.default_rng(3)
+        spec = adapter.parameter_spec()
+        tables = [spec.sample(rng) for _ in blocks]
+        scalar, batched = _scalar_and_batched(surrogate, adapter, blocks, tables)
+        scalar_values = np.array([prediction.item() for prediction in scalar])
+        np.testing.assert_allclose(batched.numpy(), scalar_values,
+                                   atol=EQUIVALENCE_ATOL, rtol=0)
+
+    @pytest.mark.parametrize("kind", ["pooled", "analytical", "ithemal"])
+    def test_loss_and_gradients_match_within_1e9(self, adapter, blocks, kind):
+        surrogate = _build(adapter, kind)
+        rng = np.random.default_rng(7)
+        spec = adapter.parameter_spec()
+        tables = [spec.sample(rng) for _ in blocks]
+        targets = [1.0 + 0.5 * index for index in range(len(blocks))]
+
+        scalar, batched = _scalar_and_batched(surrogate, adapter, blocks, tables)
+        batched_loss = surrogate_loss(batched, targets)
+        surrogate.zero_grad()
+        batched_loss.backward()
+        batched_grads = {name: parameter.grad.copy()
+                         for name, parameter in surrogate.named_parameters()
+                         if parameter.grad is not None}
+
+        scalar_loss = surrogate_loss(scalar, targets)
+        surrogate.zero_grad()
+        scalar_loss.backward()
+        scalar_grads = {name: parameter.grad.copy()
+                        for name, parameter in surrogate.named_parameters()
+                        if parameter.grad is not None}
+
+        assert abs(batched_loss.item() - scalar_loss.item()) < EQUIVALENCE_ATOL
+        assert set(batched_grads) == set(scalar_grads)
+        for name in scalar_grads:
+            np.testing.assert_allclose(batched_grads[name], scalar_grads[name],
+                                       atol=EQUIVALENCE_ATOL, rtol=0, err_msg=name)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           batch=st.integers(min_value=1, max_value=8))
+    def test_property_random_batches_and_tables_agree(self, adapter, blocks,
+                                                      seed, batch):
+        """Hypothesis: batched and per-example losses match within 1e-9."""
+        rng = np.random.default_rng(seed)
+        surrogate = _build(adapter, "pooled", seed=seed % 101)
+        spec = adapter.parameter_spec()
+        chosen = [blocks[int(index)] for index in
+                  rng.integers(0, len(blocks), size=batch)]
+        tables = [spec.sample(rng) for _ in chosen]
+        targets = rng.uniform(0.5, 20.0, size=batch).tolist()
+        scalar, batched = _scalar_and_batched(surrogate, adapter, chosen, tables)
+        scalar_loss = surrogate_loss(scalar, targets).item()
+        batched_loss = surrogate_loss(batched, targets).item()
+        assert abs(scalar_loss - batched_loss) < EQUIVALENCE_ATOL
+
+
+class TestFeaturizationCache:
+    def test_pack_pads_and_masks(self, adapter, blocks):
+        cache = FeaturizationCache(BlockFeaturizer(adapter.opcode_table))
+        featurized = [cache.featurize(block) for block in blocks[:4]]
+        packed = cache.pack(featurized)
+        lengths = [len(entry.opcode_indices) for entry in featurized]
+        assert packed.batch_size == 4
+        assert packed.max_instructions == max(lengths)
+        np.testing.assert_array_equal(packed.lengths, lengths)
+        np.testing.assert_array_equal(packed.instruction_mask.sum(axis=1), lengths)
+        for row, entry in enumerate(featurized):
+            np.testing.assert_array_equal(
+                packed.opcode_indices[row, :lengths[row]], entry.opcode_indices)
+            token_counts = [len(ids) for ids in entry.token_ids]
+            np.testing.assert_array_equal(
+                packed.token_mask[row, :lengths[row]].sum(axis=1), token_counts)
+        # Padding past each block's length is fully masked.
+        for row, length in enumerate(lengths):
+            assert packed.instruction_mask[row, length:].sum() == 0
+            assert packed.token_mask[row, length:].sum() == 0
+
+    def test_pack_empty_batch_rejected(self, adapter):
+        cache = FeaturizationCache(BlockFeaturizer(adapter.opcode_table))
+        with pytest.raises(ValueError, match="empty batch"):
+            cache.pack([])
+
+    def test_block_arrays_cached_per_block(self, adapter, blocks):
+        cache = FeaturizationCache(BlockFeaturizer(adapter.opcode_table))
+        featurized = cache.featurize(blocks[0])
+        first = cache._arrays_for(featurized)
+        again = cache._arrays_for(cache.featurize(blocks[0]))
+        assert first is again
+
+    def test_normalization_memoized_per_table(self, adapter):
+        spec = adapter.parameter_spec()
+        cache = FeaturizationCache(BlockFeaturizer(adapter.opcode_table))
+        table = spec.sample(np.random.default_rng(0))
+        first = cache.normalized_arrays(spec, table)
+        assert cache.normalized_arrays(spec, table) is first
+        other = spec.sample(np.random.default_rng(1))
+        assert cache.normalized_arrays(spec, other) is not first
+
+    def test_batch_parameters_alignment_validated(self, adapter, blocks):
+        spec = adapter.parameter_spec()
+        cache = FeaturizationCache(BlockFeaturizer(adapter.opcode_table))
+        featurized = [cache.featurize(block) for block in blocks[:2]]
+        with pytest.raises(ValueError, match="aligned"):
+            cache.batch_parameters(spec, featurized,
+                                   [spec.sample(np.random.default_rng(0))])
+
+
+class TestTrainingPaths:
+    def test_batched_and_scalar_training_agree(self, adapter, simulated):
+        results = {}
+        for batched in (False, True):
+            surrogate = _build(adapter, "pooled")
+            config = SurrogateTrainingConfig(epochs=1, batch_size=16, seed=0,
+                                             batched=batched)
+            results[batched] = train_surrogate(surrogate, simulated, config)
+        assert results[True].used_batched_path
+        assert not results[False].used_batched_path
+        np.testing.assert_allclose(results[True].epoch_losses,
+                                   results[False].epoch_losses, atol=1e-7, rtol=0)
+        assert abs(results[True].final_training_error
+                   - results[False].final_training_error) < 1e-7
+
+    def test_scalar_path_never_calls_forward_batch(self, adapter, simulated):
+        # batched=False must be the full per-example reference — including
+        # the final evaluation pass inside train_surrogate.
+        surrogate = _build(adapter, "pooled")
+
+        def _boom(*_args, **_kwargs):
+            raise AssertionError("forward_batch used on the scalar path")
+
+        surrogate.forward_batch = _boom
+        config = SurrogateTrainingConfig(epochs=1, batch_size=16, seed=0,
+                                         batched=False)
+        result = train_surrogate(surrogate, simulated, config)
+        assert not result.used_batched_path
+        assert np.isfinite(result.final_training_error)
+
+    def test_batched_flag_falls_back_without_forward_batch(self, adapter, simulated):
+        surrogate = _build(adapter, "pooled")
+        surrogate.supports_batched_forward = False
+        config = SurrogateTrainingConfig(epochs=1, batch_size=16, seed=0, batched=True)
+        result = train_surrogate(surrogate, simulated, config)
+        assert not result.used_batched_path
+        assert np.isfinite(result.final_training_error)
+
+    def test_evaluate_surrogate_batched_matches_per_example(self, adapter, simulated):
+        surrogate = _build(adapter, "analytical")
+        batched_error = evaluate_surrogate(surrogate, simulated, batch_size=16)
+        scalar_error = evaluate_surrogate(surrogate, simulated, batch_size=0)
+        assert abs(batched_error - scalar_error) < 1e-9
+
+    def test_throughput_metadata_populated(self, adapter, simulated):
+        surrogate = _build(adapter, "pooled")
+        config = SurrogateTrainingConfig(epochs=2, batch_size=16, seed=0)
+        result = train_surrogate(surrogate, simulated, config)
+        assert result.examples_per_second > 0
+
+
+class TestProgressCallback:
+    @staticmethod
+    def _run(adapter, simulated, num_examples, batch_size, log_every):
+        surrogate = _build(adapter, "pooled")
+        calls = []
+        config = SurrogateTrainingConfig(epochs=1, batch_size=batch_size, seed=0,
+                                         shuffle=False, log_every=log_every)
+        train_surrogate(surrogate, simulated[:num_examples], config,
+                        progress=lambda epoch, batch, loss: calls.append(
+                            (epoch, batch, loss)))
+        return calls
+
+    def test_final_partial_batch_triggers_callback(self, adapter, simulated):
+        # 13 examples at batch size 4 -> batches 0..3, the last one partial.
+        # log_every=3 fires on batches 0 and 3; the regression was that the
+        # final partial batch (3) never fired.
+        calls = self._run(adapter, simulated, num_examples=13, batch_size=4,
+                          log_every=3)
+        assert [batch for _epoch, batch, _loss in calls] == [0, 3]
+
+    def test_final_batch_not_double_reported(self, adapter, simulated):
+        # 8 examples at batch size 4 -> batches 0 and 1; log_every=1 already
+        # fires on every batch, so the final batch appears exactly once.
+        calls = self._run(adapter, simulated, num_examples=8, batch_size=4,
+                          log_every=1)
+        assert [batch for _epoch, batch, _loss in calls] == [0, 1]
+
+    def test_log_every_zero_disables_callbacks(self, adapter, simulated):
+        calls = self._run(adapter, simulated, num_examples=8, batch_size=4,
+                          log_every=0)
+        assert calls == []
+
+
+class TestThroughputScenario:
+    def test_registered_with_ci_tag(self):
+        from repro.bench import DEFAULT_REGISTRY
+
+        scenario = DEFAULT_REGISTRY.get("surrogate_training_throughput")
+        assert "ci" in scenario.tags and "perf" in scenario.tags
+        assert scenario.formatter is not None
+
+    def test_smoke_tier_reports_speedup_and_loss_agreement(self):
+        from repro.bench import Runner, RunnerConfig
+
+        runner = Runner(RunnerConfig(tier="smoke"), log=None)
+        entry = runner.run_scenario(
+            runner.registry.get("surrogate_training_throughput"))
+        metrics = entry["metrics"]
+        assert set(metrics["paths"]) == {"scalar", "batched"}
+        assert metrics["speedup_batched_vs_scalar"] > 1.0
+        assert metrics["epoch_loss_max_abs_diff"] < 1e-7
