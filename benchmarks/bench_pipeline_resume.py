@@ -1,0 +1,16 @@
+"""Pipeline checkpoint/resume smoke test — interrupted vs uninterrupted runs.
+
+Thin wrapper over the registered ``pipeline_resume`` scenario
+(:mod:`repro.bench.scenarios`): a tuning run is stopped after surrogate
+training, resumed from its checkpoints, and the resumed learned table is
+compared bit for bit against an uninterrupted run.  Run it without pytest
+via::
+
+    python -m repro.bench run pipeline_resume --tier smoke
+"""
+
+from conftest import run_scenario_benchmark
+
+
+def bench_pipeline_resume(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "pipeline_resume")

@@ -48,7 +48,10 @@ from repro.autodiff.schedules import (
     LinearWarmup,
 )
 from repro.autodiff.gradcheck import gradcheck, assert_gradients_close
-from repro.autodiff.serialization import save_state_dict, load_state_dict
+from repro.autodiff.serialization import (save_arrays, load_arrays,
+                                          save_state_dict, load_state_dict,
+                                          save_optimizer_state, load_optimizer_state,
+                                          save_parameter_arrays, load_parameter_arrays)
 from repro.autodiff import init
 
 __all__ = [
@@ -84,7 +87,13 @@ __all__ = [
     "LinearWarmup",
     "gradcheck",
     "assert_gradients_close",
+    "save_arrays",
+    "load_arrays",
     "save_state_dict",
     "load_state_dict",
+    "save_optimizer_state",
+    "load_optimizer_state",
+    "save_parameter_arrays",
+    "load_parameter_arrays",
     "init",
 ]

@@ -1,8 +1,9 @@
-"""Saving and loading of module state dicts.
+"""Saving and loading of training state: modules, optimizers, parameter arrays.
 
-State is stored as a compressed ``.npz`` archive so that trained surrogates
-and learned parameter tables can be checkpointed between the two optimization
-phases of DiffTune (surrogate training and parameter-table training).
+State is stored as compressed ``.npz`` archives so that trained surrogates,
+optimizer moments, and learned parameter tables can be checkpointed between
+(and now *within*) the optimization stages of DiffTune.  The pipeline layer
+(:mod:`repro.pipeline`) builds its per-stage artifact files on these helpers.
 """
 
 from __future__ import annotations
@@ -13,23 +14,78 @@ from typing import Dict
 import numpy as np
 
 from repro.autodiff.modules import Module
+from repro.autodiff.optim import Optimizer
 
 
-def save_state_dict(module: Module, path: str) -> None:
-    """Serialize ``module.state_dict()`` to ``path`` as an .npz archive."""
-    state = module.state_dict()
+def _write_npz(path: str, arrays: Dict[str, np.ndarray]) -> None:
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     # npz keys cannot contain certain characters reliably across versions, so
     # keys are stored verbatim — NumPy handles dotted names fine.
-    np.savez_compressed(path, **state)
+    np.savez_compressed(path, **arrays)
+
+
+def save_arrays(arrays: Dict[str, np.ndarray], path: str) -> None:
+    """Serialize a flat ``name -> array`` mapping to ``path`` as an .npz archive."""
+    _write_npz(path, {key: np.asarray(value) for key, value in arrays.items()})
+
+
+def load_arrays(path: str) -> Dict[str, np.ndarray]:
+    """Load a ``name -> array`` mapping saved by :func:`save_arrays`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_state_dict(module: Module, path: str) -> None:
+    """Serialize ``module.state_dict()`` to ``path`` as an .npz archive."""
+    _write_npz(path, module.state_dict())
 
 
 def load_state_dict(module: Module, path: str) -> Module:
     """Load an .npz archive produced by :func:`save_state_dict` into ``module``."""
-    if not os.path.exists(path):
-        raise FileNotFoundError(path)
-    with np.load(path) as archive:
-        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+    module.load_state_dict(load_arrays(path))
     return module
+
+
+def save_optimizer_state(optimizer: Optimizer, path: str) -> None:
+    """Serialize an optimizer's internal state (Adam moments, SGD velocity).
+
+    The state is keyed by parameter *position*, so it round-trips into a
+    fresh optimizer constructed over the same parameter list in the same
+    order — the situation a resumed training stage is in.
+    """
+    _write_npz(path, optimizer.state_dict())
+
+
+def load_optimizer_state(optimizer: Optimizer, path: str) -> Optimizer:
+    """Restore state saved by :func:`save_optimizer_state` into ``optimizer``."""
+    optimizer.load_state_dict(load_arrays(path))
+    return optimizer
+
+
+def save_parameter_arrays(arrays, path: str) -> None:
+    """Serialize a :class:`~repro.core.parameters.ParameterArrays` to .npz.
+
+    Duck-typed (anything with ``global_values`` / ``per_instruction_values``
+    NumPy attributes) so this module stays free of an import cycle with
+    :mod:`repro.core`.
+    """
+    _write_npz(path, {
+        "global_values": np.asarray(arrays.global_values, dtype=np.float64),
+        "per_instruction_values": np.asarray(arrays.per_instruction_values,
+                                             dtype=np.float64),
+    })
+
+
+def load_parameter_arrays(path: str):
+    """Load a :class:`~repro.core.parameters.ParameterArrays` from .npz."""
+    from repro.core.parameters import ParameterArrays
+
+    state = load_arrays(path)
+    missing = {"global_values", "per_instruction_values"} - set(state)
+    if missing:
+        raise KeyError(f"{path} is not a ParameterArrays archive; missing {sorted(missing)}")
+    return ParameterArrays(global_values=state["global_values"],
+                           per_instruction_values=state["per_instruction_values"])

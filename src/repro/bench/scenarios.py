@@ -447,3 +447,143 @@ def surrogate_training_throughput(ctx: ScenarioContext):
             abs(scalar - batched) for scalar, batched
             in zip(epoch_losses["scalar"], epoch_losses["batched"])),
     }
+
+
+def _format_table_optimization_throughput(metrics) -> str:
+    rows = [[name, f"{row['examples_per_sec']:.0f}", f"{row['seconds']:.3f}s"]
+            for name, row in metrics["paths"].items()]
+    rows.append(["speedup (batched/scalar)",
+                 f"{metrics['speedup_batched_vs_scalar']:.2f}x", ""])
+    return format_table(["Path", "Examples/sec", "Wall time"], rows,
+                        title="Phase-two table-optimization throughput "
+                              "(per-block vs batched fast path)")
+
+
+@scenario("table_optimization_throughput", tags=("perf", "ci"),
+          formatter=_format_table_optimization_throughput)
+def table_optimization_throughput(ctx: ScenarioContext):
+    """Examples/second of phase-two table optimization: per-block vs batched."""
+    from repro.core import SurrogateConfig, build_surrogate
+    from repro.core.surrogate import BlockFeaturizer
+    from repro.core.table_optimization import (TableOptimizationConfig,
+                                               optimize_parameter_table)
+
+    num_blocks = ctx.by_tier(smoke=48, quick=128, full=256)
+    epochs = ctx.by_tier(smoke=2, quick=4, full=4)
+    batch_size = ctx.by_tier(smoke=32, quick=64, full=64)
+    adapter = ctx.mca_adapter("haswell", narrow_sampling=True)
+    spec = adapter.parameter_spec()
+    dataset = ctx.dataset("haswell", num_blocks=num_blocks)
+    train = dataset.train_examples
+    blocks = [example.block for example in train]
+    timings = np.array([example.timing for example in train])
+    initial = spec.sample(np.random.default_rng(ctx.seed))
+
+    results: Dict[str, Dict[str, float]] = {}
+    epoch_losses: Dict[str, List[float]] = {}
+    # Fresh, identically seeded surrogate per path; the two loss trajectories
+    # must agree (pinned within 1e-9 by the property tests; the observed
+    # divergence is recorded as a metric).
+    for label, batched in (("scalar", False), ("batched", True)):
+        surrogate = build_surrogate(
+            spec, BlockFeaturizer(adapter.opcode_table),
+            SurrogateConfig(kind="pooled", seed=ctx.seed))
+        config = TableOptimizationConfig(epochs=epochs, batch_size=batch_size,
+                                         seed=ctx.seed, batched=batched)
+        start = time.perf_counter()
+        outcome = optimize_parameter_table(surrogate, blocks, timings, config,
+                                           initial_arrays=initial)
+        elapsed = time.perf_counter() - start
+        processed = len(blocks) * epochs
+        results[label] = {"seconds": elapsed,
+                          "examples_per_sec": processed / max(elapsed, 1e-9),
+                          "final_epoch_loss": outcome.epoch_losses[-1]}
+        epoch_losses[label] = outcome.epoch_losses
+
+    return {
+        "workload": {"num_blocks": len(blocks), "epochs": epochs,
+                     "batch_size": batch_size, "surrogate_kind": "pooled",
+                     "seed": ctx.seed, "uarch": "haswell"},
+        "paths": results,
+        "speedup_batched_vs_scalar": (results["batched"]["examples_per_sec"]
+                                      / results["scalar"]["examples_per_sec"]),
+        "epoch_loss_max_abs_diff": max(
+            abs(scalar - batched) for scalar, batched
+            in zip(epoch_losses["scalar"], epoch_losses["batched"])),
+    }
+
+
+def _format_pipeline_resume(metrics) -> str:
+    rows = [
+        ["full run", f"{metrics['full_run_seconds']:.3f}s"],
+        ["interrupted run", f"{metrics['interrupted_seconds']:.3f}s"],
+        ["resumed run", f"{metrics['resume_seconds']:.3f}s"],
+        ["stages resumed", str(metrics["stages_resumed"])],
+        ["bit-identical table", "yes" if metrics["tables_bit_identical"] else "NO"],
+    ]
+    return format_table(["Step", "Value"], rows,
+                        title="Pipeline checkpoint/resume smoke test")
+
+
+@scenario("pipeline_resume", tags=("perf", "ci"), formatter=_format_pipeline_resume)
+def pipeline_resume(ctx: ScenarioContext):
+    """Kill a tuning run after surrogate training, resume it, compare tables.
+
+    The contract under test is the pipeline layer's headline guarantee: a
+    run interrupted at any stage boundary and resumed with ``--resume``
+    produces a bit-identical learned table to an uninterrupted run with the
+    same seed, while skipping the work of every completed stage.
+    """
+    import tempfile
+
+    from repro.core.config import test_config
+    from repro.core.adapters import MCAAdapter
+    from repro.core.difftune import DiffTune
+    from repro.targets import get_uarch
+
+    num_blocks = ctx.by_tier(smoke=60, quick=120, full=200)
+    refinement_rounds = ctx.by_tier(smoke=0, quick=1, full=1)
+    dataset = ctx.dataset("haswell", num_blocks=num_blocks)
+    train = dataset.train_examples
+    blocks = [example.block for example in train]
+    timings = np.array([example.timing for example in train])
+
+    def make_difftune():
+        config = test_config(ctx.seed)
+        config.refinement_rounds = refinement_rounds
+        config.refinement_dataset_size = 48
+        return DiffTune(MCAAdapter(get_uarch("haswell"), narrow_sampling=True),
+                        config)
+
+    start = time.perf_counter()
+    full = make_difftune().learn(blocks, timings)
+    full_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        start = time.perf_counter()
+        interrupted = make_difftune().learn(blocks, timings,
+                                            checkpoint_dir=checkpoint_dir,
+                                            stop_after="train_surrogate")
+        interrupted_seconds = time.perf_counter() - start
+        assert interrupted is None
+        start = time.perf_counter()
+        resumed = make_difftune().learn(blocks, timings,
+                                        checkpoint_dir=checkpoint_dir, resume=True)
+        resume_seconds = time.perf_counter() - start
+
+    identical = (np.array_equal(full.learned_arrays.per_instruction_values,
+                                resumed.learned_arrays.per_instruction_values)
+                 and np.array_equal(full.learned_arrays.global_values,
+                                    resumed.learned_arrays.global_values))
+    return {
+        "workload": {"num_blocks": len(blocks),
+                     "refinement_rounds": refinement_rounds, "seed": ctx.seed,
+                     "uarch": "haswell"},
+        "full_run_seconds": full_seconds,
+        "interrupted_seconds": interrupted_seconds,
+        "resume_seconds": resume_seconds,
+        "stages_resumed": len(resumed.resumed_stages),
+        "tables_bit_identical": float(identical),
+        "train_error_full": full.train_error,
+        "train_error_resumed": resumed.train_error,
+    }

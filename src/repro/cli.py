@@ -1,10 +1,13 @@
 """Command-line interface for the DiffTune reproduction.
 
-Seven subcommands cover the day-to-day workflow:
+Nine subcommands cover the day-to-day workflow:
 
 * ``dataset``  — generate and measure a BHive-like dataset and save it to JSON.
 * ``learn``    — run DiffTune on a dataset (or a freshly generated one) and
   save the learned parameter table.
+* ``tune``     — the pipeline-backed multi-target tuner: one checkpointable
+  DiffTune run per target, resumable with ``--resume`` at the first
+  incomplete stage, fanned out across processes with ``--workers``.
 * ``evaluate`` — report error / Kendall's tau of a parameter table (default or
   learned) on a dataset's test split.
 * ``compare``  — run the full Table IV comparison for one microarchitecture.
@@ -22,6 +25,8 @@ Examples::
 
     python -m repro.cli dataset --uarch haswell --blocks 500 --output haswell.json
     python -m repro.cli learn --dataset haswell.json --output learned.json
+    python -m repro.cli tune --targets haswell skylake --checkpoint-dir runs/
+    python -m repro.cli tune --targets haswell skylake --checkpoint-dir runs/ --resume
     python -m repro.cli evaluate --dataset haswell.json --table learned.json
     python -m repro.cli compare --uarch zen2 --blocks 300
     python -m repro.cli timeline --block "addq %rax, %rbx; imulq %rbx, %rcx"
@@ -35,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -91,6 +97,7 @@ def _command_learn(arguments: argparse.Namespace) -> int:
                          engine_workers=arguments.workers)
     config = paper_config(arguments.seed) if arguments.paper_config else fast_config(arguments.seed)
     config.surrogate_training.batched = arguments.batch_training
+    config.table_optimization.batched = arguments.batch_table_optimization
     difftune = DiffTune(adapter, config, log=lambda message: print(f"[difftune] {message}"))
     result = difftune.learn(train_blocks, train_timings)
 
@@ -102,6 +109,47 @@ def _command_learn(arguments: argparse.Namespace) -> int:
         adapter.predict_timings(result.learned_arrays, test_blocks), test_timings)
     print(f"Saved learned table to {arguments.output}")
     print(f"Test error: default {default_error * 100:.1f}%, learned {learned_error * 100:.1f}%")
+    return 0
+
+
+def _command_tune(arguments: argparse.Namespace) -> int:
+    from repro.pipeline import TargetSpec, tune_targets
+
+    os.makedirs(arguments.output_dir, exist_ok=True)
+    sequential = arguments.workers <= 1 or len(arguments.targets) == 1
+    specs = [TargetSpec(
+        target=target,
+        num_blocks=arguments.blocks,
+        seed=arguments.seed,
+        config_preset=arguments.config,
+        checkpoint_dir=os.path.join(arguments.checkpoint_dir, target),
+        resume=arguments.resume,
+        stop_after=arguments.stop_after,
+        output_path=os.path.join(arguments.output_dir, f"{target}.json"),
+        learn_fields=arguments.learn_fields,
+        batch_training=arguments.batch_training,
+        batch_table_optimization=arguments.batch_table_optimization,
+        # Per-target process fan-out and engine fan-out compose poorly on a
+        # laptop; give the engine the workers only when targets run serially.
+        engine_workers=0 if not sequential else arguments.workers,
+        verbose=sequential,
+    ) for target in arguments.targets]
+    outcomes = tune_targets(specs, workers=arguments.workers,
+                            log=lambda message: print(f"[tune] {message}"))
+
+    for target in arguments.targets:
+        outcome = outcomes[target]
+        if not outcome.completed:
+            print(f"{target}: stopped after stage '{outcome.stopped_after}' "
+                  f"({outcome.elapsed_seconds:.1f}s); rerun with --resume to finish")
+            continue
+        resumed = (f", resumed {len(outcome.resumed_stages)} stages"
+                   if outcome.resumed_stages else "")
+        print(f"{target}: train error {outcome.train_error * 100:.1f}%, "
+              f"test error {outcome.test_error * 100:.1f}% "
+              f"(default table {outcome.default_test_error * 100:.1f}%) "
+              f"in {outcome.elapsed_seconds:.1f}s{resumed}")
+        print(f"  saved learned table to {outcome.output_path}")
     return 0
 
 
@@ -270,7 +318,47 @@ def build_parser() -> argparse.ArgumentParser:
                               default=True,
                               help="batched surrogate-training fast path (default on; "
                                    "--no-batch-training restores the per-example loop)")
+    learn_parser.add_argument("--batch-table-optimization",
+                              action=argparse.BooleanOptionalAction, default=True,
+                              help="batched phase-two table optimization (default on; "
+                                   "--no-batch-table-optimization restores the "
+                                   "per-block loop)")
     learn_parser.set_defaults(handler=_command_learn)
+
+    tune_parser = subparsers.add_parser(
+        "tune", help="pipeline-backed multi-target tuning with checkpoints and --resume")
+    tune_parser.add_argument("--targets", nargs="+", default=["haswell"],
+                             choices=["ivybridge", "haswell", "skylake", "zen2"],
+                             help="microarchitectures to tune (one pipeline each)")
+    tune_parser.add_argument("--blocks", type=int, default=300,
+                             help="measured blocks per target dataset")
+    tune_parser.add_argument("--seed", type=int, default=0)
+    tune_parser.add_argument("--config", default="fast",
+                             choices=["fast", "paper", "test"],
+                             help="configuration preset (test = tiny smoke scale)")
+    tune_parser.add_argument("--checkpoint-dir", default="difftune_checkpoints",
+                             help="root directory for per-target stage checkpoints")
+    tune_parser.add_argument("--output-dir", default=".",
+                             help="directory for the learned <target>.json tables")
+    tune_parser.add_argument("--resume", action="store_true",
+                             help="restore completed stages from the checkpoint "
+                                  "directory and continue at the first incomplete one")
+    tune_parser.add_argument("--stop-after", default=None,
+                             help="stop (checkpointed) after this stage, e.g. "
+                                  "train_surrogate or refinement_round_01")
+    tune_parser.add_argument("--workers", type=int, default=0,
+                             help=">= 2 fans targets out across a process pool; "
+                                  "otherwise targets run sequentially and the "
+                                  "engine gets the workers")
+    tune_parser.add_argument("--learn-fields", nargs="*", default=None,
+                             help="subset of fields to learn (e.g. WriteLatency)")
+    tune_parser.add_argument("--batch-training", action=argparse.BooleanOptionalAction,
+                             default=True,
+                             help="batched surrogate-training fast path")
+    tune_parser.add_argument("--batch-table-optimization",
+                             action=argparse.BooleanOptionalAction, default=True,
+                             help="batched phase-two table optimization")
+    tune_parser.set_defaults(handler=_command_tune)
 
     evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a parameter table")
     evaluate_parser.add_argument("--dataset", required=True)

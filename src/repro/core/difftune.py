@@ -9,6 +9,13 @@ Ties the four stages of Figure 1 together:
 3. train the differentiable surrogate on the simulated dataset;
 4. train the parameter table against the ground truth through the frozen
    surrogate, then extract the learned table back into the simulator.
+
+The stages themselves live in :mod:`repro.pipeline` — an orchestrated,
+per-stage-checkpointable pipeline — and :class:`DiffTune` is the thin,
+stable API over it.  Passing ``checkpoint_dir`` persists every completed
+stage; ``resume=True`` then picks the run up at the first incomplete stage
+and reproduces an uninterrupted run bit for bit (the pipeline snapshots the
+random stream between stages).
 """
 
 from __future__ import annotations
@@ -20,15 +27,12 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.adapters import SimulatorAdapter
-from repro.core.extraction import extract_parameter_arrays
 from repro.core.losses import mape_loss_value
 from repro.core.parameters import ParameterArrays
-from repro.core.simulated_dataset import SimulatedExample, collect_simulated_dataset
+from repro.core.simulated_dataset import SimulatedExample
 from repro.core.surrogate import BlockFeaturizer, SurrogateConfig, build_surrogate
-from repro.core.surrogate_training import (SurrogateTrainingConfig, SurrogateTrainingResult,
-                                           evaluate_surrogate, train_surrogate)
-from repro.core.table_optimization import (TableOptimizationConfig, TableOptimizationResult,
-                                           optimize_parameter_table)
+from repro.core.surrogate_training import SurrogateTrainingConfig, SurrogateTrainingResult
+from repro.core.table_optimization import TableOptimizationConfig, TableOptimizationResult
 from repro.isa.basic_block import BasicBlock
 
 
@@ -68,6 +72,9 @@ class DiffTuneResult:
     simulated_dataset_size: int
     train_error: float
     elapsed_seconds: float
+    #: Stage names served from checkpoints instead of executed (empty for
+    #: non-resumed runs).
+    resumed_stages: List[str] = field(default_factory=list)
 
 
 class DiffTune:
@@ -85,13 +92,10 @@ class DiffTune:
     # ------------------------------------------------------------------
     def collect_simulated_dataset(self, blocks: Sequence[BasicBlock],
                                   rng: np.random.Generator) -> List[SimulatedExample]:
+        from repro.pipeline.stages import collect_examples
+
         self._log(f"collecting simulated dataset ({self.config.simulated_dataset_size} examples)")
-        spec = self.adapter.parameter_spec()
-        examples = collect_simulated_dataset(
-            self.adapter, blocks, self.config.simulated_dataset_size, rng,
-            blocks_per_table=self.config.blocks_per_table,
-            table_sampler=lambda generator: self.adapter.freeze_unlearned_fields(
-                spec.sample(generator)))
+        examples = collect_examples(self.adapter, self.config, blocks, rng)
         self._log_engine_stats()
         return examples
 
@@ -110,12 +114,26 @@ class DiffTune:
         return build_surrogate(self.adapter.parameter_spec(), self.featurizer,
                                self.config.surrogate)
 
+    def pipeline(self, checkpoint_dir: Optional[str] = None):
+        """The underlying :class:`~repro.pipeline.pipeline.TuningPipeline`.
+
+        Imported lazily: :mod:`repro.pipeline` itself imports ``repro.core``
+        submodules, and the runtime import keeps either package safely
+        importable first.
+        """
+        from repro.pipeline.pipeline import TuningPipeline
+
+        return TuningPipeline(self.adapter, self.config, log=self._log,
+                              featurizer=self.featurizer,
+                              checkpoint_dir=checkpoint_dir)
+
     # ------------------------------------------------------------------
     # End-to-end run
     # ------------------------------------------------------------------
     def learn(self, blocks: Sequence[BasicBlock], true_timings: np.ndarray,
-              simulated_examples: Optional[Sequence[SimulatedExample]] = None
-              ) -> DiffTuneResult:
+              simulated_examples: Optional[Sequence[SimulatedExample]] = None,
+              checkpoint_dir: Optional[str] = None, resume: bool = False,
+              stop_after: Optional[str] = None) -> Optional[DiffTuneResult]:
         """Run DiffTune end to end on a ground-truth training set.
 
         Args:
@@ -124,78 +142,35 @@ class DiffTune:
             simulated_examples: Optionally a pre-collected simulated dataset
                 (used by tests and by experiments that reuse one simulated
                 dataset across ablations).
+            checkpoint_dir: Persist every completed stage's artifacts here.
+            resume: Restore completed stages from ``checkpoint_dir`` and
+                continue at the first incomplete one.  A resumed run yields
+                a bit-identical result to an uninterrupted run.
+            stop_after: Stop once the named stage has completed (and been
+                checkpointed).  Returns ``None`` when the run stops before
+                the final stage — resume later to finish it.
         """
         start_time = time.time()
         true_timings = np.asarray(true_timings, dtype=np.float64)
         if len(blocks) != len(true_timings):
             raise ValueError("blocks and true_timings must be aligned")
-        rng = np.random.default_rng(self.config.seed)
-
-        if simulated_examples is None:
-            simulated_examples = self.collect_simulated_dataset(blocks, rng)
-
-        surrogate = self.build_surrogate()
-        self._log(f"training surrogate on {len(simulated_examples)} simulated examples")
-        surrogate_result = train_surrogate(surrogate, simulated_examples,
-                                           self.config.surrogate_training)
-        self._log(f"surrogate training error: {surrogate_result.final_training_error:.3f}")
-
-        self._log("optimizing the parameter table through the frozen surrogate")
-        spec = self.adapter.parameter_spec()
-        per_mask, global_mask = self.adapter.unlearned_dimension_masks()
-        initial_arrays = self.adapter.freeze_unlearned_fields(spec.sample(rng))
-        table_result = optimize_parameter_table(surrogate, blocks, true_timings,
-                                                self.config.table_optimization,
-                                                initial_arrays=initial_arrays,
-                                                frozen_per_instruction_mask=per_mask,
-                                                frozen_global_mask=global_mask)
-        learned_arrays = extract_parameter_arrays(self.adapter.parameter_spec(),
-                                                  table_result.learned_arrays)
-        predictions = self.adapter.predict_timings(learned_arrays, blocks)
-        train_error = mape_loss_value(predictions, true_timings)
-        self._log(f"round 0 learned-table training error: {train_error:.3f}")
-
-        best_arrays, best_error = learned_arrays, train_error
-        for round_index in range(self.config.refinement_rounds):
-            self._log(f"refinement round {round_index + 1}: resampling near the estimate")
-            local_examples = collect_simulated_dataset(
-                self.adapter, blocks, self.config.refinement_dataset_size, rng,
-                blocks_per_table=self.config.blocks_per_table,
-                table_sampler=lambda generator: self.adapter.freeze_unlearned_fields(
-                    spec.sample_near(best_arrays, generator, self.config.refinement_spread)))
-            refinement_training = SurrogateTrainingConfig(
-                learning_rate=self.config.surrogate_training.learning_rate,
-                batch_size=self.config.surrogate_training.batch_size,
-                epochs=self.config.refinement_epochs,
-                gradient_clip=self.config.surrogate_training.gradient_clip,
-                seed=self.config.surrogate_training.seed + round_index + 1,
-                log_every=self.config.surrogate_training.log_every,
-                batched=self.config.surrogate_training.batched)
-            surrogate_result = train_surrogate(surrogate, local_examples, refinement_training)
-            self._log(f"refined surrogate error: {surrogate_result.final_training_error:.3f}")
-            table_result = optimize_parameter_table(
-                surrogate, blocks, true_timings, self.config.table_optimization,
-                initial_arrays=best_arrays,
-                frozen_per_instruction_mask=per_mask,
-                frozen_global_mask=global_mask)
-            candidate = extract_parameter_arrays(spec, table_result.learned_arrays)
-            candidate_error = mape_loss_value(
-                self.adapter.predict_timings(candidate, blocks), true_timings)
-            self._log(f"refinement round {round_index + 1} training error: "
-                      f"{candidate_error:.3f}")
-            if candidate_error < best_error:
-                best_arrays, best_error = candidate, candidate_error
-
-        learned_arrays, train_error = best_arrays, best_error
+        state = self.pipeline(checkpoint_dir).run(
+            blocks, true_timings, simulated_examples=simulated_examples,
+            resume=resume, stop_after=stop_after)
+        if state.learned_arrays is None:
+            self._log(f"run stopped after stage '{stop_after}'; "
+                      f"resume from {checkpoint_dir} to finish it")
+            return None
         elapsed = time.time() - start_time
-        self._log(f"learned-table training error: {train_error:.3f} "
+        self._log(f"learned-table training error: {state.train_error:.3f} "
                   f"({elapsed:.1f}s end to end)")
-        return DiffTuneResult(learned_arrays=learned_arrays,
-                              surrogate_result=surrogate_result,
-                              table_result=table_result,
-                              simulated_dataset_size=len(simulated_examples),
-                              train_error=train_error,
-                              elapsed_seconds=elapsed)
+        return DiffTuneResult(learned_arrays=state.learned_arrays,
+                              surrogate_result=state.surrogate_result,
+                              table_result=state.table_result,
+                              simulated_dataset_size=len(state.simulated_examples),
+                              train_error=state.train_error,
+                              elapsed_seconds=elapsed,
+                              resumed_stages=list(state.resumed_stages))
 
     # ------------------------------------------------------------------
     # Evaluation helpers

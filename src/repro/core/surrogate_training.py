@@ -19,7 +19,6 @@ point reassociation, pinned to 1e-9 by property tests):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -31,6 +30,7 @@ from repro.core.losses import mape_loss_value, surrogate_loss
 from repro.core.parameters import ParameterSpec
 from repro.core.simulated_dataset import SimulatedExample
 from repro.core.surrogate import FeaturizationCache, _SurrogateBase
+from repro.core.training_loop import run_minibatch_loop
 
 
 @dataclass
@@ -114,8 +114,6 @@ def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExamp
     spec = surrogate.spec
     optimizer = Adam(surrogate.parameters(), lr=config.learning_rate)
     rng = np.random.default_rng(config.seed)
-    order = np.arange(len(examples))
-    epoch_losses: List[float] = []
     use_batched = bool(config.batched) and surrogate.supports_batched_forward
 
     # Featurize each distinct block once for the whole run; the cache also
@@ -123,45 +121,32 @@ def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExamp
     cache = FeaturizationCache(surrogate.featurizer)
     featurized = [cache.featurize(example.block) for example in examples]
 
-    num_batches = (len(order) + config.batch_size - 1) // config.batch_size
-    start_time = time.perf_counter()
+    def _batched_loss(batch_indices: np.ndarray):
+        packed, per_instruction, global_values, targets = _batch_inputs(
+            spec, cache, examples, featurized, batch_indices)
+        predictions = surrogate.forward_batch(packed, per_instruction, global_values)
+        return surrogate_loss(predictions, targets)
+
+    def _per_example_loss(batch_indices: np.ndarray):
+        predictions = []
+        targets = []
+        for example_index in batch_indices:
+            example = examples[int(example_index)]
+            example_featurized = featurized[int(example_index)]
+            per_instruction, global_values = _normalized_inputs(
+                spec, example, example_featurized.opcode_indices, cache)
+            predictions.append(surrogate.forward(
+                example_featurized, per_instruction, global_values))
+            targets.append(example.simulated_timing)
+        return surrogate_loss(predictions, targets)
+
     surrogate.train()
-    for epoch in range(config.epochs):
-        if config.shuffle:
-            rng.shuffle(order)
-        batch_losses: List[float] = []
-        for batch_start in range(0, len(order), config.batch_size):
-            batch_indices = order[batch_start:batch_start + config.batch_size]
-            if use_batched:
-                packed, per_instruction, global_values, targets = _batch_inputs(
-                    spec, cache, examples, featurized, batch_indices)
-                predictions = surrogate.forward_batch(packed, per_instruction,
-                                                      global_values)
-            else:
-                predictions = []
-                targets = []
-                for example_index in batch_indices:
-                    example = examples[int(example_index)]
-                    example_featurized = featurized[int(example_index)]
-                    per_instruction, global_values = _normalized_inputs(
-                        spec, example, example_featurized.opcode_indices, cache)
-                    predictions.append(surrogate.forward(
-                        example_featurized, per_instruction, global_values))
-                    targets.append(example.simulated_timing)
-            loss = surrogate_loss(predictions, targets)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.clip_grad_norm(config.gradient_clip)
-            optimizer.step()
-            batch_losses.append(loss.item())
-            if progress is not None and config.log_every:
-                batch_index = batch_start // config.batch_size
-                is_final_batch = batch_index == num_batches - 1
-                if batch_index % config.log_every == 0 or is_final_batch:
-                    progress(epoch, batch_index, batch_losses[-1])
-        epoch_losses.append(float(np.mean(batch_losses)))
-    elapsed = time.perf_counter() - start_time
-    examples_processed = len(examples) * config.epochs
+    loop = run_minibatch_loop(
+        len(examples), _batched_loss if use_batched else _per_example_loss,
+        optimizer, rng,
+        batch_size=config.batch_size, epochs=config.epochs,
+        shuffle=config.shuffle, gradient_clip=config.gradient_clip,
+        log_every=config.log_every, progress=progress)
 
     surrogate.eval()
     # The final evaluation pass follows the selected execution path too:
@@ -171,9 +156,9 @@ def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExamp
                                      batch_size=64 if use_batched else 0,
                                      cache=cache)
     return SurrogateTrainingResult(
-        epoch_losses=epoch_losses, final_training_error=final_error,
+        epoch_losses=loop.epoch_losses, final_training_error=final_error,
         used_batched_path=use_batched,
-        examples_per_second=examples_processed / max(elapsed, 1e-9))
+        examples_per_second=loop.examples_per_second)
 
 
 def evaluate_surrogate(surrogate: _SurrogateBase,

@@ -6,6 +6,22 @@ random sample from the parameter sampling distribution, and trained with Adam
 against the ground-truth dataset under MAPE loss.  During this phase the
 absolute value of lower-bounded parameters is taken before they are passed to
 the surrogate (Section IV, "Solving the optimization problems").
+
+Like surrogate training (phase one), two execution paths produce the same
+losses and gradients (pinned within 1e-9 by property tests):
+
+* the **batched fast path** (default) featurizes every block once per run
+  through a :class:`~repro.core.surrogate.FeaturizationCache`, packs each
+  minibatch into one padded :class:`~repro.core.surrogate.PackedBlockBatch`,
+  gathers the trainable table's rows for the whole batch with the scatter-add
+  ``gather`` primitive (so gradients of repeated opcodes accumulate into the
+  same table row), and advances the minibatch through the surrogate's
+  ``forward_batch``;
+* the **per-block path** (``TableOptimizationConfig(batched=False)``, or any
+  surrogate without a batched forward) runs one block at a time — the
+  original semantics, kept as the equivalence reference.
+
+Both run on the shared :mod:`~repro.core.training_loop` implementation.
 """
 
 from __future__ import annotations
@@ -17,10 +33,11 @@ import numpy as np
 
 from repro.autodiff.modules import Parameter
 from repro.autodiff.optim import Adam
-from repro.autodiff.tensor import Tensor
+from repro.autodiff.tensor import Tensor, gather
 from repro.core.losses import surrogate_loss
 from repro.core.parameters import ParameterArrays, ParameterSpec
-from repro.core.surrogate import _SurrogateBase
+from repro.core.surrogate import FeaturizationCache, PackedBlockBatch, _SurrogateBase
+from repro.core.training_loop import run_minibatch_loop
 from repro.isa.basic_block import BasicBlock
 
 
@@ -33,6 +50,12 @@ class TableOptimizationConfig:
     normalized by their field scales before entering the surrogate here, the
     same relative step is achieved with a comparable learning rate in
     normalized space.
+
+    ``batched`` selects the batch-major fast path (on by default); it falls
+    back to the per-block loop automatically for surrogates that do not
+    implement ``forward_batch``.  ``log_every`` throttles the progress
+    callback (every N batches plus the final batch of each epoch; the default
+    of 1 preserves the historical every-batch behaviour).
     """
 
     learning_rate: float = 0.05
@@ -41,6 +64,8 @@ class TableOptimizationConfig:
     gradient_clip: float = 5.0
     shuffle: bool = True
     seed: int = 0
+    batched: bool = True
+    log_every: int = 1
 
 
 @dataclass
@@ -50,6 +75,8 @@ class TableOptimizationResult:
     learned_arrays: ParameterArrays
     epoch_losses: List[float]
     initial_arrays: ParameterArrays
+    used_batched_path: bool = False
+    examples_per_second: float = 0.0
 
 
 class _TrainableTable:
@@ -87,6 +114,21 @@ class _TrainableTable:
         rows = self.per_instruction[list(opcode_indices)].abs().clamp(0.0, 1.0)
         global_vector = self.global_values.abs().clamp(0.0, 1.0)
         return rows, global_vector
+
+    def surrogate_inputs_batch(self, batch: PackedBlockBatch) -> Tuple[Tensor, Tensor]:
+        """Batch-major inputs: gathered ``(B, I, D)`` rows plus ``(B, G)`` globals.
+
+        ``gather`` scatter-adds gradients, so every occurrence of an opcode —
+        across instructions and across blocks of the minibatch — accumulates
+        into the same trainable row, exactly like the per-block path's
+        repeated fancy-indexing.  Padded instruction slots gather row 0, but
+        the surrogate's masked reductions route zero gradient to them.
+        """
+        rows = gather(self.per_instruction, batch.opcode_indices).abs().clamp(0.0, 1.0)
+        global_vector = self.global_values.abs().clamp(0.0, 1.0)
+        global_matrix = global_vector.reshape(1, global_vector.size).broadcast_to(
+            (batch.batch_size, global_vector.size))
+        return rows, global_matrix
 
     def to_parameter_arrays(self) -> ParameterArrays:
         """Convert back to simulator units: clamp(|x|, 0, 1) * scale + lower_bound."""
@@ -149,33 +191,40 @@ def optimize_parameter_table(surrogate: _SurrogateBase,
                 frozen_global_values[frozen_global_mask]
 
     surrogate.eval()
-    order = np.arange(len(blocks))
-    epoch_losses: List[float] = []
-    for epoch in range(config.epochs):
-        if config.shuffle:
-            rng.shuffle(order)
-        batch_losses: List[float] = []
-        for batch_start in range(0, len(order), config.batch_size):
-            batch_indices = order[batch_start:batch_start + config.batch_size]
-            predictions = []
-            targets = []
-            for block_index in batch_indices:
-                block = blocks[int(block_index)]
-                featurized = surrogate.featurizer.featurize(block)
-                rows, global_vector = table.surrogate_inputs(featurized.opcode_indices)
-                predictions.append(surrogate.forward(featurized, rows, global_vector))
-                targets.append(float(true_timings[int(block_index)]))
-            loss = surrogate_loss(predictions, targets)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.clip_grad_norm(config.gradient_clip)
-            optimizer.step()
-            restore_frozen()
-            batch_losses.append(loss.item())
-            if progress is not None:
-                progress(epoch, batch_start // config.batch_size, batch_losses[-1])
-        epoch_losses.append(float(np.mean(batch_losses)))
+    use_batched = bool(config.batched) and surrogate.supports_batched_forward
+    targets = np.asarray(true_timings, dtype=np.float64)
+    # Featurize each distinct block once for the whole run — on *both* paths.
+    # The per-block path used to re-featurize inside the batch loop on every
+    # epoch, which was quadratically wasteful for multi-epoch runs.
+    cache = FeaturizationCache(surrogate.featurizer)
+    featurized = [cache.featurize(block) for block in blocks]
+
+    def _batched_loss(batch_indices: np.ndarray):
+        rows = [int(index) for index in batch_indices]
+        packed = cache.pack([featurized[row] for row in rows])
+        per_instruction, global_matrix = table.surrogate_inputs_batch(packed)
+        predictions = surrogate.forward_batch(packed, per_instruction, global_matrix)
+        return surrogate_loss(predictions, [float(targets[row]) for row in rows])
+
+    def _per_block_loss(batch_indices: np.ndarray):
+        predictions = []
+        batch_targets = []
+        for block_index in batch_indices:
+            block_featurized = featurized[int(block_index)]
+            rows, global_vector = table.surrogate_inputs(block_featurized.opcode_indices)
+            predictions.append(surrogate.forward(block_featurized, rows, global_vector))
+            batch_targets.append(float(targets[int(block_index)]))
+        return surrogate_loss(predictions, batch_targets)
+
+    loop = run_minibatch_loop(
+        len(blocks), _batched_loss if use_batched else _per_block_loss,
+        optimizer, rng,
+        batch_size=config.batch_size, epochs=config.epochs,
+        shuffle=config.shuffle, gradient_clip=config.gradient_clip,
+        log_every=config.log_every, post_step=restore_frozen, progress=progress)
 
     return TableOptimizationResult(learned_arrays=table.to_parameter_arrays(),
-                                   epoch_losses=epoch_losses,
-                                   initial_arrays=initial_arrays)
+                                   epoch_losses=loop.epoch_losses,
+                                   initial_arrays=initial_arrays,
+                                   used_batched_path=use_batched,
+                                   examples_per_second=loop.examples_per_second)

@@ -1,0 +1,158 @@
+"""Fan a tuning run out over several microarchitecture targets.
+
+``repro tune --targets haswell ivybridge skylake zen2`` runs one full
+(checkpointable, resumable) pipeline per target.  Targets are independent —
+separate datasets, adapters, checkpoints — so they fan out across a process
+pool exactly the way the simulation engine fans tables out
+(:meth:`repro.engine.engine.SimulationEngine.run_pairs`): a module-level,
+picklable task function, a ``fork``-preferring multiprocessing context, and
+deterministic per-target results regardless of scheduling.  ``workers <= 1``
+runs the targets sequentially in-process with full logging.
+
+Every target writes its checkpoints under ``<checkpoint_root>/<target>/``,
+so a killed multi-target run resumes per target: finished targets replay
+instantly from their final-stage artifacts, the interrupted one picks up at
+its first incomplete stage.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class TargetSpec:
+    """Everything one target task needs, in picklable plain-data form."""
+
+    target: str
+    num_blocks: int = 300
+    seed: int = 0
+    config_preset: str = "fast"  # fast | paper | test
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    stop_after: Optional[str] = None
+    output_path: Optional[str] = None
+    learn_fields: Optional[List[str]] = None
+    narrow_sampling: bool = True
+    batch_training: bool = True
+    batch_table_optimization: bool = True
+    engine_workers: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TargetOutcome:
+    """Result of tuning one target (plain data, returned across processes)."""
+
+    target: str
+    completed: bool
+    train_error: Optional[float] = None
+    test_error: Optional[float] = None
+    default_test_error: Optional[float] = None
+    elapsed_seconds: float = 0.0
+    resumed_stages: List[str] = field(default_factory=list)
+    output_path: Optional[str] = None
+    stopped_after: Optional[str] = None
+
+
+def _config_from_preset(spec: TargetSpec):
+    from repro.core.config import fast_config, paper_config, test_config
+
+    factories = {"fast": fast_config, "paper": paper_config, "test": test_config}
+    try:
+        factory = factories[spec.config_preset]
+    except KeyError:
+        raise ValueError(f"unknown config preset {spec.config_preset!r}; "
+                         f"expected one of {sorted(factories)}")
+    config = factory(spec.seed)
+    config.surrogate_training.batched = spec.batch_training
+    config.table_optimization.batched = spec.batch_table_optimization
+    return config
+
+
+def tune_target(spec: TargetSpec) -> TargetOutcome:
+    """Run one target's pipeline end to end (module-level: pool-picklable).
+
+    Imports are deferred to runtime both to keep worker start-up lean and to
+    keep this module importable from :mod:`repro.core.difftune`'s package
+    initialization without a cycle.
+    """
+    from repro.bhive import build_dataset
+    from repro.core.adapters import MCAAdapter
+    from repro.core.difftune import DiffTune
+    from repro.eval.metrics import error_and_tau
+    from repro.targets import get_uarch
+
+    import numpy as np
+
+    start_time = time.time()
+    dataset = build_dataset(spec.target, num_blocks=spec.num_blocks, seed=spec.seed)
+    train = dataset.train_examples
+    test = dataset.test_examples
+    train_blocks = [example.block for example in train]
+    train_timings = np.array([example.timing for example in train])
+    test_blocks = [example.block for example in test]
+    test_timings = np.array([example.timing for example in test])
+
+    adapter = MCAAdapter(get_uarch(spec.target),
+                         narrow_sampling=spec.narrow_sampling,
+                         learn_fields=spec.learn_fields,
+                         engine_workers=spec.engine_workers)
+    log = (lambda message: print(f"[{spec.target}] {message}")) if spec.verbose \
+        else (lambda message: None)
+    difftune = DiffTune(adapter, _config_from_preset(spec), log=log)
+    result = difftune.learn(train_blocks, train_timings,
+                            checkpoint_dir=spec.checkpoint_dir,
+                            resume=spec.resume, stop_after=spec.stop_after)
+    elapsed = time.time() - start_time
+    if result is None:
+        return TargetOutcome(target=spec.target, completed=False,
+                             elapsed_seconds=elapsed,
+                             stopped_after=spec.stop_after)
+
+    output_path = spec.output_path
+    if output_path is not None:
+        adapter.table_from_arrays(result.learned_arrays).save_json(output_path)
+    test_error, _ = error_and_tau(
+        adapter.predict_timings(result.learned_arrays, test_blocks), test_timings)
+    default_test_error, _ = error_and_tau(
+        adapter.predict_timings(adapter.default_arrays(), test_blocks), test_timings)
+    return TargetOutcome(target=spec.target, completed=True,
+                         train_error=result.train_error,
+                         test_error=float(test_error),
+                         default_test_error=float(default_test_error),
+                         elapsed_seconds=elapsed,
+                         resumed_stages=list(result.resumed_stages),
+                         output_path=output_path)
+
+
+def tune_targets(specs: Sequence[TargetSpec], workers: int = 0,
+                 log: Optional[Callable[[str], None]] = None
+                 ) -> Dict[str, TargetOutcome]:
+    """Tune every target, fanning out across processes when ``workers > 1``.
+
+    Returns outcomes keyed by target name, in input order.  The parallel
+    path produces the same outcomes as the sequential one — each target's
+    pipeline is fully determined by its spec.
+    """
+    log = log or (lambda message: None)
+    names = [spec.target for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate targets: {names}")
+    if workers > 1 and len(specs) > 1:
+        start_methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in start_methods else start_methods[0])
+        processes = min(workers, len(specs))
+        log(f"tuning {len(specs)} targets across {processes} worker processes")
+        with context.Pool(processes=processes) as pool:
+            outcomes = pool.map(tune_target, list(specs))
+    else:
+        outcomes = []
+        for spec in specs:
+            log(f"tuning target {spec.target}")
+            outcomes.append(tune_target(spec))
+    return {outcome.target: outcome for outcome in outcomes}

@@ -31,6 +31,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["compare", "--uarch", "alderlake"])
 
+    def test_tune_arguments_defaults(self):
+        arguments = cli.build_parser().parse_args(["tune"])
+        assert arguments.targets == ["haswell"]
+        assert arguments.config == "fast"
+        assert not arguments.resume
+        assert arguments.batch_training
+        assert arguments.batch_table_optimization
+        assert arguments.handler is cli._command_tune
+
+    def test_tune_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["tune", "--targets", "alderlake"])
+
+    def test_learn_batch_table_optimization_flag(self):
+        arguments = cli.build_parser().parse_args(
+            ["learn", "--output", "t.json", "--no-batch-table-optimization"])
+        assert not arguments.batch_table_optimization
+
 
 class TestCommands:
     def test_dataset_and_evaluate_roundtrip(self, tmp_path, capsys):
@@ -67,3 +85,21 @@ class TestCommands:
         code = cli.main(["evaluate", "--dataset", dataset_path, "--table", table_path])
         assert code == 0
         assert "error" in capsys.readouterr().out
+
+    def test_tune_stop_and_resume_roundtrip(self, tmp_path, capsys):
+        checkpoint_dir = os.path.join(tmp_path, "runs")
+        output_dir = os.path.join(tmp_path, "tables")
+        base = ["tune", "--targets", "haswell", "--blocks", "60", "--config", "test",
+                "--checkpoint-dir", checkpoint_dir, "--output-dir", output_dir]
+        code = cli.main(base + ["--stop-after", "train_surrogate"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "stopped after stage 'train_surrogate'" in output
+        assert not os.path.exists(os.path.join(output_dir, "haswell.json"))
+
+        code = cli.main(base + ["--resume"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "resumed 2 stages" in output
+        table = MCAParameterTable.load_json(os.path.join(output_dir, "haswell.json"))
+        table.validate()

@@ -1,0 +1,345 @@
+"""Tests for the resumable tuning pipeline (repro.pipeline).
+
+Covers the stage sequence, the checkpoint store (fingerprint pinning, rng
+snapshots), bit-identical resume after an interruption — including
+mid-refinement — deterministic refinement rounds, the multi-target runner,
+and the serialization extensions (optimizer state, ParameterArrays) the
+per-stage artifacts are built on.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam, Linear, Tensor
+from repro.autodiff.serialization import (load_optimizer_state, load_parameter_arrays,
+                                          save_optimizer_state, save_parameter_arrays)
+from repro.core import DiffTune, MCAAdapter, ParameterArrays
+from repro.core.config import test_config as tiny_config
+from repro.pipeline import (CheckpointMismatchError, CheckpointStore, TargetSpec,
+                            TuningPipeline, build_stages, tune_target, tune_targets)
+from repro.targets import HASWELL
+
+
+@pytest.fixture(scope="module")
+def training_data(small_dataset):
+    train = small_dataset.train_examples[:40]
+    blocks = [example.block for example in train]
+    timings = np.array([example.timing for example in train])
+    return blocks, timings
+
+
+def _make_difftune(refinement_rounds=0, seed=0, log=None):
+    config = tiny_config(seed)
+    config.refinement_rounds = refinement_rounds
+    config.refinement_dataset_size = 48
+    return DiffTune(MCAAdapter(HASWELL, narrow_sampling=True), config, log=log)
+
+
+def _tables_equal(a: ParameterArrays, b: ParameterArrays) -> bool:
+    return (np.array_equal(a.per_instruction_values, b.per_instruction_values)
+            and np.array_equal(a.global_values, b.global_values))
+
+
+class TestStageSequence:
+    def test_stage_names_without_refinement(self):
+        names = [stage.name for stage in build_stages(tiny_config())]
+        assert names == ["collect_dataset", "train_surrogate", "optimize_table",
+                         "extract_evaluate"]
+
+    def test_refinement_rounds_become_stages(self):
+        config = tiny_config()
+        config.refinement_rounds = 2
+        names = [stage.name for stage in build_stages(config)]
+        assert names == ["collect_dataset", "train_surrogate", "optimize_table",
+                         "refinement_round_01", "refinement_round_02",
+                         "extract_evaluate"]
+
+    def test_unknown_stop_after_rejected(self, training_data):
+        blocks, timings = training_data
+        difftune = _make_difftune()
+        with pytest.raises(ValueError, match="unknown stage"):
+            difftune.learn(blocks, timings, stop_after="nope")
+
+    def test_resume_requires_checkpoint_dir(self, training_data):
+        blocks, timings = training_data
+        with pytest.raises(ValueError, match="requires a checkpoint directory"):
+            _make_difftune().learn(blocks, timings, resume=True)
+
+    def test_stop_after_requires_checkpoint_dir(self, training_data):
+        """Stopping early without checkpoints would silently throw the
+        completed stages' work away; it must be rejected up front."""
+        blocks, timings = training_data
+        with pytest.raises(ValueError, match="checkpoint directory"):
+            _make_difftune().learn(blocks, timings, stop_after="train_surrogate")
+
+
+class TestResume:
+    @pytest.mark.parametrize("stop_after", ["collect_dataset", "train_surrogate",
+                                            "optimize_table"])
+    def test_interrupted_run_resumes_bit_identically(self, training_data, tmp_path,
+                                                     stop_after):
+        """The acceptance criterion: a run killed after any stage, resumed
+        with ``resume=True``, yields a bit-identical learned table to an
+        uninterrupted run with the same seed."""
+        blocks, timings = training_data
+        full = _make_difftune(refinement_rounds=1).learn(blocks, timings)
+        checkpoint_dir = str(tmp_path / stop_after)
+        stopped = _make_difftune(refinement_rounds=1).learn(
+            blocks, timings, checkpoint_dir=checkpoint_dir, stop_after=stop_after)
+        assert stopped is None
+        resumed = _make_difftune(refinement_rounds=1).learn(
+            blocks, timings, checkpoint_dir=checkpoint_dir, resume=True)
+        assert _tables_equal(full.learned_arrays, resumed.learned_arrays)
+        assert resumed.train_error == full.train_error
+        assert resumed.resumed_stages[-1] == stop_after
+
+    def test_mid_refinement_resume(self, training_data, tmp_path):
+        """Resume inside the refinement sequence: round 1 done, round 2 not."""
+        blocks, timings = training_data
+        full = _make_difftune(refinement_rounds=2).learn(blocks, timings)
+        checkpoint_dir = str(tmp_path / "refine")
+        _make_difftune(refinement_rounds=2).learn(
+            blocks, timings, checkpoint_dir=checkpoint_dir,
+            stop_after="refinement_round_01")
+        resumed = _make_difftune(refinement_rounds=2).learn(
+            blocks, timings, checkpoint_dir=checkpoint_dir, resume=True)
+        assert _tables_equal(full.learned_arrays, resumed.learned_arrays)
+        assert "refinement_round_01" in resumed.resumed_stages
+        assert "refinement_round_02" not in resumed.resumed_stages
+
+    def test_resume_of_finished_run_replays_from_checkpoints(self, training_data,
+                                                             tmp_path):
+        blocks, timings = training_data
+        checkpoint_dir = str(tmp_path / "done")
+        messages = []
+        first = _make_difftune(log=messages.append).learn(
+            blocks, timings, checkpoint_dir=checkpoint_dir)
+        replayed = _make_difftune(log=messages.append).learn(
+            blocks, timings, checkpoint_dir=checkpoint_dir, resume=True)
+        assert _tables_equal(first.learned_arrays, replayed.learned_arrays)
+        # Every stage came from disk; nothing was recomputed.
+        assert len(replayed.resumed_stages) == 4
+
+    def test_resume_restores_simulated_dataset(self, training_data, tmp_path):
+        blocks, timings = training_data
+        checkpoint_dir = str(tmp_path / "dataset")
+        difftune = _make_difftune()
+        difftune.learn(blocks, timings, checkpoint_dir=checkpoint_dir,
+                       stop_after="collect_dataset")
+        pipeline = _make_difftune().pipeline(checkpoint_dir)
+        state = pipeline.run(blocks, timings, resume=True,
+                             stop_after="collect_dataset")
+        examples = state.simulated_examples
+        assert len(examples) == state.config.simulated_dataset_size
+        # Table sharing survives the round-trip: examples drawn with the same
+        # sampled table share one ParameterArrays object.
+        shared = len({id(example.arrays) for example in examples})
+        assert shared < len(examples)
+        assert all(example.block is blocks[example.block_index]
+                   for example in examples)
+
+    def test_mismatched_config_is_rejected(self, training_data, tmp_path):
+        blocks, timings = training_data
+        checkpoint_dir = str(tmp_path / "mismatch")
+        _make_difftune(seed=0).learn(blocks, timings, checkpoint_dir=checkpoint_dir,
+                                     stop_after="collect_dataset")
+        with pytest.raises(CheckpointMismatchError):
+            _make_difftune(seed=1).learn(blocks, timings,
+                                         checkpoint_dir=checkpoint_dir, resume=True)
+
+    def test_fresh_run_over_same_config_resets_completions(self, training_data,
+                                                           tmp_path):
+        blocks, timings = training_data
+        checkpoint_dir = str(tmp_path / "fresh")
+        _make_difftune().learn(blocks, timings, checkpoint_dir=checkpoint_dir)
+        store = CheckpointStore(checkpoint_dir)
+        assert len(store.completed_stages()) == 4
+        # A non-resume run over the same directory starts from scratch.
+        _make_difftune().learn(blocks, timings, checkpoint_dir=checkpoint_dir,
+                               stop_after="collect_dataset")
+        store = CheckpointStore(checkpoint_dir)
+        assert store.completed_stages() == ["collect_dataset"]
+
+
+class TestRefinementDeterminism:
+    def test_refinement_rounds_deterministic_under_fixed_seed(self, training_data):
+        """ISSUE 4 satellite: refinement re-collects near the estimate,
+        fine-tunes, and re-optimizes deterministically under a fixed seed."""
+        blocks, timings = training_data
+        first = _make_difftune(refinement_rounds=1).learn(blocks, timings)
+        second = _make_difftune(refinement_rounds=1).learn(blocks, timings)
+        assert _tables_equal(first.learned_arrays, second.learned_arrays)
+        assert first.train_error == second.train_error
+        assert first.table_result.epoch_losses == second.table_result.epoch_losses
+
+    def test_refinement_logs_and_improves_or_keeps_best(self, training_data):
+        blocks, timings = training_data
+        messages = []
+        no_refinement = _make_difftune().learn(blocks, timings)
+        refined = _make_difftune(refinement_rounds=2,
+                                 log=messages.append).learn(blocks, timings)
+        assert any("refinement round 1" in message for message in messages)
+        assert any("refinement round 2" in message for message in messages)
+        assert refined.train_error <= no_refinement.train_error + 1e-12
+
+
+class TestMultiTarget:
+    def test_tune_target_matches_difftune(self, tmp_path):
+        spec = TargetSpec(target="haswell", num_blocks=60, seed=0,
+                          config_preset="test",
+                          output_path=str(tmp_path / "haswell.json"))
+        outcome = tune_target(spec)
+        assert outcome.completed
+        assert outcome.train_error is not None
+        assert outcome.test_error is not None
+        assert os.path.exists(outcome.output_path)
+
+    def test_sequential_multi_target(self, tmp_path):
+        specs = [TargetSpec(target=target, num_blocks=60, seed=0,
+                            config_preset="test",
+                            checkpoint_dir=str(tmp_path / target))
+                 for target in ("haswell", "zen2")]
+        outcomes = tune_targets(specs, workers=0)
+        assert set(outcomes) == {"haswell", "zen2"}
+        assert all(outcome.completed for outcome in outcomes.values())
+
+    def test_duplicate_targets_rejected(self):
+        specs = [TargetSpec(target="haswell"), TargetSpec(target="haswell")]
+        with pytest.raises(ValueError, match="duplicate targets"):
+            tune_targets(specs)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown config preset"):
+            tune_target(TargetSpec(target="haswell", num_blocks=60,
+                                   config_preset="huge"))
+
+
+class TestSerializationExtensions:
+    def _training_step(self, module, optimizer, value):
+        prediction = module(Tensor(np.ones(3)))
+        loss = ((prediction - value) ** 2).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    def test_adam_state_roundtrip_continues_identically(self, tmp_path):
+        rng = np.random.default_rng(0)
+        reference = Linear(3, 2, rng=np.random.default_rng(1))
+        optimizer = Adam(reference.parameters(), lr=0.05)
+        for step in range(3):
+            self._training_step(reference, optimizer, float(step))
+        state_path = str(tmp_path / "adam_state.npz")
+        weights_path = str(tmp_path / "weights.npz")
+        save_optimizer_state(optimizer, state_path)
+        from repro.autodiff.serialization import load_state_dict, save_state_dict
+        save_state_dict(reference, weights_path)
+        # Continue the original for two more steps...
+        for step in range(2):
+            self._training_step(reference, optimizer, 5.0)
+        # ...and a resumed copy from the checkpoint.
+        resumed = Linear(3, 2, rng=np.random.default_rng(2))
+        load_state_dict(resumed, weights_path)
+        resumed_optimizer = Adam(resumed.parameters(), lr=0.05)
+        load_optimizer_state(resumed_optimizer, state_path)
+        for step in range(2):
+            self._training_step(resumed, resumed_optimizer, 5.0)
+        for original, copy in zip(reference.parameters(), resumed.parameters()):
+            np.testing.assert_array_equal(original.data, copy.data)
+
+    def test_fresh_optimizer_state_differs_from_resumed(self, tmp_path):
+        """Without the moments, Adam's trajectory diverges — the state dict
+        is load-bearing, not ornamental."""
+        reference = Linear(3, 2, rng=np.random.default_rng(1))
+        optimizer = Adam(reference.parameters(), lr=0.05)
+        for step in range(3):
+            self._training_step(reference, optimizer, float(step))
+        weights_path = str(tmp_path / "weights.npz")
+        from repro.autodiff.serialization import load_state_dict, save_state_dict
+        save_state_dict(reference, weights_path)
+        self._training_step(reference, optimizer, 5.0)
+
+        cold = Linear(3, 2, rng=np.random.default_rng(2))
+        load_state_dict(cold, weights_path)
+        cold_optimizer = Adam(cold.parameters(), lr=0.05)
+        self._training_step(cold, cold_optimizer, 5.0)
+        assert any(not np.array_equal(original.data, copy.data)
+                   for original, copy in zip(reference.parameters(),
+                                             cold.parameters()))
+
+    def test_optimizer_state_shape_mismatch_rejected(self, tmp_path):
+        module = Linear(3, 2, rng=np.random.default_rng(0))
+        optimizer = Adam(module.parameters(), lr=0.05)
+        self._training_step(module, optimizer, 1.0)
+        path = str(tmp_path / "state.npz")
+        save_optimizer_state(optimizer, path)
+        other = Adam(Linear(4, 2, rng=np.random.default_rng(0)).parameters(), lr=0.05)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_optimizer_state(other, path)
+
+    def test_parameter_arrays_roundtrip(self, tmp_path):
+        arrays = ParameterArrays(global_values=np.array([3.0, 7.0]),
+                                 per_instruction_values=np.arange(12.0).reshape(4, 3))
+        path = str(tmp_path / "arrays.npz")
+        save_parameter_arrays(arrays, path)
+        restored = load_parameter_arrays(path)
+        np.testing.assert_array_equal(restored.global_values, arrays.global_values)
+        np.testing.assert_array_equal(restored.per_instruction_values,
+                                      arrays.per_instruction_values)
+
+    def test_non_parameter_arrays_archive_rejected(self, tmp_path):
+        from repro.autodiff.serialization import save_arrays
+        path = str(tmp_path / "other.npz")
+        save_arrays({"something": np.zeros(3)}, path)
+        with pytest.raises(KeyError, match="ParameterArrays"):
+            load_parameter_arrays(path)
+
+
+class TestCheckpointStore:
+    def test_rng_snapshot_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        rng = np.random.default_rng(7)
+        rng.integers(0, 100, size=10)  # advance the stream
+        store.mark_complete("stage_a", rng)
+        expected = rng.integers(0, 1 << 30, size=5)
+
+        fresh = np.random.default_rng(7)
+        store = CheckpointStore(str(tmp_path))  # re-read manifest from disk
+        store.restore_rng("stage_a", fresh)
+        np.testing.assert_array_equal(fresh.integers(0, 1 << 30, size=5), expected)
+
+    def test_fingerprint_binding(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind_fingerprint("abc", resume=False)
+        store = CheckpointStore(str(tmp_path))
+        store.bind_fingerprint("abc", resume=True)  # same fingerprint: fine
+        with pytest.raises(CheckpointMismatchError):
+            store.bind_fingerprint("def", resume=True)
+
+    def test_missing_stage_rng_raises(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with pytest.raises(KeyError):
+            store.restore_rng("nope", np.random.default_rng(0))
+
+
+class TestPipelineDirect:
+    def test_pipeline_state_exposes_artifacts(self, training_data):
+        blocks, timings = training_data
+        difftune = _make_difftune()
+        pipeline = difftune.pipeline()
+        assert isinstance(pipeline, TuningPipeline)
+        state = pipeline.run(blocks, timings)
+        assert state.learned_arrays is not None
+        assert state.surrogate_result is not None
+        assert state.table_result is not None
+        assert state.train_error == state.best_error
+
+    def test_precollected_examples_skip_collection(self, training_data, tmp_path):
+        blocks, timings = training_data
+        difftune = _make_difftune()
+        rng = np.random.default_rng(0)
+        simulated = difftune.collect_simulated_dataset(blocks, rng)
+        result = difftune.learn(blocks, timings, simulated_examples=simulated,
+                                checkpoint_dir=str(tmp_path / "pre"))
+        assert result.simulated_dataset_size == len(simulated)
