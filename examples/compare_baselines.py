@@ -12,15 +12,14 @@ Example:
 
 import argparse
 
+from repro.api import TARGETS
 from repro.eval.experiments import ExperimentScale, run_table4_for_uarch
 from repro.eval.tables import format_results_table
-from repro.targets import get_uarch
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--uarch", default="haswell",
-                        choices=["ivybridge", "haswell", "skylake", "zen2"])
+    parser.add_argument("--uarch", default="haswell", choices=TARGETS.names())
     parser.add_argument("--blocks", type=int, default=300)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--skip-opentuner", action="store_true",
@@ -33,7 +32,7 @@ def main() -> None:
     scale.num_blocks = arguments.blocks
     scale.seed = arguments.seed
 
-    name = get_uarch(arguments.uarch).name
+    name = TARGETS.get(arguments.uarch).name
     print(f"Running the Table IV comparison on {name} "
           f"({arguments.blocks} blocks, seed {arguments.seed})...")
     results = run_table4_for_uarch(arguments.uarch, scale,

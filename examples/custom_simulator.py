@@ -10,7 +10,10 @@ This example shows what plugging in your own simulator looks like:
    (ForwardingPolicy: none / partial / full), plus a dependent-parameter
    constraint (AluLatency <= LoadLatency);
 2. wrap it in a :class:`~repro.core.adapters.SimulatorAdapter` so the generic
-   DiffTune machinery (sampling, surrogate, table optimization) drives it;
+   DiffTune machinery (sampling, surrogate, table optimization) drives it,
+   and register it in the :data:`repro.api.SIMULATORS` registry — exactly
+   what a third-party package would do through the ``repro.simulators``
+   entry-point group — so the public API constructs it by key;
 3. relax the categorical parameter with the one-hot machinery of
    :mod:`repro.core.categorical` and pick the best choice by enumerating the
    relaxation's extraction — the scheme Section VII sketches as future work;
@@ -25,14 +28,17 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api import SIMULATORS, SimulatorPlugin
+from repro.api.registries import PRESETS
 from repro.bhive import build_dataset
-from repro.core import (CategoricalField, CategoricalTable, ConstraintSet, DiffTune,
-                        LessEqualConstraint, MCAAdapter, ParameterArrays, ParameterField,
-                        ParameterSpec, SimulatorAdapter, test_config)
+from repro.core.adapters import SimulatorAdapter
+from repro.core.categorical import CategoricalField, CategoricalTable
+from repro.core.constraints import ConstraintSet, LessEqualConstraint
+from repro.core.difftune import DiffTune
 from repro.core.losses import mape_loss_value
+from repro.core.parameters import ParameterArrays, ParameterField, ParameterSpec
 from repro.isa.basic_block import BasicBlock
 from repro.isa.opcodes import DEFAULT_OPCODE_TABLE
-from repro.targets import HASWELL
 
 
 # ----------------------------------------------------------------------
@@ -127,6 +133,41 @@ class ToyAdapter(SimulatorAdapter):
         return self._simulator(arrays).predict_many(blocks)
 
 
+def _toy_adapter_factory(uarch, *, forwarding: str = "none",
+                         learn_fields: Optional[Sequence[str]] = None,
+                         narrow_sampling: bool = True,
+                         engine_workers: int = 0) -> ToyAdapter:
+    """Registry factory: the toy model ignores the target microarchitecture.
+
+    Unsupported capabilities are rejected loudly (the plugin also declares
+    ``supports_partial_learning=False`` so spec validation catches this
+    before any work happens) — never silently swallowed.
+    """
+    if learn_fields is not None:
+        raise ValueError("the toy simulator learns its full parameter set; "
+                         "learn_fields is not supported")
+    return ToyAdapter(forwarding=forwarding)
+
+
+def _toy_load_table(path: str, opcode_table) -> None:
+    raise NotImplementedError("the toy simulator has no table serialization")
+
+
+# Registering makes the toy simulator constructible by key everywhere the
+# registries are consulted (Session, CLI, benchmark harness).  A separate
+# package would do this from a `repro.simulators` entry point instead.
+if "toy" not in SIMULATORS:
+    SIMULATORS.register(
+        "toy",
+        SimulatorPlugin(name="toy",
+                        summary="in-order issue-width/latency toy model "
+                                "with a categorical forwarding policy",
+                        adapter_factory=_toy_adapter_factory,
+                        load_table=_toy_load_table,
+                        supports_partial_learning=False),
+        source=__name__)
+
+
 # ----------------------------------------------------------------------
 # 3 + 4. Learn the parameters, enumerate the categorical choice
 # ----------------------------------------------------------------------
@@ -152,8 +193,9 @@ def main() -> None:
     print("\nLearning ordinal parameters for each forwarding policy...")
     results = {}
     for choice in forwarding_field.choices:
-        adapter = ToyAdapter(forwarding=choice)
-        difftune = DiffTune(adapter, test_config(seed=arguments.seed))
+        # Constructed through the registry, like any built-in simulator.
+        adapter = SIMULATORS.get("toy").create_adapter(None, forwarding=choice)
+        difftune = DiffTune(adapter, PRESETS.get("test")(arguments.seed))
         learned = difftune.learn(train_blocks, train_timings)
         test_error = mape_loss_value(
             adapter.predict_timings(learned.learned_arrays, test_blocks), test_timings)

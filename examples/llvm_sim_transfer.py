@@ -3,20 +3,17 @@
 
 Shows that the DiffTune implementation is simulator-agnostic: the same
 pipeline that tunes the llvm-mca model also tunes the llvm_sim model (a
-micro-op-level simulator with a modeled frontend) by swapping the adapter.
-Reproduces the shape of Table VIII: learned parameters reduce llvm_sim's
-error relative to its defaults.
+micro-op-level simulator with a modeled frontend) by swapping one registry
+key — ``simulator="llvm_sim"`` on the :class:`~repro.api.TuneSpec` — and
+nothing else.  Reproduces the shape of Table VIII: learned parameters reduce
+llvm_sim's error relative to its defaults.
 """
 
 import argparse
 
-import numpy as np
-
-from repro.bhive import build_dataset
-from repro.core import DiffTune, LLVMSimAdapter, fast_config
+from repro.api import Session, TuneSpec
 from repro.eval.metrics import error_and_tau
 from repro.eval.tables import format_results_table
-from repro.targets import HASWELL
 
 
 def main() -> None:
@@ -25,25 +22,20 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     arguments = parser.parse_args()
 
+    session = Session.from_spec(
+        TuneSpec(target="haswell", simulator="llvm_sim", preset="fast",
+                 num_blocks=arguments.blocks, seed=arguments.seed),
+        log=lambda message: print(f"  [difftune] {message}"))
+
     print(f"Generating and measuring {arguments.blocks} Haswell basic blocks...")
-    dataset = build_dataset("haswell", num_blocks=arguments.blocks, seed=arguments.seed)
-    train = dataset.train_examples
-    test = dataset.test_examples
-    train_blocks = [example.block for example in train]
-    train_timings = np.array([example.timing for example in train])
-    test_blocks = [example.block for example in test]
-    test_timings = np.array([example.timing for example in test])
+    outcome = session.tune()
 
-    adapter = LLVMSimAdapter(HASWELL)
-    difftune = DiffTune(adapter, fast_config(seed=arguments.seed),
-                        log=lambda message: print(f"  [difftune] {message}"))
-    result = difftune.learn(train_blocks, train_timings)
-
+    test_blocks, test_timings = session.split("test")
     rows = {}
     rows["Default"] = error_and_tau(
-        adapter.predict_timings(adapter.default_arrays(), test_blocks), test_timings)
+        session.predict(test_blocks, session.default_table()), test_timings)
     rows["DiffTune"] = error_and_tau(
-        adapter.predict_timings(result.learned_arrays, test_blocks), test_timings)
+        session.predict(test_blocks, outcome.learned_table), test_timings)
     print()
     print(format_results_table({"Haswell (llvm_sim)": rows}, title="Table VIII analogue"))
 

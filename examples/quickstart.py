@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """Quickstart: learn llvm-mca's Haswell parameters from end-to-end timings.
 
-This is the smallest end-to-end DiffTune run:
+This is the smallest end-to-end DiffTune run, written against the public
+:mod:`repro.api` surface:
 
-1. generate and measure a BHive-like dataset on the Haswell hardware model;
-2. run DiffTune (simulated dataset -> surrogate -> parameter-table training);
-3. compare the default, learned, and random parameter tables on the test set.
+1. describe the run with a :class:`~repro.api.TuneSpec` (target, simulator,
+   preset, and dataset size are all registry keys);
+2. run it with :meth:`~repro.api.Session.tune` (simulated dataset ->
+   surrogate -> parameter-table training);
+3. compare the default, learned, and random parameter tables on the test set
+   through :meth:`~repro.api.Session.predict`.
 
 Runs in a couple of minutes on a laptop CPU.  Use ``--blocks`` / ``--fast``
 to trade accuracy against runtime.
@@ -16,11 +20,9 @@ import time
 
 import numpy as np
 
-from repro.bhive import build_dataset
-from repro.core import DiffTune, MCAAdapter, fast_config
+from repro.api import Session, TuneSpec
 from repro.eval.metrics import error_and_tau
 from repro.eval.tables import format_results_table
-from repro.targets import HASWELL
 
 
 def main() -> None:
@@ -32,45 +34,45 @@ def main() -> None:
                         help="shrink the simulated dataset for a quicker (rougher) run")
     arguments = parser.parse_args()
 
-    print(f"Generating and measuring {arguments.blocks} Haswell basic blocks...")
-    dataset = build_dataset("haswell", num_blocks=arguments.blocks, seed=arguments.seed)
-    train = dataset.train_examples
-    test = dataset.test_examples
-    train_blocks = [example.block for example in train]
-    train_timings = np.array([example.timing for example in train])
-    test_blocks = [example.block for example in test]
-    test_timings = np.array([example.timing for example in test])
-    print(f"  {len(train)} training blocks, {len(test)} test blocks")
-
-    adapter = MCAAdapter(HASWELL, narrow_sampling=True)
-    config = fast_config(seed=arguments.seed)
+    session = Session.from_spec(
+        TuneSpec(target="haswell", simulator="mca", preset="fast",
+                 num_blocks=arguments.blocks, seed=arguments.seed),
+        log=lambda message: print(f"  [difftune] {message}"))
     if arguments.fast:
-        config.simulated_dataset_size = 1000
-        config.refinement_rounds = 1
+        session.config.simulated_dataset_size = 1000
+        session.config.refinement_rounds = 1
 
-    difftune = DiffTune(adapter, config, log=lambda message: print(f"  [difftune] {message}"))
+    print(f"Generating and measuring {arguments.blocks} Haswell basic blocks...")
+    dataset = session.dataset()
+    print(f"  {len(dataset.train_examples)} training blocks, "
+          f"{len(dataset.test_examples)} test blocks")
+
     start = time.time()
-    result = difftune.learn(train_blocks, train_timings)
+    outcome = session.tune()
     print(f"DiffTune finished in {time.time() - start:.0f}s")
 
+    test_blocks, test_timings = session.split("test")
     rows = {}
-    default_predictions = adapter.predict_timings(adapter.default_arrays(), test_blocks)
-    rows["Default (expert)"] = error_and_tau(default_predictions, test_timings)
-    learned_predictions = adapter.predict_timings(result.learned_arrays, test_blocks)
-    rows["DiffTune (learned)"] = error_and_tau(learned_predictions, test_timings)
-    random_arrays = adapter.parameter_spec().sample(np.random.default_rng(arguments.seed))
-    rows["Random table"] = error_and_tau(adapter.predict_timings(random_arrays, test_blocks),
-                                         test_timings)
+    rows["Default (expert)"] = error_and_tau(
+        session.predict(test_blocks, session.default_table()), test_timings)
+    rows["DiffTune (learned)"] = error_and_tau(
+        session.predict(test_blocks, outcome.learned_table), test_timings)
+    random_arrays = session.adapter.parameter_spec().sample(
+        np.random.default_rng(arguments.seed))
+    rows["Random table"] = error_and_tau(
+        session.predict(test_blocks, session.table_from_arrays(random_arrays)),
+        test_timings)
     print()
     print(format_results_table({"Haswell": rows}, title="Test-set results"))
 
-    learned_table = adapter.table_from_arrays(result.learned_arrays)
+    learned_table = outcome.learned_table
     print("\nLearned global parameters: "
           f"DispatchWidth={learned_table.dispatch_width}, "
           f"ReorderBufferSize={learned_table.reorder_buffer_size}")
+    default_table = session.default_table()
     for opcode in ("PUSH64r", "XOR32rr", "MOV64rm", "ADD64rr"):
         print(f"  WriteLatency[{opcode}]: default="
-              f"{adapter.default_table().latency_of(opcode)}, "
+              f"{default_table.latency_of(opcode)}, "
               f"learned={learned_table.latency_of(opcode)}")
 
 

@@ -7,9 +7,12 @@ the global parameters at their expert defaults — and finds that this *partial*
 learning problem reaches lower error (16.2% vs 23.7% on Haswell) than learning
 the full set, demonstrating that full-set learning is not globally optimal.
 
-This example reproduces that experiment end to end and, as in Section VI-C,
-prints the learned latencies for the case-study opcodes (PUSH64r, XOR32rr,
-ADD32mr) so the semantic findings can be inspected directly:
+This example reproduces that experiment end to end through the public
+:mod:`repro.api` surface (``learn_fields`` on the
+:class:`~repro.api.TuneSpec` restricts learning to WriteLatency) and, as in
+Section VI-C, prints the learned latencies for the case-study opcodes
+(PUSH64r, XOR32rr, ADD32mr) so the semantic findings can be inspected
+directly:
 
 * PUSH64r should learn latency 0 (the stack engine hides the dependency);
 * XOR32rr is usually a zero idiom, so 0 is the accurate choice;
@@ -19,15 +22,11 @@ ADD32mr) so the semantic findings can be inspected directly:
 
 import argparse
 
-import numpy as np
-
-from repro.bhive import build_dataset
-from repro.core import DiffTune, MCAAdapter, fast_config
+from repro.api import Session, TuneSpec
 from repro.eval.metrics import error_and_tau
 from repro.eval.tables import format_table
-from repro.llvm_mca import TimelineView
 from repro.isa.parser import parse_block
-from repro.targets import HASWELL
+from repro.llvm_mca import TimelineView
 
 CASE_STUDY_OPCODES = ("PUSH64r", "XOR32rr", "ADD32mr")
 
@@ -38,28 +37,23 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     arguments = parser.parse_args()
 
-    print(f"Generating and measuring {arguments.blocks} Haswell basic blocks...")
-    dataset = build_dataset("haswell", num_blocks=arguments.blocks, seed=arguments.seed)
-    train = dataset.train_examples
-    test = dataset.test_examples
-    train_blocks = [example.block for example in train]
-    train_timings = np.array([example.timing for example in train])
-    test_blocks = [example.block for example in test]
-    test_timings = np.array([example.timing for example in test])
-
     # learn_fields restricts learning to WriteLatency, as in Section VI-B.
-    adapter = MCAAdapter(HASWELL, narrow_sampling=True, learn_fields=["WriteLatency"])
-    config = fast_config(seed=arguments.seed)
-    difftune = DiffTune(adapter, config, log=lambda message: print(f"[difftune] {message}"))
+    session = Session.from_spec(
+        TuneSpec(target="haswell", preset="fast", num_blocks=arguments.blocks,
+                 seed=arguments.seed, learn_fields=["WriteLatency"]),
+        log=lambda message: print(f"[difftune] {message}"))
 
+    print(f"Generating and measuring {arguments.blocks} Haswell basic blocks...")
+    session.dataset()
     print("\nLearning WriteLatency only (all other parameters stay at defaults)...")
-    result = difftune.learn(train_blocks, train_timings)
-    learned_table = adapter.table_from_arrays(result.learned_arrays)
+    outcome = session.tune()
+    learned_table = outcome.learned_table
 
+    test_blocks, test_timings = session.split("test")
     default_error, default_tau = error_and_tau(
-        adapter.predict_timings(adapter.default_arrays(), test_blocks), test_timings)
+        session.predict(test_blocks, session.default_table()), test_timings)
     learned_error, learned_tau = error_and_tau(
-        adapter.predict_timings(result.learned_arrays, test_blocks), test_timings)
+        session.predict(test_blocks, learned_table), test_timings)
 
     print("\n" + format_table(
         ["Configuration", "Test error", "Kendall's tau"],
@@ -67,10 +61,11 @@ def main() -> None:
          ["learned WriteLatency only", f"{learned_error * 100:.1f}%", f"{learned_tau:.3f}"]],
         title="Section VI-B analogue: WriteLatency-only learning (Haswell)"))
 
-    default_table = adapter.default_table()
+    default_table = session.default_table()
+    opcode_table = session.adapter.opcode_table
     rows = []
     for opcode in CASE_STUDY_OPCODES:
-        if opcode not in adapter.opcode_table:
+        if opcode not in opcode_table:
             continue
         rows.append([opcode, str(default_table.latency_of(opcode)),
                      str(learned_table.latency_of(opcode))])
@@ -79,7 +74,7 @@ def main() -> None:
 
     # Show the PUSH64r case study the way a performance engineer would see it:
     # the timeline of `pushq %rbx; testl %r8d, %r8d` under both tables.
-    block = parse_block("pushq %rbx\ntestl %r8d, %r8d", adapter.opcode_table)
+    block = parse_block("pushq %rbx\ntestl %r8d, %r8d", opcode_table)
     print("\nTimeline with the default table:")
     print(TimelineView(default_table).render_timeline(block, max_iterations=2))
     print("\nTimeline with the learned table:")

@@ -8,26 +8,46 @@ synthetic dataset with a reference hardware model, the DiffTune optimization
 pipeline, the baselines the paper compares against, and the evaluation
 drivers that regenerate every table and figure.
 
+The public surface is :mod:`repro.api`: string-keyed component registries
+(targets, simulators, surrogates, baselines, presets — extensible via entry
+points), typed run specs, and the :class:`~repro.api.session.Session`
+facade.
+
 Quickstart::
 
-    from repro.bhive import build_dataset
-    from repro.core import MCAAdapter, DiffTune, fast_config
-    from repro.targets import HASWELL
+    from repro.api import Session, TuneSpec
 
-    dataset = build_dataset("haswell", num_blocks=500)
-    adapter = MCAAdapter(HASWELL, narrow_sampling=True)
-    difftune = DiffTune(adapter, fast_config())
-    train = dataset.train_examples
-    result = difftune.learn([e.block for e in train], [e.timing for e in train])
-    learned_table = adapter.table_from_arrays(result.learned_arrays)
+    session = Session.from_spec(TuneSpec(target="haswell", simulator="mca",
+                                         preset="fast", num_blocks=500))
+    outcome = session.tune()            # dataset -> surrogate -> learned table
+    print(f"test error: learned {outcome.test_error:.1%}, "
+          f"default {outcome.default_test_error:.1%}")
+    outcome.learned_table.save_json("learned.json")
+
+    print(session.evaluate(table="learned.json"))    # error / Kendall's tau
+    blocks, _measured = session.split("test")
+    timings = session.predict(blocks)                # batched engine call
+
+Discover what is available with ``repro.api.describe()`` or per registry::
+
+    from repro.api import TARGETS, SIMULATORS
+    print(TARGETS.names())      # ['haswell', 'ivybridge', 'skylake', 'zen2']
+    print(SIMULATORS.names())   # ['llvm_sim', 'mca']
 
 See ``examples/`` for runnable end-to-end scripts and ``benchmarks/`` for the
 per-table/figure reproduction harness.
 """
 
-__version__ = "0.1.0"
+from importlib import metadata as _metadata
+
+try:
+    #: Single-sourced from the installed package metadata (pyproject.toml).
+    __version__ = _metadata.version("difftune-repro")
+except _metadata.PackageNotFoundError:  # running from a source tree
+    __version__ = "0.0.0+uninstalled"
 
 __all__ = [
+    "api",
     "autodiff",
     "isa",
     "llvm_mca",
@@ -37,4 +57,5 @@ __all__ = [
     "core",
     "baselines",
     "eval",
+    "__version__",
 ]

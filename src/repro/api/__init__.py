@@ -1,0 +1,112 @@
+"""repro.api — the public, registry-driven API of the DiffTune reproduction.
+
+Three layers:
+
+1. **Registries** (:data:`TARGETS`, :data:`SIMULATORS`, :data:`SURROGATES`,
+   :data:`BASELINES`, :data:`PRESETS`; :func:`registries`) — string-keyed
+   component catalogs with decorator registration, did-you-mean diagnostics,
+   and entry-point plugin discovery.  Everything the system can construct is
+   listed here, and third-party packages can add entries without touching
+   this repository.
+2. **Specs** (:class:`TuneSpec`, :class:`EvaluateSpec`, :class:`PredictSpec`)
+   — typed, JSON-round-trippable descriptions of what to run, with
+   validation errors that name the bad field.
+3. **Session** (:class:`Session`) — the facade binding a spec to live
+   components: ``.tune()`` (checkpointable DiffTune runs), ``.evaluate()``,
+   and ``.predict()`` (batched through the shared simulation engine).
+
+Quickstart::
+
+    from repro.api import Session, TuneSpec
+
+    session = Session.from_spec(TuneSpec(target="haswell", num_blocks=400))
+    outcome = session.tune()
+    print(outcome.test_error, outcome.default_test_error)
+    outcome.learned_table.save_json("learned.json")
+
+Heavy modules load lazily: ``import repro.api`` pulls in only the registry
+machinery, and component modules are imported on first registry lookup.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Dict, List
+
+from repro.api.registry import (DuplicateKeyError, Registry, RegistryEntry,
+                                RegistryError, UnknownKeyError)
+from repro.api.registries import (BASELINES, PRESETS, SIMULATORS, SURROGATES,
+                                  TARGETS, registries)
+from repro.api.plugins import BaselinePlugin, SimulatorPlugin
+
+#: name -> defining module for the lazily imported part of the surface.
+_LAZY_EXPORTS = {
+    "Session": "repro.api.session",
+    "SessionTuneResult": "repro.api.session",
+    "CapabilityError": "repro.api.session",
+    "TuneSpec": "repro.api.specs",
+    "EvaluateSpec": "repro.api.specs",
+    "PredictSpec": "repro.api.specs",
+    "SpecValidationError": "repro.api.specs",
+}
+
+__all__ = [
+    # registry machinery
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "DuplicateKeyError",
+    "UnknownKeyError",
+    # registry instances
+    "TARGETS",
+    "SIMULATORS",
+    "SURROGATES",
+    "BASELINES",
+    "PRESETS",
+    "registries",
+    # plugin record types
+    "SimulatorPlugin",
+    "BaselinePlugin",
+    # specs
+    "TuneSpec",
+    "EvaluateSpec",
+    "PredictSpec",
+    "SpecValidationError",
+    # session facade
+    "Session",
+    "SessionTuneResult",
+    "CapabilityError",
+    # introspection
+    "describe",
+]
+
+
+def describe() -> Dict[str, Any]:
+    """Plain-data snapshot of the public surface: version + every registry.
+
+    This is the API-surface smoke hook CI runs against the installed wheel::
+
+        python -c "import repro.api, json; print(json.dumps(repro.api.describe()))"
+    """
+    import repro
+
+    return {
+        "version": repro.__version__,
+        "registries": {
+            kind: registry.describe()
+            for kind, registry in registries().items()
+        },
+    }
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent access skips __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

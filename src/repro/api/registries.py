@@ -1,0 +1,64 @@
+"""The five component registries backing the public API.
+
+Components register themselves when their defining module is imported:
+
+* :mod:`repro.targets` registers the four microarchitectures
+  (``haswell``, ``ivybridge``, ``skylake``, ``zen2`` — plus their
+  conventional aliases);
+* :mod:`repro.core.adapters` registers the two simulator plugins
+  (``mca``, ``llvm_sim``);
+* :mod:`repro.core.surrogate` registers the surrogate variants
+  (``ithemal``, ``pooled``, ``analytical``);
+* :mod:`repro.core.config` registers the configuration presets
+  (``fast``, ``paper``, ``test``);
+* :mod:`repro.baselines` registers the seven baselines of Table IV.
+
+To keep ``import repro.api`` cheap, none of those modules is imported here;
+each registry lazily runs :func:`_bootstrap_components` on its first lookup.
+Third-party packages extend any registry through the entry-point groups
+named below (``repro.targets`` and friends) without touching this
+repository — see :meth:`repro.api.registry.Registry.load_entry_points`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.api.registry import Registry
+
+
+def _bootstrap_components() -> None:
+    """Import every in-tree module that self-registers components."""
+    import repro.baselines  # noqa: F401
+    import repro.core.adapters  # noqa: F401
+    import repro.core.config  # noqa: F401
+    import repro.core.surrogate  # noqa: F401
+    import repro.targets  # noqa: F401
+
+
+def _normalize_target(key: str) -> str:
+    """Targets accept spacing/punctuation variants: ``"Ivy Bridge"`` == ``"ivybridge"``."""
+    return key.strip().lower().replace(" ", "").replace("_", "").replace("-", "")
+
+
+TARGETS = Registry("target", entry_point_group="repro.targets",
+                   bootstrap=_bootstrap_components, normalize=_normalize_target)
+SIMULATORS = Registry("simulator", entry_point_group="repro.simulators",
+                      bootstrap=_bootstrap_components)
+SURROGATES = Registry("surrogate", entry_point_group="repro.surrogates",
+                      bootstrap=_bootstrap_components)
+BASELINES = Registry("baseline", entry_point_group="repro.baselines",
+                     bootstrap=_bootstrap_components)
+PRESETS = Registry("preset", entry_point_group="repro.presets",
+                   bootstrap=_bootstrap_components)
+
+
+def registries() -> Dict[str, Registry]:
+    """Every component registry, keyed by plural kind name."""
+    return {
+        "targets": TARGETS,
+        "simulators": SIMULATORS,
+        "surrogates": SURROGATES,
+        "baselines": BASELINES,
+        "presets": PRESETS,
+    }

@@ -1,0 +1,376 @@
+"""The :class:`Session` facade: one construction path for the whole system.
+
+A session binds a validated spec (:mod:`repro.api.specs`) to live components
+resolved through the registries (:mod:`repro.api.registries`) and exposes
+the three verbs the CLI, the pipeline, the benchmark harness, and user code
+all need:
+
+* :meth:`Session.tune` — an end-to-end DiffTune run (wrapping the
+  checkpointable :class:`~repro.pipeline.pipeline.TuningPipeline`, with
+  ``checkpoint_dir``/``resume``/``stop_after`` from the spec);
+* :meth:`Session.evaluate` — error / Kendall's tau of a parameter table on a
+  dataset split;
+* :meth:`Session.predict` — batched ``tables x blocks`` timings through the
+  shared :class:`~repro.engine.engine.SimulationEngine`, whose compile and
+  result caches persist across calls on the same session.
+
+Everything heavier than the spec is constructed lazily and memoized, so a
+session is cheap to create and cheap to interrogate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api.plugins import SimulatorPlugin
+from repro.api.registries import PRESETS, SIMULATORS, SURROGATES, TARGETS
+from repro.api.specs import EvaluateSpec, PredictSpec, SpecValidationError, TuneSpec
+
+#: Specs a session can be created from.
+AnySpec = Union[TuneSpec, EvaluateSpec, PredictSpec]
+
+
+class CapabilityError(RuntimeError):
+    """A simulator plugin lacks the capability a call requires."""
+
+
+@dataclass
+class SessionTuneResult:
+    """Outcome of one :meth:`Session.tune` call (plain data).
+
+    ``completed=False`` means the run stopped at ``stopped_after`` (the
+    spec's ``stop_after`` stage) with its progress checkpointed; re-running
+    with ``resume=True`` finishes it.
+    """
+
+    completed: bool
+    learned_arrays: Optional[Any] = None
+    learned_table: Optional[Any] = None
+    train_error: Optional[float] = None
+    test_error: Optional[float] = None
+    default_test_error: Optional[float] = None
+    elapsed_seconds: float = 0.0
+    resumed_stages: List[str] = field(default_factory=list)
+    stopped_after: Optional[str] = None
+    #: The underlying :class:`~repro.core.difftune.DiffTuneResult`.
+    raw: Optional[Any] = None
+
+
+class Session:
+    """Registry-resolved components behind one typed entry point.
+
+    Create sessions with :meth:`from_spec`; the constructor takes an
+    already-validated spec.  All component construction flows through the
+    registries, so a third-party target or simulator registered via entry
+    points works here, in the CLI, and in the benchmark harness alike.
+    """
+
+    def __init__(self, spec: AnySpec,
+                 log: Optional[Callable[[str], None]] = None) -> None:
+        if not isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec)):
+            raise TypeError(f"expected TuneSpec/EvaluateSpec/PredictSpec, "
+                            f"got {type(spec).__name__}")
+        spec.validate()
+        self.spec = spec
+        self.log = log or (lambda message: None)
+        self._dataset: Any = None
+        self._adapter: Any = None
+        self._config: Any = None
+        #: path -> parsed table, so repeated predict/evaluate/timeline calls
+        #: on one session do not re-read the table JSON from disk.
+        self._table_cache: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: Optional[Union[AnySpec, Dict[str, Any]]] = None,
+                  log: Optional[Callable[[str], None]] = None,
+                  **overrides: Any) -> "Session":
+        """Build a session from a spec, a plain dict, or keyword arguments.
+
+        ``overrides`` update the spec's fields (handy for CLI plumbing)::
+
+            Session.from_spec(TuneSpec(), target="skylake", seed=3)
+            Session.from_spec({"target": "zen2", "num_blocks": 100})
+            Session.from_spec(simulator="llvm_sim")   # defaults to TuneSpec
+        """
+        if spec is None:
+            spec = TuneSpec.from_dict(dict(overrides))
+        elif isinstance(spec, dict):
+            payload = dict(spec)
+            payload.update(overrides)
+            spec = TuneSpec.from_dict(payload)
+        elif isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec)):
+            if overrides:
+                known = {f.name for f in dataclasses.fields(spec)}
+                for key in overrides:
+                    if key not in known:
+                        raise SpecValidationError(
+                            key, f"unknown field for {type(spec).__name__}")
+                spec = dataclasses.replace(spec, **overrides)
+            spec.validate()
+        else:
+            raise TypeError(f"expected a spec, dict, or keyword arguments; "
+                            f"got {type(spec).__name__}")
+        return cls(spec, log=log)
+
+    # ------------------------------------------------------------------
+    # Resolved components (lazy, memoized)
+    # ------------------------------------------------------------------
+    def _spec_get(self, name: str, default: Any = None) -> Any:
+        return getattr(self.spec, name, default)
+
+    @property
+    def target_name(self) -> str:
+        """Canonical target key (derived from the dataset file when given)."""
+        if self._spec_get("dataset_path") is not None:
+            return TARGETS.resolve(self.dataset().uarch_name)
+        return TARGETS.resolve(self.spec.target)
+
+    @property
+    def uarch(self) -> Any:
+        """The resolved :class:`~repro.targets.uarch.UarchSpec`."""
+        return TARGETS.get(self.target_name)
+
+    @property
+    def plugin(self) -> SimulatorPlugin:
+        """The resolved :class:`~repro.api.plugins.SimulatorPlugin`."""
+        return SIMULATORS.get(self.spec.simulator)
+
+    @property
+    def adapter(self) -> Any:
+        """The simulator adapter (shared engine caches live here)."""
+        if self._adapter is None:
+            kwargs: Dict[str, Any] = {
+                "engine_workers": self._spec_get("engine_workers", 0),
+            }
+            narrow = self._spec_get("narrow_sampling")
+            if narrow is not None:
+                kwargs["narrow_sampling"] = narrow
+            learn_fields = self._spec_get("learn_fields")
+            if learn_fields is not None:
+                kwargs["learn_fields"] = list(learn_fields)
+            self._adapter = self.plugin.create_adapter(self.uarch, **kwargs)
+        return self._adapter
+
+    @property
+    def config(self) -> Any:
+        """The :class:`~repro.core.difftune.DiffTuneConfig` from the preset."""
+        if self._config is None:
+            preset = PRESETS.get(self._spec_get("preset", "fast"))
+            config = preset(self._spec_get("seed", 0))
+            surrogate = self._spec_get("surrogate")
+            if surrogate is not None:
+                config.surrogate.kind = SURROGATES.resolve(surrogate)
+            config.surrogate_training.batched = self._spec_get("batch_training", True)
+            config.table_optimization.batched = \
+                self._spec_get("batch_table_optimization", True)
+            self._config = config
+        return self._config
+
+    def dataset(self) -> Any:
+        """The measured dataset: loaded from ``dataset_path`` or generated."""
+        if self._dataset is None:
+            from repro.bhive import BasicBlockDataset, build_dataset
+
+            path = self._spec_get("dataset_path")
+            if path is not None:
+                self._dataset = BasicBlockDataset.load_json(path)
+            else:
+                self._dataset = build_dataset(
+                    self.target_name, num_blocks=self._spec_get("num_blocks", 300),
+                    seed=self._spec_get("seed", 0))
+        return self._dataset
+
+    def split(self, which: str = "test") -> Tuple[List[Any], np.ndarray]:
+        """``(blocks, timings)`` of one dataset split."""
+        if which not in ("train", "test"):
+            raise ValueError(f"expected 'train' or 'test', got {which!r}")
+        examples = (self.dataset().train_examples if which == "train"
+                    else self.dataset().test_examples)
+        return ([example.block for example in examples],
+                np.array([example.timing for example in examples]))
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def default_table(self) -> Any:
+        """The expert default parameter table for this target/simulator."""
+        return self.adapter.default_table()
+
+    def load_table(self, path: str) -> Any:
+        """Load a learned table JSON through the simulator plugin.
+
+        Memoized per path on this session; callers that mutate the result
+        should ``copy()`` it first (as :meth:`sweep_tables` does).
+        """
+        table = self._table_cache.get(path)
+        if table is None:
+            table = self.plugin.load_table(path, self.adapter.opcode_table)
+            self._table_cache[path] = table
+        return table
+
+    def load_table_or_default(self, path: Optional[str]) -> Any:
+        """``load_table(path)`` when a path is given, else the default table."""
+        return self.load_table(path) if path else self.default_table()
+
+    def table_from_arrays(self, arrays: Any) -> Any:
+        """Convert optimization-layout arrays to a native table."""
+        return self.adapter.table_from_arrays(arrays)
+
+    # ------------------------------------------------------------------
+    # The three verbs
+    # ------------------------------------------------------------------
+    def tune(self, blocks: Optional[Sequence[Any]] = None,
+             timings: Optional[np.ndarray] = None) -> SessionTuneResult:
+        """Run DiffTune end to end; bit-identical to the pre-facade path.
+
+        Without arguments, tunes on the session dataset's train split and
+        reports test-split errors.  With explicit ``blocks``/``timings``,
+        tunes on those and skips the test metrics.  ``checkpoint_dir`` /
+        ``resume`` / ``stop_after`` come from the spec.
+        """
+        from repro.core.difftune import DiffTune
+        from repro.eval.metrics import error_and_tau
+
+        own_dataset = blocks is None
+        if own_dataset:
+            blocks, timings = self.split("train")
+        if timings is None:
+            raise ValueError("timings must accompany explicit blocks")
+        start_time = time.time()
+        difftune = DiffTune(self.adapter, self.config, log=self.log)
+        result = difftune.learn(blocks, np.asarray(timings, dtype=np.float64),
+                                checkpoint_dir=self._spec_get("checkpoint_dir"),
+                                resume=self._spec_get("resume", False),
+                                stop_after=self._spec_get("stop_after"))
+        elapsed = time.time() - start_time
+        if result is None:
+            return SessionTuneResult(completed=False, elapsed_seconds=elapsed,
+                                     stopped_after=self._spec_get("stop_after"))
+        outcome = SessionTuneResult(
+            completed=True,
+            learned_arrays=result.learned_arrays,
+            learned_table=self.adapter.table_from_arrays(result.learned_arrays),
+            train_error=result.train_error,
+            elapsed_seconds=elapsed,
+            resumed_stages=list(result.resumed_stages),
+            raw=result)
+        if own_dataset:
+            test_blocks, test_timings = self.split("test")
+            outcome.test_error = float(error_and_tau(
+                self.adapter.predict_timings(result.learned_arrays, test_blocks),
+                test_timings)[0])
+            outcome.default_test_error = float(error_and_tau(
+                self.adapter.predict_timings(self.adapter.default_arrays(),
+                                             test_blocks),
+                test_timings)[0])
+        return outcome
+
+    def evaluate(self, table: Optional[Any] = None,
+                 split: Optional[str] = None) -> Dict[str, Any]:
+        """Error and Kendall's tau of ``table`` on a dataset split.
+
+        ``table`` may be a native table, a path to a table JSON, or ``None``
+        (spec's ``table_path``, falling back to the default table).
+        """
+        from repro.eval.metrics import error_and_tau
+
+        if table is None:
+            table = self.load_table_or_default(self._spec_get("table_path"))
+        elif isinstance(table, str):
+            table = self.load_table(table)
+        split = split or self._spec_get("split", "test")
+        blocks, timings = self.split(split)
+        predictions = self.predict(blocks, table)
+        error, tau = error_and_tau(predictions, timings)
+        return {
+            "target": self.target_name,
+            "simulator": SIMULATORS.resolve(self.spec.simulator),
+            "split": split,
+            "num_blocks": len(blocks),
+            "error": float(error),
+            "tau": float(tau),
+        }
+
+    def predict(self, blocks: Sequence[Any],
+                tables: Optional[Any] = None) -> np.ndarray:
+        """Simulated timings of ``blocks``, batched through the engine.
+
+        ``tables`` may be ``None`` (spec's ``table_path`` or the default
+        table), one native table — returning shape ``(len(blocks),)`` — or a
+        sequence of tables, returning ``(len(tables), len(blocks))``.  The
+        engine's compile and result caches persist across calls on this
+        session, so sweeps and repeated evaluations share work.
+        """
+        if tables is None:
+            tables = self.load_table_or_default(self._spec_get("table_path"))
+        if isinstance(tables, (list, tuple)):
+            return self.adapter.engine.run(list(tables), list(blocks))
+        return self.adapter.engine.run_one(tables, list(blocks))
+
+    # ------------------------------------------------------------------
+    # Simulator capabilities
+    # ------------------------------------------------------------------
+    def timeline(self, block: Any, table: Optional[Any] = None) -> str:
+        """The per-cycle timeline / bottleneck report for one basic block.
+
+        ``block`` may be a :class:`~repro.isa.basic_block.BasicBlock` or
+        assembly text (``;`` separates instructions).  Raises
+        :class:`CapabilityError` for simulators without a timeline view.
+        """
+        plugin = self.plugin
+        if plugin.timeline_factory is None:
+            supported = [name for name, candidate in SIMULATORS.items()
+                         if candidate.timeline_factory is not None]
+            raise CapabilityError(
+                f"simulator {plugin.name!r} has no timeline view; "
+                f"simulators with one: {', '.join(supported) or '<none>'}")
+        if isinstance(block, str):
+            from repro.isa.parser import parse_block
+
+            block = parse_block(block.replace(";", "\n"), self.adapter.opcode_table)
+        if table is None:
+            table = self.load_table_or_default(self._spec_get("table_path"))
+        return plugin.timeline_factory(table).summary(block)
+
+    def sweep_tables(self, field_name: str, values: Sequence[int],
+                     table: Optional[Any] = None) -> List[Any]:
+        """Candidate tables varying one global parameter (Figure 5 sweeps).
+
+        Raises :class:`CapabilityError` when the simulator does not expose
+        ``field_name`` as a sweepable global parameter.
+        """
+        plugin = self.plugin
+        setter = plugin.sweep_fields.get(field_name)
+        if setter is None:
+            supported = ", ".join(sorted(plugin.sweep_fields)) or "<none>"
+            raise CapabilityError(
+                f"simulator {plugin.name!r} cannot sweep {field_name!r}; "
+                f"sweepable fields: {supported}")
+        if table is None:
+            table = self.load_table_or_default(self._spec_get("table_path"))
+        candidates = []
+        for value in values:
+            candidate = table.copy()
+            setter(candidate, int(value))
+            candidates.append(candidate)
+        return candidates
+
+    def engine_stats(self) -> Optional[Dict[str, int]]:
+        """The shared engine's cache statistics (``None`` off-engine)."""
+        try:
+            return dict(self.adapter.engine.stats)
+        except NotImplementedError:
+            return None
+
+    def __repr__(self) -> str:
+        return (f"Session(target={self._spec_get('target')!r}, "
+                f"simulator={self.spec.simulator!r}, "
+                f"spec={type(self.spec).__name__})")

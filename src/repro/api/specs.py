@@ -1,0 +1,219 @@
+"""Typed specification objects for the public API.
+
+A spec is a plain dataclass describing *what* to run — which target,
+simulator, preset, dataset, and knobs — without constructing anything.
+Specs replace the loose kwarg plumbing that previously threaded through the
+CLI, the pipeline, and the benchmark harness:
+
+* they round-trip through JSON (:meth:`_SpecBase.to_dict` /
+  :meth:`_SpecBase.from_dict`), so a CLI invocation, a config file, and a
+  programmatic call are the same object;
+* they validate eagerly with errors that *name the bad field*
+  (:class:`SpecValidationError`), including the registry's did-you-mean
+  suggestion for misspelled component keys.
+
+:class:`~repro.api.session.Session` consumes them:
+``Session.from_spec(TuneSpec(target="skylake")).tune()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Type, TypeVar
+
+from repro.api.registries import PRESETS, SIMULATORS, SURROGATES, TARGETS
+from repro.api.registry import UnknownKeyError
+
+
+class SpecValidationError(ValueError):
+    """A spec field failed validation; ``field`` names the offender."""
+
+    def __init__(self, field: str, message: str) -> None:
+        super().__init__(f"{field}: {message}")
+        self.field = field
+
+
+_SpecT = TypeVar("_SpecT", bound="_SpecBase")
+
+#: Types a spec field may hold in its JSON form.
+_ATOMIC_TYPES = (bool, int, float, str)
+
+
+@dataclass
+class _SpecBase:
+    """Shared JSON round-trip and validation machinery."""
+
+    @classmethod
+    def from_dict(cls: Type[_SpecT], payload: Dict[str, Any]) -> _SpecT:
+        """Build a validated spec from a plain dict (JSON/CLI round-trip).
+
+        Unknown keys raise :class:`SpecValidationError` naming the key and,
+        when close to a real field, suggesting it.
+        """
+        if not isinstance(payload, dict):
+            raise SpecValidationError(
+                "<payload>", f"expected a dict for {cls.__name__}, "
+                             f"got {type(payload).__name__}")
+        known = {spec_field.name for spec_field in dataclasses.fields(cls)}
+        for key in payload:
+            if key not in known:
+                import difflib
+
+                close = difflib.get_close_matches(str(key), sorted(known), n=1)
+                hint = f"; did you mean {close[0]!r}?" if close else ""
+                raise SpecValidationError(
+                    str(key), f"unknown field for {cls.__name__}{hint} "
+                              f"(known fields: {', '.join(sorted(known))})")
+        spec = cls(**payload)
+        spec.validate()
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable dict; ``from_dict(to_dict())`` round-trips."""
+        return dataclasses.asdict(self)
+
+    # ------------------------------------------------------------------
+    # Field checks shared by the concrete specs
+    # ------------------------------------------------------------------
+    def _check_type(self, name: str, expected: tuple, allow_none: bool = False) -> None:
+        value = getattr(self, name)
+        if value is None:
+            if allow_none:
+                return
+            raise SpecValidationError(name, "must not be None")
+        # bool is an int subclass; reject True where an int count is expected.
+        if int in expected and bool not in expected and isinstance(value, bool):
+            raise SpecValidationError(name, f"expected int, got bool ({value!r})")
+        if not isinstance(value, expected):
+            names = "/".join(kind.__name__ for kind in expected)
+            raise SpecValidationError(
+                name, f"expected {names}, got {type(value).__name__} ({value!r})")
+
+    def _check_registry(self, name: str, registry: Any,
+                        allow_none: bool = False) -> None:
+        value = getattr(self, name)
+        if value is None and allow_none:
+            return
+        self._check_type(name, (str,))
+        try:
+            registry.resolve(value)
+        except UnknownKeyError as error:
+            raise SpecValidationError(name, str(error)) from error
+
+    def _check_positive(self, name: str) -> None:
+        self._check_type(name, (int,))
+        if getattr(self, name) < 1:
+            raise SpecValidationError(name, f"must be >= 1, got {getattr(self, name)}")
+
+    def _check_non_negative(self, name: str) -> None:
+        self._check_type(name, (int,))
+        if getattr(self, name) < 0:
+            raise SpecValidationError(name, f"must be >= 0, got {getattr(self, name)}")
+
+    def _check_common(self) -> None:
+        self._check_registry("target", TARGETS)
+        self._check_registry("simulator", SIMULATORS)
+        self._check_non_negative("engine_workers")
+
+    def validate(self) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class TuneSpec(_SpecBase):
+    """One end-to-end tuning run: dataset + simulator + DiffTune knobs.
+
+    ``dataset_path`` takes precedence over ``num_blocks``/``seed`` dataset
+    generation (the seed still seeds the optimization itself).
+    """
+
+    target: str = "haswell"
+    simulator: str = "mca"
+    preset: str = "fast"
+    #: Optional surrogate-kind override of the preset's choice.
+    surrogate: Optional[str] = None
+    num_blocks: int = 300
+    seed: int = 0
+    dataset_path: Optional[str] = None
+    learn_fields: Optional[List[str]] = None
+    narrow_sampling: bool = True
+    batch_training: bool = True
+    batch_table_optimization: bool = True
+    engine_workers: int = 0
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    stop_after: Optional[str] = None
+
+    def validate(self) -> None:
+        self._check_common()
+        self._check_registry("preset", PRESETS)
+        self._check_registry("surrogate", SURROGATES, allow_none=True)
+        self._check_positive("num_blocks")
+        self._check_type("seed", (int,))
+        self._check_type("dataset_path", (str,), allow_none=True)
+        if self.learn_fields is not None:
+            if (not isinstance(self.learn_fields, (list, tuple))
+                    or not all(isinstance(item, str) for item in self.learn_fields)):
+                raise SpecValidationError(
+                    "learn_fields", f"expected a list of field names, "
+                                    f"got {self.learn_fields!r}")
+            plugin = SIMULATORS.get(self.simulator)
+            if not getattr(plugin, "supports_partial_learning", True):
+                supported = [name for name, candidate in SIMULATORS.items()
+                             if getattr(candidate, "supports_partial_learning", True)]
+                raise SpecValidationError(
+                    "learn_fields",
+                    f"simulator {self.simulator!r} learns its full parameter "
+                    f"set and does not support learn_fields; simulators that "
+                    f"do: {', '.join(supported)}")
+        for flag in ("narrow_sampling", "batch_training",
+                     "batch_table_optimization", "resume"):
+            self._check_type(flag, (bool,))
+        self._check_type("checkpoint_dir", (str,), allow_none=True)
+        self._check_type("stop_after", (str,), allow_none=True)
+        if self.resume and self.checkpoint_dir is None:
+            raise SpecValidationError("resume", "requires checkpoint_dir to be set")
+        if self.stop_after is not None and self.checkpoint_dir is None:
+            raise SpecValidationError("stop_after",
+                                      "requires checkpoint_dir to be set")
+
+
+@dataclass
+class EvaluateSpec(_SpecBase):
+    """Evaluate a parameter table (learned or default) on a dataset split."""
+
+    target: str = "haswell"
+    simulator: str = "mca"
+    num_blocks: int = 300
+    seed: int = 0
+    dataset_path: Optional[str] = None
+    #: Learned table JSON; ``None`` evaluates the expert default table.
+    table_path: Optional[str] = None
+    split: str = "test"
+    engine_workers: int = 0
+
+    def validate(self) -> None:
+        self._check_common()
+        self._check_positive("num_blocks")
+        self._check_type("seed", (int,))
+        self._check_type("dataset_path", (str,), allow_none=True)
+        self._check_type("table_path", (str,), allow_none=True)
+        if self.split not in ("train", "test"):
+            raise SpecValidationError(
+                "split", f"expected 'train' or 'test', got {self.split!r}")
+
+
+@dataclass
+class PredictSpec(_SpecBase):
+    """Batched timing prediction: blocks x tables through the engine."""
+
+    target: str = "haswell"
+    simulator: str = "mca"
+    #: Learned table JSON; ``None`` predicts under the expert default table.
+    table_path: Optional[str] = None
+    engine_workers: int = 0
+
+    def validate(self) -> None:
+        self._check_common()
+        self._check_type("table_path", (str,), allow_none=True)

@@ -54,20 +54,56 @@ class ScenarioContext:
             self.dataset_cache[key] = build_dataset(uarch, num_blocks=num_blocks, seed=seed)
         return self.dataset_cache[key]
 
-    def mca_adapter(self, uarch_name: Optional[str] = None, **kwargs):
-        """An :class:`MCAAdapter` wired to the engine with this run's workers."""
-        from repro.core.adapters import MCAAdapter
-        from repro.targets import get_uarch
+    def adapter(self, simulator: str = "mca", uarch_name: Optional[str] = None,
+                **kwargs):
+        """A simulator adapter resolved through the :mod:`repro.api` registries.
+
+        Any registered simulator key works (``"mca"``, ``"llvm_sim"``, or an
+        entry-point plugin); the adapter's engine gets this run's workers.
+        """
+        from repro.api.registries import SIMULATORS, TARGETS
 
         kwargs.setdefault("engine_workers", self.workers)
-        return MCAAdapter(get_uarch(uarch_name or self.uarch or "haswell"), **kwargs)
+        return SIMULATORS.get(simulator).create_adapter(
+            TARGETS.get(uarch_name or self.uarch or "haswell"), **kwargs)
 
-    def mca_engine(self, **kwargs):
-        """A standalone llvm-mca engine honoring this run's ``--workers``."""
-        from repro.engine import mca_engine
+    def session(self, spec=None, **overrides):
+        """A :class:`repro.api.Session` for this run.
+
+        When built from keyword arguments or a dict, ``engine_workers``
+        defaults to this run's ``--workers`` and ``target`` to the scenario's
+        uarch.  An explicit spec object is taken verbatim — a field the
+        caller set is never overridden by the run defaults.
+        """
+        from repro.api import Session
+
+        if spec is None or isinstance(spec, dict):
+            payload = dict(spec or {})
+            payload.update(overrides)
+            payload.setdefault("engine_workers", self.workers)
+            if self.uarch is not None:
+                payload.setdefault("target", self.uarch)
+            return Session.from_spec(payload)
+        return Session.from_spec(spec, **overrides)
+
+    def engine(self, simulator: str = "mca", **kwargs):
+        """A standalone simulation engine honoring this run's ``--workers``."""
+        from repro.api.registries import SIMULATORS
 
         kwargs.setdefault("num_workers", self.workers)
-        return mca_engine(**kwargs)
+        plugin = SIMULATORS.get(simulator)
+        if plugin.engine_factory is None:
+            raise ValueError(f"simulator {simulator!r} does not provide a "
+                             f"standalone engine factory")
+        return plugin.engine_factory(**kwargs)
+
+    def mca_adapter(self, uarch_name: Optional[str] = None, **kwargs):
+        """Back-compat alias for ``adapter("mca", ...)``."""
+        return self.adapter("mca", uarch_name, **kwargs)
+
+    def mca_engine(self, **kwargs):
+        """Back-compat alias for ``engine("mca", ...)``."""
+        return self.engine("mca", **kwargs)
 
 
 #: Signature of a scenario's run callable.

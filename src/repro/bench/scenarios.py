@@ -239,7 +239,7 @@ def _format_ablation_surrogate(metrics) -> str:
           formatter=_format_ablation_surrogate)
 def ablation_surrogate(ctx: ScenarioContext):
     """Ablation — surrogate architecture and refinement rounds."""
-    from repro.core import DiffTune
+    from repro.core.difftune import DiffTune
     from repro.eval.metrics import mean_absolute_percentage_error
 
     dataset = ctx.dataset("haswell")
@@ -536,10 +536,8 @@ def pipeline_resume(ctx: ScenarioContext):
     """
     import tempfile
 
-    from repro.core.config import test_config
-    from repro.core.adapters import MCAAdapter
+    from repro.api.registries import PRESETS
     from repro.core.difftune import DiffTune
-    from repro.targets import get_uarch
 
     num_blocks = ctx.by_tier(smoke=60, quick=120, full=200)
     refinement_rounds = ctx.by_tier(smoke=0, quick=1, full=1)
@@ -549,10 +547,10 @@ def pipeline_resume(ctx: ScenarioContext):
     timings = np.array([example.timing for example in train])
 
     def make_difftune():
-        config = test_config(ctx.seed)
+        config = PRESETS.get("test")(ctx.seed)
         config.refinement_rounds = refinement_rounds
         config.refinement_dataset_size = 48
-        return DiffTune(MCAAdapter(get_uarch("haswell"), narrow_sampling=True),
+        return DiffTune(ctx.adapter("mca", "haswell", narrow_sampling=True),
                         config)
 
     start = time.perf_counter()

@@ -16,10 +16,18 @@ Nine subcommands cover the day-to-day workflow:
 * ``sweep``    — sweep one global parameter and report the error curve
   (the Figure 5 analysis) as a text plot.
 * ``tune-baseline`` — run one of the black-box baselines (OpenTuner-style,
-  genetic, annealing, coordinate descent) for comparison with DiffTune.
+  genetic, annealing, coordinate descent, random search) for comparison
+  with DiffTune.
 * ``bench``    — the benchmark-scenario subsystem: list registered paper
   experiments, run them at a scale tier, and compare result files
   (forwards to ``python -m repro.bench``).
+
+Every component choice — target microarchitecture, simulator, configuration
+preset, baseline method — resolves through the :mod:`repro.api` registries,
+so registered third-party plugins are first-class here: ``--simulator
+llvm_sim`` (or any entry-point-registered simulator) works wherever a
+simulator is constructed, and argument choices are generated from the
+registries rather than hard-coded.
 
 Examples::
 
@@ -28,6 +36,7 @@ Examples::
     python -m repro.cli tune --targets haswell skylake --checkpoint-dir runs/
     python -m repro.cli tune --targets haswell skylake --checkpoint-dir runs/ --resume
     python -m repro.cli evaluate --dataset haswell.json --table learned.json
+    python -m repro.cli evaluate --dataset haswell.json --simulator llvm_sim
     python -m repro.cli compare --uarch zen2 --blocks 300
     python -m repro.cli timeline --block "addq %rax, %rbx; imulq %rbx, %rcx"
     python -m repro.cli sweep --dataset haswell.json --field DispatchWidth
@@ -39,39 +48,53 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 from typing import List, Optional
 
 import numpy as np
 
-from repro.bhive import BasicBlockDataset, build_dataset
-from repro.core import DiffTune, MCAAdapter, fast_config, paper_config
-from repro.engine import mca_engine
-from repro.eval.experiments import ExperimentScale, run_table4_for_uarch
-from repro.eval.metrics import error_and_tau
-from repro.eval.plots import Series, ascii_line_plot
-from repro.eval.tables import format_results_table
-from repro.llvm_mca import MCAParameterTable, TimelineView
-from repro.targets import get_uarch
+import repro
+from repro.api import (BASELINES, PRESETS, SIMULATORS, TARGETS, CapabilityError,
+                       EvaluateSpec, PredictSpec, Session, SpecValidationError,
+                       TuneSpec)
+from repro.api.plugins import search_baseline_names
 
 
-def _load_dataset(path: str) -> BasicBlockDataset:
-    return BasicBlockDataset.load_json(path)
+def _target_choices() -> List[str]:
+    return TARGETS.names()
 
 
-def _split(dataset: BasicBlockDataset):
-    train = dataset.train_examples
-    test = dataset.test_examples
-    return ([example.block for example in train],
-            np.array([example.timing for example in train]),
-            [example.block for example in test],
-            np.array([example.timing for example in test]))
+def _simulator_choices() -> List[str]:
+    return SIMULATORS.names()
+
+
+def _search_baseline_choices() -> List[str]:
+    choices: List[str] = []
+    for name in search_baseline_names(BASELINES):
+        choices.append(name)
+        choices.extend(BASELINES.entry(name).aliases)
+    return sorted(choices)
+
+
+def _sweep_field_choices() -> List[str]:
+    fields = set()
+    for _name, plugin in SIMULATORS.items():
+        fields.update(plugin.sweep_fields)
+    return sorted(fields)
+
+
+def _add_simulator_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--simulator", default="mca", choices=_simulator_choices(),
+                        help="simulator whose adapter/tables to use "
+                             "(from the repro.api SIMULATORS registry)")
 
 
 def _command_dataset(arguments: argparse.Namespace) -> int:
-    dataset = build_dataset(arguments.uarch, num_blocks=arguments.blocks, seed=arguments.seed)
+    from repro.bhive import build_dataset
+
+    dataset = build_dataset(arguments.uarch, num_blocks=arguments.blocks,
+                            seed=arguments.seed)
     dataset.save_json(arguments.output)
     stats = dataset.summary_statistics()
     print(f"Wrote {stats['num_blocks_total']} measured blocks for {dataset.uarch_name} "
@@ -83,42 +106,42 @@ def _command_dataset(arguments: argparse.Namespace) -> int:
 
 
 def _command_learn(arguments: argparse.Namespace) -> int:
-    if arguments.dataset:
-        dataset = _load_dataset(arguments.dataset)
-        uarch = get_uarch(dataset.uarch_name)
-    else:
-        uarch = get_uarch(arguments.uarch)
-        dataset = build_dataset(arguments.uarch, num_blocks=arguments.blocks,
-                                seed=arguments.seed)
-    train_blocks, train_timings, test_blocks, test_timings = _split(dataset)
-
-    adapter = MCAAdapter(uarch, narrow_sampling=not arguments.paper_sampling,
-                         learn_fields=arguments.learn_fields,
-                         engine_workers=arguments.workers)
-    config = paper_config(arguments.seed) if arguments.paper_config else fast_config(arguments.seed)
-    config.surrogate_training.batched = arguments.batch_training
-    config.table_optimization.batched = arguments.batch_table_optimization
-    difftune = DiffTune(adapter, config, log=lambda message: print(f"[difftune] {message}"))
-    result = difftune.learn(train_blocks, train_timings)
-
-    table = adapter.table_from_arrays(result.learned_arrays)
-    table.save_json(arguments.output)
-    default_error, _ = error_and_tau(
-        adapter.predict_timings(adapter.default_arrays(), test_blocks), test_timings)
-    learned_error, _ = error_and_tau(
-        adapter.predict_timings(result.learned_arrays, test_blocks), test_timings)
+    session = Session.from_spec(
+        TuneSpec(target=arguments.uarch,
+                 simulator=arguments.simulator,
+                 preset="paper" if arguments.paper_config else "fast",
+                 num_blocks=arguments.blocks,
+                 seed=arguments.seed,
+                 dataset_path=arguments.dataset,
+                 learn_fields=arguments.learn_fields,
+                 narrow_sampling=not arguments.paper_sampling,
+                 batch_training=arguments.batch_training,
+                 batch_table_optimization=arguments.batch_table_optimization,
+                 engine_workers=arguments.workers),
+        log=lambda message: print(f"[difftune] {message}"))
+    outcome = session.tune()
+    outcome.learned_table.save_json(arguments.output)
     print(f"Saved learned table to {arguments.output}")
-    print(f"Test error: default {default_error * 100:.1f}%, learned {learned_error * 100:.1f}%")
+    print(f"Test error: default {outcome.default_test_error * 100:.1f}%, "
+          f"learned {outcome.test_error * 100:.1f}%")
     return 0
 
 
 def _command_tune(arguments: argparse.Namespace) -> int:
     from repro.pipeline import TargetSpec, tune_targets
 
+    # Validate the per-target spec shape once, up front, so capability
+    # mismatches (e.g. --learn-fields with a simulator that learns its full
+    # parameter set) fail cleanly before dataset generation or pool fan-out.
+    TuneSpec(target=arguments.targets[0], simulator=arguments.simulator,
+             preset=arguments.config, num_blocks=arguments.blocks,
+             seed=arguments.seed, learn_fields=arguments.learn_fields).validate()
+
     os.makedirs(arguments.output_dir, exist_ok=True)
     sequential = arguments.workers <= 1 or len(arguments.targets) == 1
     specs = [TargetSpec(
         target=target,
+        simulator=arguments.simulator,
         num_blocks=arguments.blocks,
         seed=arguments.seed,
         config_preset=arguments.config,
@@ -154,80 +177,66 @@ def _command_tune(arguments: argparse.Namespace) -> int:
 
 
 def _command_evaluate(arguments: argparse.Namespace) -> int:
-    dataset = _load_dataset(arguments.dataset)
-    uarch = get_uarch(dataset.uarch_name)
-    adapter = MCAAdapter(uarch)
-    _train_blocks, _train_timings, test_blocks, test_timings = _split(dataset)
-    if arguments.table:
-        table = MCAParameterTable.load_json(arguments.table, adapter.opcode_table)
-        label = arguments.table
-    else:
-        table = adapter.default_table()
-        label = "default parameters"
-    predictions = adapter.engine.run_one(table, test_blocks)
-    error, tau = error_and_tau(predictions, test_timings)
-    print(f"{dataset.uarch_name} test split ({len(test_blocks)} blocks), {label}:")
-    print(f"  error {error * 100:.1f}%, Kendall's tau {tau:.3f}")
+    session = Session.from_spec(EvaluateSpec(simulator=arguments.simulator,
+                                             dataset_path=arguments.dataset,
+                                             table_path=arguments.table))
+    report = session.evaluate()
+    label = arguments.table if arguments.table else "default parameters"
+    print(f"{session.dataset().uarch_name} {report['split']} split "
+          f"({report['num_blocks']} blocks), {label} [{report['simulator']}]:")
+    print(f"  error {report['error'] * 100:.1f}%, Kendall's tau {report['tau']:.3f}")
     return 0
 
 
 def _command_compare(arguments: argparse.Namespace) -> int:
+    from repro.eval.experiments import ExperimentScale, run_table4_for_uarch
+    from repro.eval.tables import format_results_table
+
     scale = ExperimentScale.benchmark()
     scale.num_blocks = arguments.blocks
     scale.seed = arguments.seed
     results = run_table4_for_uarch(arguments.uarch, scale,
                                    include_opentuner=not arguments.skip_opentuner,
                                    include_ithemal=not arguments.skip_ithemal)
-    name = get_uarch(arguments.uarch).name
+    name = TARGETS.get(arguments.uarch).name
     print(format_results_table({name: results}, title="Table IV analogue"))
     return 0
 
 
-def _load_table_or_default(adapter: MCAAdapter, table_path: Optional[str]) -> MCAParameterTable:
-    if table_path:
-        return MCAParameterTable.load_json(table_path, adapter.opcode_table)
-    return adapter.default_table()
-
-
 def _command_timeline(arguments: argparse.Namespace) -> int:
-    from repro.isa.parser import parse_block
-
-    uarch = get_uarch(arguments.uarch)
-    adapter = MCAAdapter(uarch)
-    table = _load_table_or_default(adapter, arguments.table)
-    text = arguments.block.replace(";", "\n")
-    block = parse_block(text, adapter.opcode_table)
-    view = TimelineView(table)
-    print(view.summary(block))
+    session = Session.from_spec(PredictSpec(target=arguments.uarch,
+                                            simulator=arguments.simulator,
+                                            table_path=arguments.table))
+    try:
+        print(session.timeline(arguments.block))
+    except CapabilityError as error:
+        raise SystemExit(str(error))
     return 0
 
 
 def _command_sweep(arguments: argparse.Namespace) -> int:
-    dataset = _load_dataset(arguments.dataset)
-    uarch = get_uarch(dataset.uarch_name)
-    adapter = MCAAdapter(uarch)
-    table = _load_table_or_default(adapter, arguments.table)
-    _train_blocks, _train_timings, test_blocks, test_timings = _split(dataset)
+    from repro.eval.metrics import error_and_tau
+    from repro.eval.plots import Series, ascii_line_plot
+
+    session = Session.from_spec(EvaluateSpec(simulator=arguments.simulator,
+                                             dataset_path=arguments.dataset,
+                                             table_path=arguments.table,
+                                             engine_workers=arguments.workers))
+    test_blocks, test_timings = session.split("test")
 
     field = arguments.field
     values = list(range(arguments.low, arguments.high + 1, arguments.step))
-    candidates = []
-    for value in values:
-        candidate = table.copy()
-        if field == "DispatchWidth":
-            candidate.dispatch_width = max(1, int(value))
-        elif field == "ReorderBufferSize":
-            candidate.reorder_buffer_size = max(1, int(value))
-        else:
-            raise SystemExit(f"unsupported sweep field: {field}")
-        candidates.append(candidate)
+    try:
+        candidates = session.sweep_tables(field, values)
+    except CapabilityError as error:
+        raise SystemExit(str(error))
     # One batched engine call: the test blocks are compiled once for the
     # whole sweep, and tables fan out across processes with --workers.
-    engine = mca_engine(num_workers=arguments.workers)
-    predictions = engine.run(candidates, test_blocks)
+    predictions = session.predict(test_blocks, candidates)
     errors = [error_and_tau(row, test_timings)[0] * 100.0 for row in predictions]
     series = Series(field, x=[float(value) for value in values], y=errors)
-    print(ascii_line_plot([series], title=f"{field} sensitivity ({dataset.uarch_name})",
+    print(ascii_line_plot([series],
+                          title=f"{field} sensitivity ({session.dataset().uarch_name})",
                           x_label=field, y_label="error %"))
     best = values[int(np.argmin(errors))]
     print(f"Best {field}: {best} (error {min(errors):.1f}%)")
@@ -235,45 +244,35 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
 
 
 def _command_tune_baseline(arguments: argparse.Namespace) -> int:
-    from repro.baselines import (AnnealingConfig, CoordinateDescentConfig, GeneticConfig,
-                                 GeneticTuner, OpenTunerBaseline, OpenTunerConfig,
-                                 SimulatedAnnealingTuner, CoordinateDescentTuner)
+    from repro.eval.metrics import error_and_tau
 
-    dataset = _load_dataset(arguments.dataset)
-    uarch = get_uarch(dataset.uarch_name)
-    # The four tuners are inherently sequential (each proposal depends on the
-    # previous evaluation), so no --workers flag here; they still benefit
-    # from the adapter engine's result cache and compile sharing.
-    adapter = MCAAdapter(uarch, narrow_sampling=True)
-    train_blocks, train_timings, test_blocks, test_timings = _split(dataset)
-    budget = arguments.budget
+    # The search baselines are inherently sequential (each proposal depends
+    # on the previous evaluation), so no --workers flag here; they still
+    # benefit from the session engine's result cache and compile sharing.
+    session = Session.from_spec(TuneSpec(simulator=arguments.simulator,
+                                         dataset_path=arguments.dataset,
+                                         narrow_sampling=True,
+                                         seed=arguments.seed))
+    plugin = BASELINES.get(arguments.method)
+    if plugin.kind != "search":
+        raise SystemExit(f"baseline {arguments.method!r} is a predictor, not a "
+                         f"parameter-table search; choose one of "
+                         f"{', '.join(search_baseline_names(BASELINES))}")
+    train_blocks, train_timings = session.split("train")
+    test_blocks, test_timings = session.split("test")
+    arrays = plugin.run(session.adapter, train_blocks, train_timings,
+                        budget=arguments.budget, seed=arguments.seed)
 
-    if arguments.method == "opentuner":
-        tuner = OpenTunerBaseline(adapter, OpenTunerConfig(evaluation_budget=budget,
-                                                           seed=arguments.seed))
-        arrays = tuner.tune(train_blocks, train_timings)
-    elif arguments.method == "genetic":
-        result = GeneticTuner(adapter, GeneticConfig(evaluation_budget=budget,
-                                                     seed=arguments.seed)).tune(
-            train_blocks, train_timings)
-        arrays = result.best_arrays
-    elif arguments.method == "annealing":
-        result = SimulatedAnnealingTuner(adapter, AnnealingConfig(
-            evaluation_budget=budget, seed=arguments.seed)).tune(train_blocks, train_timings)
-        arrays = result.best_arrays
-    else:
-        result = CoordinateDescentTuner(adapter, CoordinateDescentConfig(
-            evaluation_budget=budget, seed=arguments.seed)).tune(train_blocks, train_timings)
-        arrays = result.best_arrays
-
-    error, tau = error_and_tau(adapter.predict_timings(arrays, test_blocks), test_timings)
+    adapter = session.adapter
+    error, tau = error_and_tau(adapter.predict_timings(arrays, test_blocks),
+                               test_timings)
     default_error, _ = error_and_tau(
         adapter.predict_timings(adapter.default_arrays(), test_blocks), test_timings)
-    print(f"{arguments.method} on {dataset.uarch_name}: "
+    print(f"{arguments.method} on {session.dataset().uarch_name}: "
           f"test error {error * 100:.1f}% (tau {tau:.3f}), "
           f"default parameters {default_error * 100:.1f}%")
     if arguments.output:
-        adapter.table_from_arrays(arrays).save_json(arguments.output)
+        session.table_from_arrays(arrays).save_json(arguments.output)
         print(f"Saved tuned table to {arguments.output}")
     return 0
 
@@ -289,10 +288,12 @@ def _command_bench(arguments: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {repro.__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     dataset_parser = subparsers.add_parser("dataset", help="generate and measure a dataset")
-    dataset_parser.add_argument("--uarch", default="haswell")
+    dataset_parser.add_argument("--uarch", default="haswell", choices=_target_choices())
     dataset_parser.add_argument("--blocks", type=int, default=500)
     dataset_parser.add_argument("--seed", type=int, default=0)
     dataset_parser.add_argument("--output", required=True)
@@ -300,8 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     learn_parser = subparsers.add_parser("learn", help="run DiffTune and save the learned table")
     learn_parser.add_argument("--dataset", help="dataset JSON produced by the dataset command")
-    learn_parser.add_argument("--uarch", default="haswell",
+    learn_parser.add_argument("--uarch", default="haswell", choices=_target_choices(),
                               help="target (used when no dataset file is given)")
+    _add_simulator_argument(learn_parser)
     learn_parser.add_argument("--blocks", type=int, default=400)
     learn_parser.add_argument("--seed", type=int, default=0)
     learn_parser.add_argument("--output", required=True)
@@ -328,13 +330,13 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser = subparsers.add_parser(
         "tune", help="pipeline-backed multi-target tuning with checkpoints and --resume")
     tune_parser.add_argument("--targets", nargs="+", default=["haswell"],
-                             choices=["ivybridge", "haswell", "skylake", "zen2"],
+                             choices=_target_choices(),
                              help="microarchitectures to tune (one pipeline each)")
+    _add_simulator_argument(tune_parser)
     tune_parser.add_argument("--blocks", type=int, default=300,
                              help="measured blocks per target dataset")
     tune_parser.add_argument("--seed", type=int, default=0)
-    tune_parser.add_argument("--config", default="fast",
-                             choices=["fast", "paper", "test"],
+    tune_parser.add_argument("--config", default="fast", choices=PRESETS.names(),
                              help="configuration preset (test = tiny smoke scale)")
     tune_parser.add_argument("--checkpoint-dir", default="difftune_checkpoints",
                              help="root directory for per-target stage checkpoints")
@@ -363,11 +365,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a parameter table")
     evaluate_parser.add_argument("--dataset", required=True)
     evaluate_parser.add_argument("--table", help="learned table JSON (defaults to expert table)")
+    _add_simulator_argument(evaluate_parser)
     evaluate_parser.set_defaults(handler=_command_evaluate)
 
     compare_parser = subparsers.add_parser("compare", help="run the Table IV comparison")
-    compare_parser.add_argument("--uarch", default="haswell",
-                                choices=["ivybridge", "haswell", "skylake", "zen2"])
+    compare_parser.add_argument("--uarch", default="haswell", choices=_target_choices())
     compare_parser.add_argument("--blocks", type=int, default=300)
     compare_parser.add_argument("--seed", type=int, default=0)
     compare_parser.add_argument("--skip-opentuner", action="store_true")
@@ -376,7 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     timeline_parser = subparsers.add_parser(
         "timeline", help="print the timeline / bottleneck report for a basic block")
-    timeline_parser.add_argument("--uarch", default="haswell")
+    timeline_parser.add_argument("--uarch", default="haswell", choices=_target_choices())
+    _add_simulator_argument(timeline_parser)
     timeline_parser.add_argument("--table", help="learned table JSON (defaults to expert table)")
     timeline_parser.add_argument("--block", required=True,
                                  help="assembly text; separate instructions with ';'")
@@ -386,8 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="sweep a global parameter and plot the error curve (Figure 5)")
     sweep_parser.add_argument("--dataset", required=True)
     sweep_parser.add_argument("--table", help="learned table JSON (defaults to expert table)")
+    _add_simulator_argument(sweep_parser)
     sweep_parser.add_argument("--field", default="DispatchWidth",
-                              choices=["DispatchWidth", "ReorderBufferSize"])
+                              choices=_sweep_field_choices())
     sweep_parser.add_argument("--low", type=int, default=1)
     sweep_parser.add_argument("--high", type=int, default=10)
     sweep_parser.add_argument("--step", type=int, default=1)
@@ -399,7 +403,8 @@ def build_parser() -> argparse.ArgumentParser:
         "tune-baseline", help="run a black-box baseline tuner for comparison with DiffTune")
     baseline_parser.add_argument("--dataset", required=True)
     baseline_parser.add_argument("--method", default="opentuner",
-                                 choices=["opentuner", "genetic", "annealing", "coordinate"])
+                                 choices=_search_baseline_choices())
+    _add_simulator_argument(baseline_parser)
     baseline_parser.add_argument("--budget", type=int, default=5000,
                                  help="total block evaluations allowed")
     baseline_parser.add_argument("--seed", type=int, default=0)
@@ -418,7 +423,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    try:
+        return arguments.handler(arguments)
+    except SpecValidationError as error:
+        # Spec validation names the bad field and suggests fixes; surface it
+        # as a clean CLI error instead of a traceback.
+        raise SystemExit(f"error: {error}")
 
 
 if __name__ == "__main__":

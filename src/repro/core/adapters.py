@@ -11,7 +11,11 @@ A :class:`SimulatorAdapter` answers three questions for the optimizer:
 
 Two adapters are provided, matching the paper's two evaluation targets:
 :class:`MCAAdapter` for the llvm-mca model (Table II parameters) and
-:class:`LLVMSimAdapter` for llvm_sim (Table VII parameters).
+:class:`LLVMSimAdapter` for llvm_sim (Table VII parameters).  Both register
+:class:`~repro.api.plugins.SimulatorPlugin` records in the
+:data:`repro.api.registries.SIMULATORS` registry at import time, which is how
+the CLI, the pipeline, and the benchmark harness construct them; third-party
+simulators join through the ``repro.simulators`` entry-point group.
 """
 
 from __future__ import annotations
@@ -22,6 +26,8 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.plugins import SimulatorPlugin
+from repro.api.registries import SIMULATORS
 from repro.core.parameters import (ParameterArrays, ParameterField, ParameterSpec,
                                    PORT_MAP_FIELD_NAME)
 from repro.engine.binding import (LRUCache, llvm_sim_table_digest, mca_table_digest,
@@ -323,6 +329,26 @@ class MCAAdapter(SimulatorAdapter):
         return self.engine.run_one(self.native_table(arrays), blocks)
 
 
+def _set_dispatch_width(table: MCAParameterTable, value: int) -> None:
+    table.dispatch_width = max(1, int(value))
+
+
+def _set_reorder_buffer_size(table: MCAParameterTable, value: int) -> None:
+    table.reorder_buffer_size = max(1, int(value))
+
+
+def _mca_timeline_view(table: MCAParameterTable):
+    from repro.llvm_mca.timeline import TimelineView
+
+    return TimelineView(table)
+
+
+def _mca_engine_factory(num_workers: int = 0):
+    from repro.engine.factories import mca_engine
+
+    return mca_engine(num_workers=num_workers)
+
+
 class LLVMSimAdapter(SimulatorAdapter):
     """Adapter for the llvm_sim model (Table VII parameter set)."""
 
@@ -391,3 +417,59 @@ class LLVMSimAdapter(SimulatorAdapter):
     def predict_timings(self, arrays: ParameterArrays,
                         blocks: Sequence[BasicBlock]) -> np.ndarray:
         return self.engine.run_one(self.native_table(arrays), blocks)
+
+
+# ----------------------------------------------------------------------
+# Registry entries (see repro.api)
+# ----------------------------------------------------------------------
+def _llvm_sim_adapter_factory(uarch: UarchSpec, *,
+                              opcode_table: Optional[OpcodeTable] = None,
+                              narrow_sampling: bool = True,
+                              learn_fields: Optional[Sequence[str]] = None,
+                              engine_cache_size: int = DEFAULT_CACHE_SIZE,
+                              engine_workers: int = 0) -> LLVMSimAdapter:
+    """Uniform-signature factory for :class:`LLVMSimAdapter`.
+
+    ``narrow_sampling`` is accepted and ignored — llvm_sim's sampling ranges
+    are already the narrow ones.  Partial learning is not supported by this
+    parameter set, so ``learn_fields`` raises.
+    """
+    if learn_fields is not None:
+        raise ValueError("the llvm_sim simulator learns its full parameter set; "
+                         "learn_fields is not supported (use simulator 'mca')")
+    return LLVMSimAdapter(uarch, opcode_table=opcode_table,
+                          engine_cache_size=engine_cache_size,
+                          engine_workers=engine_workers)
+
+
+def _llvm_sim_engine_factory(num_workers: int = 0):
+    from repro.engine.factories import llvm_sim_engine
+
+    return llvm_sim_engine(num_workers=num_workers)
+
+
+SIMULATORS.register(
+    "mca",
+    SimulatorPlugin(
+        name="mca",
+        summary="llvm-mca style out-of-order model (Table II parameter set)",
+        adapter_factory=MCAAdapter,
+        load_table=MCAParameterTable.load_json,
+        engine_factory=_mca_engine_factory,
+        timeline_factory=_mca_timeline_view,
+        sweep_fields={"DispatchWidth": _set_dispatch_width,
+                      "ReorderBufferSize": _set_reorder_buffer_size},
+    ),
+    aliases=("llvm-mca", "llvm_mca"))
+
+SIMULATORS.register(
+    "llvm_sim",
+    SimulatorPlugin(
+        name="llvm_sim",
+        summary="llvm_sim style in-order-frontend model (Table VII parameter set)",
+        adapter_factory=_llvm_sim_adapter_factory,
+        load_table=LLVMSimParameterTable.load_json,
+        engine_factory=_llvm_sim_engine_factory,
+        supports_partial_learning=False,
+    ),
+    aliases=("llvm-sim", "llvmsim"))

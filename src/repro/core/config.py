@@ -11,10 +11,16 @@ pipeline runs on a laptop CPU:
   surrogate, moderate simulated-dataset size.  Every code path of the paper's
   pipeline is exercised; only scale changes.
 * :func:`test_config` — a tiny configuration for unit/integration tests.
+
+The three presets register in :data:`repro.api.registries.PRESETS` under
+``fast`` / ``paper`` / ``test``; ``repro tune --config`` and
+:class:`~repro.api.specs.TuneSpec` resolve them there, so additional presets
+can be added via the ``repro.presets`` entry-point group.
 """
 
 from __future__ import annotations
 
+from repro.api.registries import PRESETS
 from repro.core.difftune import DiffTuneConfig
 from repro.core.surrogate import SurrogateConfig
 from repro.core.surrogate_training import SurrogateTrainingConfig
@@ -68,3 +74,11 @@ def test_config(seed: int = 0) -> DiffTuneConfig:
         blocks_per_table=8,
         seed=seed,
     )
+
+
+PRESETS.register("paper", paper_config,
+                 summary="paper-faithful configuration (expensive on CPU)")
+PRESETS.register("fast", fast_config,
+                 summary="CPU-budget configuration (benchmark-harness default)")
+PRESETS.register("test", test_config,
+                 summary="tiny smoke-scale configuration for tests")

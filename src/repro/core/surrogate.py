@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registries import SURROGATES
 from repro.autodiff import (Embedding, Linear, MLP, Module, StackedLSTM, Tensor)
 from repro.autodiff.modules import Parameter
 from repro.autodiff.tensor import concat, masked_mean, masked_sum, maximum, stack
@@ -60,8 +61,13 @@ class SurrogateConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("ithemal", "pooled", "analytical"):
-            raise ValueError("surrogate kind must be 'ithemal', 'pooled' or 'analytical'")
+        # The SURROGATES registry (which this module populates at import
+        # time) is the single source of truth for valid kinds, so
+        # third-party surrogates registered via entry points validate too.
+        if self.kind not in SURROGATES:
+            raise ValueError(
+                f"surrogate kind must be one of {SURROGATES.names()}, "
+                f"got {self.kind!r}")
 
 
 #: Width of the per-instruction structural feature vector produced by the
@@ -979,9 +985,22 @@ class AnalyticalSurrogate(_SurrogateBase):
 
 def build_surrogate(spec: ParameterSpec, featurizer: BlockFeaturizer,
                     config: SurrogateConfig) -> _SurrogateBase:
-    """Factory selecting the surrogate variant from the config."""
-    if config.kind == "ithemal":
-        return IthemalSurrogate(spec, featurizer, config)
-    if config.kind == "analytical":
-        return AnalyticalSurrogate(spec, featurizer, config)
-    return PooledSurrogate(spec, featurizer, config)
+    """Factory selecting the surrogate variant from the registry.
+
+    Any class registered in :data:`repro.api.registries.SURROGATES` (built-in
+    or via the ``repro.surrogates`` entry-point group) with the constructor
+    signature ``(spec, featurizer, config)`` is eligible.
+    """
+    surrogate_class = SURROGATES.get(config.kind)
+    return surrogate_class(spec, featurizer, config)
+
+
+SURROGATES.register(
+    "ithemal", IthemalSurrogate,
+    summary="paper architecture: token + block stacked LSTMs (Figure 3)")
+SURROGATES.register(
+    "pooled", PooledSurrogate,
+    summary="fast pooled-MLP variant for CPU-budget experiments")
+SURROGATES.register(
+    "analytical", AnalyticalSurrogate,
+    summary="differentiable analytical throughput/latency bound model")

@@ -20,7 +20,7 @@ from repro.baselines.iaca import IACAModel
 from repro.baselines.ithemal import IthemalBaseline, IthemalConfig
 from repro.baselines.opentuner import OpenTunerBaseline, OpenTunerConfig
 from repro.bhive.dataset import BasicBlockDataset, build_dataset
-from repro.core.adapters import MCAAdapter, LLVMSimAdapter
+from repro.api.registries import SIMULATORS
 from repro.core.config import fast_config
 from repro.core.difftune import DiffTune, DiffTuneConfig
 from repro.core.simulated_dataset import random_table_errors
@@ -157,7 +157,7 @@ def run_table4_for_uarch(uarch_name: str, scale: Optional[ExperimentScale] = Non
     if dataset is None:
         dataset = build_dataset(uarch_name, num_blocks=scale.num_blocks, seed=scale.seed)
     train_blocks, train_timings, test_blocks, test_timings = _dataset_split(dataset)
-    adapter = MCAAdapter(spec, narrow_sampling=True)
+    adapter = SIMULATORS.get("mca").create_adapter(spec, narrow_sampling=True)
     results: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
 
     # Default expert parameters.
@@ -222,7 +222,7 @@ def run_table5(scale: Optional[ExperimentScale] = None,
     if dataset is None:
         dataset = build_dataset("haswell", num_blocks=scale.num_blocks, seed=scale.seed)
     train_blocks, train_timings, _test_blocks, _test_timings = _dataset_split(dataset)
-    adapter = MCAAdapter(spec, narrow_sampling=True)
+    adapter = SIMULATORS.get("mca").create_adapter(spec, narrow_sampling=True)
     difftune = DiffTune(adapter, scale.difftune)
     learned = difftune.learn(train_blocks, train_timings)
 
@@ -255,7 +255,7 @@ def run_table6_and_figures(scale: Optional[ExperimentScale] = None,
     if dataset is None:
         dataset = build_dataset("haswell", num_blocks=scale.num_blocks, seed=scale.seed)
     train_blocks, train_timings, _test_blocks, _test_timings = _dataset_split(dataset)
-    adapter = MCAAdapter(spec, narrow_sampling=True)
+    adapter = SIMULATORS.get("mca").create_adapter(spec, narrow_sampling=True)
     difftune = DiffTune(adapter, scale.difftune)
     learned_result = difftune.learn(train_blocks, train_timings)
     default_table = adapter.default_table()
@@ -301,7 +301,7 @@ def run_figure2_surrogate_sweep(scale: Optional[ExperimentScale] = None,
         dataset = build_dataset("haswell", num_blocks=max(200, scale.num_blocks // 2),
                                 seed=scale.seed)
     train_blocks, _train_timings, _tb, _tt = _dataset_split(dataset)
-    adapter = MCAAdapter(spec, narrow_sampling=True)
+    adapter = SIMULATORS.get("mca").create_adapter(spec, narrow_sampling=True)
     difftune = DiffTune(adapter, scale.difftune)
     rng = np.random.default_rng(scale.seed)
     simulated = difftune.collect_simulated_dataset(train_blocks, rng)
@@ -336,7 +336,7 @@ def run_section2b_measured_tables(num_blocks: int = 400, seed: int = 0) -> Dict[
     spec = get_uarch("haswell")
     dataset = build_dataset("haswell", num_blocks=num_blocks, seed=seed)
     _train_blocks, _train_timings, test_blocks, test_timings = _dataset_split(dataset)
-    adapter = MCAAdapter(spec)
+    adapter = SIMULATORS.get("mca").create_adapter(spec)
     results: Dict[str, float] = {}
     default_predictions = adapter.predict_timings(adapter.default_arrays(), test_blocks)
     results["default"] = mean_absolute_percentage_error(default_predictions, test_timings)
@@ -359,7 +359,7 @@ def run_section5a_random_tables(num_blocks: int = 200, num_tables: int = 10,
     dataset = build_dataset("haswell", num_blocks=num_blocks, seed=seed)
     blocks = [example.block for example in dataset.test_examples]
     timings = np.array([example.timing for example in dataset.test_examples])
-    adapter = MCAAdapter(spec)
+    adapter = SIMULATORS.get("mca").create_adapter(spec)
     errors = random_table_errors(adapter, blocks, timings, num_tables,
                                  np.random.default_rng(seed))
     return {"mean": float(errors.mean()), "std": float(errors.std()),
@@ -380,18 +380,18 @@ def run_section6b_writelatency_only(scale: Optional[ExperimentScale] = None,
     train_blocks, train_timings, test_blocks, test_timings = _dataset_split(dataset)
     results: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
 
-    default_adapter = MCAAdapter(spec)
+    default_adapter = SIMULATORS.get("mca").create_adapter(spec)
     default_predictions = default_adapter.predict_timings(default_adapter.default_arrays(),
                                                           test_blocks)
     results["Default"] = error_and_tau(default_predictions, test_timings)
 
-    latency_adapter = MCAAdapter(spec, learn_fields=["WriteLatency"], narrow_sampling=True)
+    latency_adapter = SIMULATORS.get("mca").create_adapter(spec, learn_fields=["WriteLatency"], narrow_sampling=True)
     difftune = DiffTune(latency_adapter, scale.difftune)
     learned = difftune.learn(train_blocks, train_timings)
     predictions = latency_adapter.predict_timings(learned.learned_arrays, test_blocks)
     results["DiffTune (WriteLatency only)"] = error_and_tau(predictions, test_timings)
 
-    full_adapter = MCAAdapter(spec, narrow_sampling=True)
+    full_adapter = SIMULATORS.get("mca").create_adapter(spec, narrow_sampling=True)
     difftune_full = DiffTune(full_adapter, scale.difftune)
     learned_full = difftune_full.learn(train_blocks, train_timings)
     predictions_full = full_adapter.predict_timings(learned_full.learned_arrays, test_blocks)
@@ -417,7 +417,7 @@ def run_section6c_case_studies(scale: Optional[ExperimentScale] = None,
     if dataset is None:
         dataset = build_dataset("haswell", num_blocks=scale.num_blocks, seed=scale.seed)
     train_blocks, train_timings, _tb, _tt = _dataset_split(dataset)
-    adapter = MCAAdapter(spec, learn_fields=["WriteLatency"], narrow_sampling=True)
+    adapter = SIMULATORS.get("mca").create_adapter(spec, learn_fields=["WriteLatency"], narrow_sampling=True)
     difftune = DiffTune(adapter, scale.difftune)
     learned = difftune.learn(train_blocks, train_timings)
     default_table = adapter.default_table()
@@ -441,7 +441,7 @@ def run_table8_llvm_sim(scale: Optional[ExperimentScale] = None,
     if dataset is None:
         dataset = build_dataset("haswell", num_blocks=scale.num_blocks, seed=scale.seed)
     train_blocks, train_timings, test_blocks, test_timings = _dataset_split(dataset)
-    adapter = LLVMSimAdapter(spec)
+    adapter = SIMULATORS.get("llvm_sim").create_adapter(spec)
     results: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
     default_predictions = adapter.predict_timings(adapter.default_arrays(), test_blocks)
     results["Default"] = error_and_tau(default_predictions, test_timings)

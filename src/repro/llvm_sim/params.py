@@ -114,3 +114,25 @@ class LLVMSimParameterTable:
     def save_json(self, path: str) -> None:
         with open(path, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def from_dict(cls, payload: Dict,
+                  opcode_table: Optional[OpcodeTable] = None) -> "LLVMSimParameterTable":
+        """Inverse of :meth:`to_dict`; opcodes absent from ``payload`` stay zero."""
+        opcode_table = opcode_table or DEFAULT_OPCODE_TABLE
+        table = cls.zeros(opcode_table)
+        entries = payload["opcodes"]
+        for index, opcode in enumerate(opcode_table):
+            entry = entries.get(opcode.name)
+            if entry is None:
+                continue
+            table.write_latency[index] = int(entry["write_latency"])
+            table.port_uops[index] = np.asarray(entry["port_uops"], dtype=np.int64)
+        table.validate()
+        return table
+
+    @classmethod
+    def load_json(cls, path: str,
+                  opcode_table: Optional[OpcodeTable] = None) -> "LLVMSimParameterTable":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle), opcode_table)

@@ -25,12 +25,18 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 @dataclass
 class TargetSpec:
-    """Everything one target task needs, in picklable plain-data form."""
+    """Everything one target task needs, in picklable plain-data form.
+
+    ``target``, ``simulator``, and ``config_preset`` are registry keys
+    (:data:`repro.api.registries.TARGETS` / ``SIMULATORS`` / ``PRESETS``),
+    so entry-point-registered plugins work here unchanged.
+    """
 
     target: str
+    simulator: str = "mca"
     num_blocks: int = 300
     seed: int = 0
-    config_preset: str = "fast"  # fast | paper | test
+    config_preset: str = "fast"  # any key of the PRESETS registry
     checkpoint_dir: Optional[str] = None
     resume: bool = False
     stop_after: Optional[str] = None
@@ -59,14 +65,14 @@ class TargetOutcome:
 
 
 def _config_from_preset(spec: TargetSpec):
-    from repro.core.config import fast_config, paper_config, test_config
+    from repro.api.registries import PRESETS
+    from repro.api.registry import UnknownKeyError
 
-    factories = {"fast": fast_config, "paper": paper_config, "test": test_config}
     try:
-        factory = factories[spec.config_preset]
-    except KeyError:
-        raise ValueError(f"unknown config preset {spec.config_preset!r}; "
-                         f"expected one of {sorted(factories)}")
+        factory = PRESETS.get(spec.config_preset)
+    except UnknownKeyError as error:
+        # Keep the historical ValueError contract of this layer.
+        raise ValueError(f"unknown config preset: {error}") from error
     config = factory(spec.seed)
     config.surrogate_training.batched = spec.batch_training
     config.table_optimization.batched = spec.batch_table_optimization
@@ -80,11 +86,10 @@ def tune_target(spec: TargetSpec) -> TargetOutcome:
     keep this module importable from :mod:`repro.core.difftune`'s package
     initialization without a cycle.
     """
+    from repro.api.registries import SIMULATORS, TARGETS
     from repro.bhive import build_dataset
-    from repro.core.adapters import MCAAdapter
     from repro.core.difftune import DiffTune
     from repro.eval.metrics import error_and_tau
-    from repro.targets import get_uarch
 
     import numpy as np
 
@@ -97,10 +102,12 @@ def tune_target(spec: TargetSpec) -> TargetOutcome:
     test_blocks = [example.block for example in test]
     test_timings = np.array([example.timing for example in test])
 
-    adapter = MCAAdapter(get_uarch(spec.target),
-                         narrow_sampling=spec.narrow_sampling,
-                         learn_fields=spec.learn_fields,
-                         engine_workers=spec.engine_workers)
+    kwargs = {"narrow_sampling": spec.narrow_sampling,
+              "engine_workers": spec.engine_workers}
+    if spec.learn_fields is not None:
+        kwargs["learn_fields"] = spec.learn_fields
+    adapter = SIMULATORS.get(spec.simulator).create_adapter(
+        TARGETS.get(spec.target), **kwargs)
     log = (lambda message: print(f"[{spec.target}] {message}")) if spec.verbose \
         else (lambda message: None)
     difftune = DiffTune(adapter, _config_from_preset(spec), log=log)

@@ -20,6 +20,7 @@ This package provides the equivalents:
   tables, reproducing the Section II-B measurability discussion.
 """
 
+from repro.api.registries import TARGETS
 from repro.targets.uarch import UarchSpec, ClassParams, TrueClassParams
 from repro.targets.haswell import HASWELL
 from repro.targets.ivybridge import IVY_BRIDGE
@@ -28,6 +29,15 @@ from repro.targets.zen2 import ZEN2
 from repro.targets.defaults import build_default_mca_table, build_default_llvm_sim_table
 from repro.targets.hardware import HardwareModel
 from repro.targets.measured_tables import build_measured_latency_table
+
+TARGETS.register("ivybridge", IVY_BRIDGE, aliases=("ivb",),
+                 summary="Intel Ivy Bridge (Table I)")
+TARGETS.register("haswell", HASWELL, aliases=("hsw",),
+                 summary="Intel Haswell (Table I)")
+TARGETS.register("skylake", SKYLAKE, aliases=("skl",),
+                 summary="Intel Skylake (Table I)")
+TARGETS.register("zen2", ZEN2, aliases=("znver2",),
+                 summary="AMD Zen 2 (Table I)")
 
 ALL_UARCHES = {
     "ivybridge": IVY_BRIDGE,
@@ -38,23 +48,14 @@ ALL_UARCHES = {
 
 
 def get_uarch(name: str) -> UarchSpec:
-    """Look up a microarchitecture spec by (case-insensitive) name."""
-    key = name.lower().replace(" ", "").replace("_", "").replace("-", "")
-    aliases = {
-        "ivybridge": "ivybridge",
-        "ivb": "ivybridge",
-        "haswell": "haswell",
-        "hsw": "haswell",
-        "skylake": "skylake",
-        "skl": "skylake",
-        "zen2": "zen2",
-        "znver2": "zen2",
-    }
-    try:
-        return ALL_UARCHES[aliases[key]]
-    except KeyError as error:
-        raise KeyError(f"unknown microarchitecture: {name!r}; "
-                       f"known: {sorted(ALL_UARCHES)}") from error
+    """Look up a microarchitecture spec by (case-insensitive) name.
+
+    Delegates to the :data:`repro.api.registries.TARGETS` registry, so
+    targets registered by third-party plugins resolve here too.  Raises
+    :class:`repro.api.registry.UnknownKeyError` (a :class:`KeyError`
+    subclass) with a did-you-mean suggestion for unknown names.
+    """
+    return TARGETS.get(name)
 
 
 __all__ = [

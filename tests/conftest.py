@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.bhive import BlockGenerator, build_dataset
-from repro.core import MCAAdapter, LLVMSimAdapter
+from repro.core.adapters import LLVMSimAdapter, MCAAdapter
 from repro.isa.opcodes import DEFAULT_OPCODE_TABLE
 from repro.isa.parser import parse_block
 from repro.targets import HASWELL, build_default_mca_table

@@ -1,0 +1,163 @@
+"""API-surface snapshot and deprecation-shim tests.
+
+The exported-name snapshot pins ``repro.api``'s public surface: an
+accidental addition, removal, or rename fails here and must be reviewed
+deliberately (update ``EXPECTED_API_SURFACE`` in the same change).
+"""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+
+#: The pinned public surface of repro.api.  Changing this set is an API
+#: change: update the snapshot in the same commit and call it out in review.
+EXPECTED_API_SURFACE = sorted([
+    # registry machinery
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "DuplicateKeyError",
+    "UnknownKeyError",
+    # registry instances
+    "TARGETS",
+    "SIMULATORS",
+    "SURROGATES",
+    "BASELINES",
+    "PRESETS",
+    "registries",
+    # plugin record types
+    "SimulatorPlugin",
+    "BaselinePlugin",
+    # specs
+    "TuneSpec",
+    "EvaluateSpec",
+    "PredictSpec",
+    "SpecValidationError",
+    # session facade
+    "Session",
+    "SessionTuneResult",
+    "CapabilityError",
+    # introspection
+    "describe",
+])
+
+
+class TestSurfaceSnapshot:
+    def test_all_matches_snapshot(self):
+        assert sorted(repro.api.__all__) == EXPECTED_API_SURFACE
+
+    def test_every_exported_name_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None, name
+
+    def test_dir_covers_all(self):
+        assert set(EXPECTED_API_SURFACE) <= set(dir(repro.api))
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'bogus'"):
+            repro.api.bogus
+
+
+class TestDescribe:
+    def test_structure(self):
+        description = repro.api.describe()
+        assert description["version"] == repro.__version__
+        assert sorted(description["registries"]) == [
+            "baselines", "presets", "simulators", "surrogates", "targets"]
+        haswell = description["registries"]["targets"]["haswell"]
+        assert haswell["aliases"] == ["hsw"]
+        assert haswell["summary"]
+
+    def test_registries_keys_acceptance(self):
+        # Acceptance criterion: repro.api.registries().keys() lists all five.
+        assert sorted(repro.api.registries().keys()) == [
+            "baselines", "presets", "simulators", "surrogates", "targets"]
+
+    def test_describe_is_json_serializable(self):
+        import json
+
+        json.dumps(repro.api.describe())
+
+
+class TestVersion:
+    def test_version_is_single_sourced(self):
+        # Installed: matches package metadata.  Source tree: the sentinel.
+        from importlib import metadata
+
+        try:
+            expected = metadata.version("difftune-repro")
+        except metadata.PackageNotFoundError:
+            expected = "0.0.0+uninstalled"
+        assert repro.__version__ == expected
+
+    def test_cli_version_flag(self, capsys):
+        from repro import cli
+
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+#: Every deprecated repro.core package-root name and its defining submodule.
+DEPRECATED_CORE_NAMES = [
+    ("SimulatorAdapter", "repro.core.adapters"),
+    ("MCAAdapter", "repro.core.adapters"),
+    ("LLVMSimAdapter", "repro.core.adapters"),
+    ("DiffTune", "repro.core.difftune"),
+    ("DiffTuneConfig", "repro.core.difftune"),
+    ("DiffTuneResult", "repro.core.difftune"),
+    ("fast_config", "repro.core.config"),
+    ("paper_config", "repro.core.config"),
+    ("test_config", "repro.core.config"),
+]
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize("name,module_name", DEPRECATED_CORE_NAMES)
+    def test_shim_warns_and_returns_identical_object(self, name, module_name):
+        import importlib
+
+        import repro.core
+
+        with pytest.warns(DeprecationWarning, match=f"importing {name!r}"):
+            shimmed = getattr(repro.core, name)
+        canonical = getattr(importlib.import_module(module_name), name)
+        assert shimmed is canonical
+
+    def test_from_import_warns_too(self):
+        with pytest.warns(DeprecationWarning, match="'DiffTune'"):
+            from repro.core import DiffTune  # noqa: F401
+
+    def test_shimmed_difftune_behaves_identically(self):
+        # The shim returns the same class, so results are trivially identical;
+        # exercise one construction to be sure nothing is wrapped.
+        import repro.core
+        from repro.core.adapters import MCAAdapter
+        from repro.core.config import test_config
+        from repro.targets import get_uarch
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = repro.core.DiffTune(
+                MCAAdapter(get_uarch("haswell"), narrow_sampling=True),
+                test_config(0))
+        from repro.core.difftune import DiffTune
+
+        assert type(shimmed) is DiffTune
+
+    def test_submodule_imports_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core.adapters import MCAAdapter  # noqa: F401
+            from repro.core.difftune import DiffTune  # noqa: F401
+            from repro.core.config import fast_config  # noqa: F401
+
+    def test_unknown_core_attribute_still_raises(self):
+        import repro.core
+
+        with pytest.raises(AttributeError):
+            repro.core.NoSuchThing

@@ -7,7 +7,7 @@ from repro.baselines import (BanditEnsemble, IACAModel, IthemalBaseline, Ithemal
                              OpenTunerBaseline, OpenTunerConfig, random_search)
 from repro.baselines.opentuner import (_DifferentialEvolution, _GaussianMutation, _HillClimb,
                                        _RandomSearch, _SimulatedAnnealing)
-from repro.core import MCAAdapter
+from repro.core.adapters import MCAAdapter
 from repro.core.losses import mape_loss_value
 from repro.core.surrogate import SurrogateConfig
 from repro.isa.parser import parse_block

@@ -65,17 +65,29 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "error" in output and "Kendall" in output
 
-    def test_learn_writes_valid_table(self, tmp_path, capsys, monkeypatch):
-        # Shrink the configuration so the CLI test runs in seconds.
+    def test_learn_writes_valid_table(self, tmp_path, capsys):
+        # Shrink the configuration so the CLI test runs in seconds: the CLI
+        # resolves presets through the registry, so overriding the 'fast'
+        # entry redirects `repro learn` to the tiny test configuration.
+        from repro.api import PRESETS
         from repro.core.config import test_config
 
-        monkeypatch.setattr(cli, "fast_config", test_config)
-        dataset_path = os.path.join(tmp_path, "dataset.json")
-        cli.main(["dataset", "--uarch", "haswell", "--blocks", "60", "--output", dataset_path])
-        capsys.readouterr()
-        table_path = os.path.join(tmp_path, "learned.json")
-        code = cli.main(["learn", "--dataset", dataset_path, "--output", table_path,
-                         "--learn-fields", "WriteLatency"])
+        original = PRESETS.entry("fast")
+        PRESETS.register("fast", test_config, replace=True)
+        try:
+            dataset_path = os.path.join(tmp_path, "dataset.json")
+            cli.main(["dataset", "--uarch", "haswell", "--blocks", "60",
+                      "--output", dataset_path])
+            capsys.readouterr()
+            table_path = os.path.join(tmp_path, "learned.json")
+            code = cli.main(["learn", "--dataset", dataset_path, "--output", table_path,
+                             "--learn-fields", "WriteLatency"])
+        finally:
+            # Restore the full entry (value + metadata), not just the value,
+            # so later tests see pristine registry state.
+            PRESETS.register("fast", original.value, aliases=original.aliases,
+                             summary=original.summary, source=original.source,
+                             replace=True)
         assert code == 0
         output = capsys.readouterr().out
         assert "Saved learned table" in output

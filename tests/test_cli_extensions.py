@@ -37,6 +37,60 @@ class TestParserExtensions:
                                            "--method", "bayesian"])
 
 
+class TestSimulatorSelection:
+    """--simulator is registry-driven and honored everywhere it appears."""
+
+    def test_simulator_choices_come_from_registry(self):
+        from repro.api import SIMULATORS
+
+        arguments = cli.build_parser().parse_args(
+            ["evaluate", "--dataset", "x.json", "--simulator", "llvm_sim"])
+        assert arguments.simulator == "llvm_sim"
+        assert set(SIMULATORS.names()) <= {"mca", "llvm_sim", "toy"}
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(
+                ["evaluate", "--dataset", "x.json", "--simulator", "gem5"])
+
+    def test_evaluate_with_llvm_sim(self, dataset_path, capsys):
+        code = cli.main(["evaluate", "--dataset", dataset_path,
+                         "--simulator", "llvm_sim"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "[llvm_sim]" in output
+        assert "error" in output
+
+    def test_evaluate_with_llvm_sim_table_roundtrip(self, dataset_path, tmp_path,
+                                                    capsys):
+        from repro.api import PredictSpec, Session
+
+        table_path = os.path.join(tmp_path, "llvm_sim.json")
+        session = Session.from_spec(PredictSpec(simulator="llvm_sim"))
+        session.default_table().save_json(table_path)
+        code = cli.main(["evaluate", "--dataset", dataset_path,
+                         "--simulator", "llvm_sim", "--table", table_path])
+        assert code == 0
+        assert "error" in capsys.readouterr().out
+
+    def test_timeline_rejects_simulator_without_view(self):
+        with pytest.raises(SystemExit, match="no timeline view"):
+            cli.main(["timeline", "--simulator", "llvm_sim",
+                      "--block", "addq %rax, %rbx"])
+
+    def test_sweep_rejects_unsweepable_simulator(self, dataset_path):
+        with pytest.raises(SystemExit, match="cannot sweep"):
+            cli.main(["sweep", "--dataset", dataset_path,
+                      "--simulator", "llvm_sim", "--field", "DispatchWidth"])
+
+    def test_learn_fields_with_llvm_sim_fails_cleanly(self, dataset_path):
+        # Spec validation surfaces as a clean CLI error, not a traceback.
+        with pytest.raises(SystemExit, match="learn_fields.*does not support"):
+            cli.main(["learn", "--dataset", dataset_path, "--output", "/tmp/x.json",
+                      "--simulator", "llvm_sim", "--learn-fields", "WriteLatency"])
+        with pytest.raises(SystemExit, match="learn_fields.*does not support"):
+            cli.main(["tune", "--targets", "haswell", "--simulator", "llvm_sim",
+                      "--learn-fields", "WriteLatency", "--config", "test"])
+
+
 class TestTimelineCommand:
     def test_prints_summary_for_block(self, capsys):
         code = cli.main(["timeline", "--block",
@@ -48,7 +102,7 @@ class TestTimelineCommand:
         assert "Resource pressure" in output
 
     def test_uses_learned_table_when_given(self, tmp_path, capsys):
-        from repro.core import MCAAdapter
+        from repro.core.adapters import MCAAdapter
         from repro.targets import HASWELL
 
         adapter = MCAAdapter(HASWELL)

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import DiffTune, DiffTuneConfig, LLVMSimAdapter, MCAAdapter, fast_config, paper_config
+from repro.core.adapters import LLVMSimAdapter, MCAAdapter
+from repro.core.config import fast_config, paper_config
+from repro.core.difftune import DiffTune, DiffTuneConfig
 from repro.core.config import test_config as tiny_config
 from repro.core.extraction import extract_native_table, extract_parameter_arrays
 from repro.core.parameters import ParameterArrays

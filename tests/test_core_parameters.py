@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import LLVMSimAdapter, MCAAdapter, ParameterArrays, ParameterField, ParameterSpec
+from repro.core.adapters import LLVMSimAdapter, MCAAdapter
+from repro.core.parameters import ParameterArrays, ParameterField, ParameterSpec
 from repro.core.parameters import PORT_MAP_FIELD_NAME
 from repro.targets import HASWELL, ZEN2
 

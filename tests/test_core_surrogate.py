@@ -3,8 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core import (BlockFeaturizer, MCAAdapter, SurrogateConfig, build_surrogate,
-                        collect_simulated_dataset, mape_loss_value, surrogate_loss)
+from repro.core.adapters import MCAAdapter
+from repro.core.losses import mape_loss_value, surrogate_loss
+from repro.core.simulated_dataset import collect_simulated_dataset
+from repro.core.surrogate import (BlockFeaturizer, SurrogateConfig,
+                                  build_surrogate)
 from repro.core.simulated_dataset import random_table_errors
 from repro.core.surrogate import (AnalyticalSurrogate, IthemalSurrogate, PooledSurrogate,
                                   NUM_STRUCTURAL_FEATURES)

@@ -9,7 +9,7 @@ pipeline relies on: LRU behaviour, content digests, and the adapters'
 import numpy as np
 import pytest
 
-from repro.core import MCAAdapter, SimulatorAdapter
+from repro.core.adapters import MCAAdapter, SimulatorAdapter
 from repro.engine import (BlockCompiler, LRUCache, SimulationEngine, bind_llvm_sim_block,
                           bind_mca_block, block_digest, compile_block, llvm_sim_table_digest,
                           mca_engine, mca_table_digest, parameter_arrays_digest)

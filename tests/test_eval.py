@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bhive import build_dataset
-from repro.core import MCAAdapter
+from repro.core.adapters import MCAAdapter
 from repro.eval import (case_study_report, error_and_tau, format_results_table, format_table,
                         global_parameter_sensitivity, kendall_tau,
                         mean_absolute_percentage_error, parameter_histograms,

@@ -15,7 +15,9 @@ import pytest
 from repro.autodiff import Adam, Linear, Tensor
 from repro.autodiff.serialization import (load_optimizer_state, load_parameter_arrays,
                                           save_optimizer_state, save_parameter_arrays)
-from repro.core import DiffTune, MCAAdapter, ParameterArrays
+from repro.core.adapters import MCAAdapter
+from repro.core.difftune import DiffTune
+from repro.core.parameters import ParameterArrays
 from repro.core.config import test_config as tiny_config
 from repro.pipeline import (CheckpointMismatchError, CheckpointStore, TargetSpec,
                             TuningPipeline, build_stages, tune_target, tune_targets)

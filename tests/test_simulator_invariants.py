@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bhive.generator import BlockGenerator
-from repro.core import LLVMSimAdapter, MCAAdapter
+from repro.core.adapters import LLVMSimAdapter, MCAAdapter
 from repro.engine import llvm_sim_engine, mca_engine
 from repro.llvm_mca import MCASimulator
 from repro.llvm_sim.simulator import LLVMSimSimulator

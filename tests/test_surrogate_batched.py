@@ -17,8 +17,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bhive import BlockGenerator
-from repro.core import (FeaturizationCache, MCAAdapter, SurrogateConfig,
-                        build_surrogate, collect_simulated_dataset, surrogate_loss)
+from repro.core.adapters import MCAAdapter
+from repro.core.losses import surrogate_loss
+from repro.core.simulated_dataset import collect_simulated_dataset
+from repro.core.surrogate import (FeaturizationCache, SurrogateConfig,
+                                  build_surrogate)
 from repro.core.surrogate import BlockFeaturizer
 from repro.core.surrogate_training import (SurrogateTrainingConfig, evaluate_surrogate,
                                            train_surrogate)

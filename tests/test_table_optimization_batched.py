@@ -16,7 +16,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bhive import BlockGenerator
-from repro.core import MCAAdapter, SurrogateConfig, build_surrogate
+from repro.core.adapters import MCAAdapter
+from repro.core.surrogate import SurrogateConfig, build_surrogate
 from repro.core.surrogate import BlockFeaturizer, PooledSurrogate
 from repro.core.table_optimization import (TableOptimizationConfig,
                                            optimize_parameter_table)
