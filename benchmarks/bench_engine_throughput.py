@@ -1,8 +1,9 @@
 """Simulation-engine throughput micro-benchmark.
 
 The measurement itself is the registered ``engine_throughput`` scenario in
-:mod:`repro.bench.scenarios` (scalar vs engine_cold vs engine_cached vs
-engine_parallel, bit-identity asserted between all paths).
+:mod:`repro.bench.scenarios` (scalar loop vs megabatch kernel vs the engine
+scalar/megabatch/cached/parallel paths, bit-identity asserted between all
+of them).
 
 .. deprecated::
     The standalone entrypoint below is kept for compatibility with existing

@@ -149,6 +149,7 @@ class Session:
         if self._adapter is None:
             kwargs: Dict[str, Any] = {
                 "engine_workers": self._spec_get("engine_workers", 0),
+                "engine_megabatch": self._spec_get("engine_megabatch", True),
             }
             narrow = self._spec_get("narrow_sampling")
             if narrow is not None:

@@ -115,6 +115,7 @@ class _SpecBase:
         self._check_registry("target", TARGETS)
         self._check_registry("simulator", SIMULATORS)
         self._check_non_negative("engine_workers")
+        self._check_type("engine_megabatch", (bool,))
 
     def validate(self) -> None:
         raise NotImplementedError
@@ -141,6 +142,10 @@ class TuneSpec(_SpecBase):
     batch_training: bool = True
     batch_table_optimization: bool = True
     engine_workers: int = 0
+    #: Route engine cache misses through the vectorized megabatch kernels
+    #: (bit-identical to the scalar path; ``False`` is a debugging escape
+    #: hatch).
+    engine_megabatch: bool = True
     checkpoint_dir: Optional[str] = None
     resume: bool = False
     stop_after: Optional[str] = None
@@ -192,6 +197,7 @@ class EvaluateSpec(_SpecBase):
     table_path: Optional[str] = None
     split: str = "test"
     engine_workers: int = 0
+    engine_megabatch: bool = True
 
     def validate(self) -> None:
         self._check_common()
@@ -213,6 +219,7 @@ class PredictSpec(_SpecBase):
     #: Learned table JSON; ``None`` predicts under the expert default table.
     table_path: Optional[str] = None
     engine_workers: int = 0
+    engine_megabatch: bool = True
 
     def validate(self) -> None:
         self._check_common()

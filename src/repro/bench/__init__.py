@@ -23,7 +23,8 @@ from repro.bench.registry import (DEFAULT_REGISTRY, DuplicateScenarioError, Scen
                                   ScenarioContext, ScenarioRegistry, scenario)
 from repro.bench.runner import Runner, RunnerConfig, environment_fingerprint, load_payload
 from repro.bench.schema import SCHEMA_VERSION, SchemaError, jsonify, validate_payload
-from repro.bench.compare import CompareConfig, CompareReport, compare_payloads
+from repro.bench.compare import (CompareConfig, CompareReport, check_min_metrics,
+                                 compare_payloads, parse_min_metric)
 from repro.bench import scenarios as _scenarios  # noqa: F401  (registers the catalog)
 
 __all__ = [
@@ -43,5 +44,7 @@ __all__ = [
     "validate_payload",
     "CompareConfig",
     "CompareReport",
+    "check_min_metrics",
     "compare_payloads",
+    "parse_min_metric",
 ]

@@ -19,7 +19,8 @@ import sys
 from typing import List, Optional
 
 from repro.bench import (DEFAULT_REGISTRY, CompareConfig, Runner, RunnerConfig,
-                         compare_payloads, load_payload)
+                         check_min_metrics, compare_payloads, load_payload,
+                         parse_min_metric)
 from repro.eval.experiments import SCALE_TIERS
 
 
@@ -53,16 +54,28 @@ def _command_compare(arguments: argparse.Namespace) -> int:
     # baseline is tolerated as missing — a green gate with an unreadable
     # results file would mean zero checks actually ran.
     current = load_payload(arguments.current)
+    try:
+        min_metrics = [parse_min_metric(raw)
+                       for raw in (arguments.min_metric or [])]
+    except ValueError as error:
+        print(f"error: --min-metric: {error}", file=sys.stderr)
+        return 2
+    config = CompareConfig(max_wall_ratio=arguments.max_wall_ratio,
+                           min_seconds=arguments.min_seconds,
+                           max_metric_ratio=arguments.max_metric_ratio,
+                           allow_missing=arguments.allow_missing,
+                           min_metrics=min_metrics)
     if arguments.allow_missing and not os.path.exists(arguments.baseline):
         print(f"note: baseline {arguments.baseline!r} does not exist; "
               f"current results validated ({len(current['scenarios'])} "
               "scenario(s)) but nothing to compare against (--allow-missing)")
-        return 0
+        if not min_metrics:
+            return 0
+        # Absolute floors do not need a baseline — gate them regardless.
+        report = check_min_metrics(current, config)
+        print(report.render())
+        return 0 if report.ok else 1
     baseline = load_payload(arguments.baseline)
-    config = CompareConfig(max_wall_ratio=arguments.max_wall_ratio,
-                           min_seconds=arguments.min_seconds,
-                           max_metric_ratio=arguments.max_metric_ratio,
-                           allow_missing=arguments.allow_missing)
     report = compare_payloads(baseline, current, config)
     print(report.render())
     return 0 if report.ok else 1
@@ -110,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--max-metric-ratio", type=float, default=None,
                                 help="optionally fail when a numeric metric drifts "
                                      "past this relative factor")
+    compare_parser.add_argument("--min-metric", action="append", metavar="SPEC",
+                                help="absolute floor on a current metric, as "
+                                     "'scenario:dotted.path:floor' (repeatable); "
+                                     "e.g. engine_throughput:speedups_vs_scalar"
+                                     ".engine_megabatch:5 — fails when the "
+                                     "metric is below the floor or missing")
     compare_parser.add_argument("--allow-missing", action="store_true",
                                 help="tolerate a missing baseline file, absent "
                                      "scenarios/metrics, and tier mismatches "

@@ -12,7 +12,11 @@ result file and fails when:
   regressions still accumulate into a failure);
 * optionally (``--max-metric-ratio``), a numeric metric drifted by more
   than the given relative factor — off by default because many metrics are
-  stochastic at reduced scale.
+  stochastic at reduced scale;
+* a ``--min-metric scenario:dotted.path:floor`` floor is violated — an
+  *absolute* gate on the current results (the baseline is not consulted),
+  used by CI to pin e.g. the megabatch speedup:
+  ``--min-metric engine_throughput:speedups_vs_scalar.engine_megabatch:5``.
 
 Tier mismatches always fail: wall times at different scales are not
 comparable.
@@ -37,6 +41,12 @@ class CompareConfig:
     #: a tier mismatch because the scales are not comparable, but coverage
     #: and metric drift are still reported.
     allow_missing: bool = False
+    #: Absolute floors on the *current* payload's metrics, independent of the
+    #: baseline: ``(scenario, dotted.metric.path, floor)`` triples (the same
+    #: dotted paths :func:`_numeric_leaves` produces).  A missing scenario or
+    #: path fails the gate — a floor that silently stops being checked is
+    #: worse than one that fails loudly.
+    min_metrics: List[Tuple[str, str, float]] = field(default_factory=list)
 
 
 @dataclass
@@ -103,6 +113,64 @@ def _compare_metrics(name: str, baseline: Any, current: Any,
         report.lines.append(f"  {len(drifted)}/{len(base_leaves)} numeric metrics "
                             f"changed (threshold "
                             f"{'off' if config.max_metric_ratio is None else config.max_metric_ratio})")
+
+
+def parse_min_metric(raw: str) -> Tuple[str, str, float]:
+    """Parse a ``scenario:dotted.path:floor`` CLI argument.
+
+    Split on the *last* two colons so scenario names containing colons would
+    still parse; raises ``ValueError`` naming the malformed part.
+    """
+    parts = raw.rsplit(":", 2)
+    if len(parts) != 3 or not parts[0] or not parts[1]:
+        raise ValueError(f"expected 'scenario:dotted.path:floor', got {raw!r}")
+    try:
+        floor = float(parts[2])
+    except ValueError:
+        raise ValueError(f"floor in {raw!r} is not a number: {parts[2]!r}") from None
+    return parts[0], parts[1], floor
+
+
+def _check_min_metrics(current_scenarios: Dict[str, Any], config: CompareConfig,
+                       report: CompareReport) -> None:
+    """Absolute floors on the current payload (baseline not consulted)."""
+    for scenario_name, path, floor in config.min_metrics:
+        entry = current_scenarios.get(scenario_name)
+        if entry is None:
+            report.failures.append(
+                f"min-metric {scenario_name}:{path}: scenario missing from "
+                f"current results")
+            continue
+        leaves = _numeric_leaves(entry.get("metrics"))
+        if path not in leaves:
+            close = sorted(leaf for leaf in leaves
+                           if leaf.split(".")[-1] == path.split(".")[-1])
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            report.failures.append(
+                f"min-metric {scenario_name}:{path}: metric path not found "
+                f"in current results{hint}")
+            continue
+        value = leaves[path]
+        if value < floor:
+            report.failures.append(
+                f"min-metric {scenario_name}:{path}: {value:.6g} below "
+                f"required floor {floor:g}")
+        else:
+            report.lines.append(
+                f"min-metric {scenario_name}:{path}: {value:.6g} >= {floor:g}")
+
+
+def check_min_metrics(current: Dict[str, Any],
+                      config: CompareConfig) -> CompareReport:
+    """Standalone floor check on one payload (no baseline involved).
+
+    Used by ``repro.bench compare --allow-missing`` when the baseline file
+    does not exist yet: the diff is skipped but absolute ``--min-metric``
+    floors still gate the freshly produced results.
+    """
+    report = CompareReport()
+    _check_min_metrics(current["scenarios"], config, report)
+    return report
 
 
 def _report_missing(report: CompareReport, config: CompareConfig,
@@ -185,4 +253,6 @@ def compare_payloads(baseline: Dict[str, Any], current: Dict[str, Any],
         report.failures.append(
             f"suite total wall time {base_total:.3f}s -> {current_total:.3f}s "
             f"({total_ratio:.2f}x > {config.max_wall_ratio:g}x allowed)")
+    if config.min_metrics:
+        _check_min_metrics(current_scenarios, config, report)
     return report

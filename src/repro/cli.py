@@ -117,7 +117,8 @@ def _command_learn(arguments: argparse.Namespace) -> int:
                  narrow_sampling=not arguments.paper_sampling,
                  batch_training=arguments.batch_training,
                  batch_table_optimization=arguments.batch_table_optimization,
-                 engine_workers=arguments.workers),
+                 engine_workers=arguments.workers,
+                 engine_megabatch=arguments.megabatch),
         log=lambda message: print(f"[difftune] {message}"))
     outcome = session.tune()
     outcome.learned_table.save_json(arguments.output)
@@ -179,7 +180,8 @@ def _command_tune(arguments: argparse.Namespace) -> int:
 def _command_evaluate(arguments: argparse.Namespace) -> int:
     session = Session.from_spec(EvaluateSpec(simulator=arguments.simulator,
                                              dataset_path=arguments.dataset,
-                                             table_path=arguments.table))
+                                             table_path=arguments.table,
+                                             engine_megabatch=arguments.megabatch))
     report = session.evaluate()
     label = arguments.table if arguments.table else "default parameters"
     print(f"{session.dataset().uarch_name} {report['split']} split "
@@ -221,7 +223,8 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     session = Session.from_spec(EvaluateSpec(simulator=arguments.simulator,
                                              dataset_path=arguments.dataset,
                                              table_path=arguments.table,
-                                             engine_workers=arguments.workers))
+                                             engine_workers=arguments.workers,
+                                             engine_megabatch=arguments.megabatch))
     test_blocks, test_timings = session.split("test")
 
     field = arguments.field
@@ -325,6 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="batched phase-two table optimization (default on; "
                                    "--no-batch-table-optimization restores the "
                                    "per-block loop)")
+    learn_parser.add_argument("--megabatch", action=argparse.BooleanOptionalAction,
+                              default=True,
+                              help="vectorized megabatch simulation kernels (default "
+                                   "on; --no-megabatch restores the bit-identical "
+                                   "per-block scalar path)")
     learn_parser.set_defaults(handler=_command_learn)
 
     tune_parser = subparsers.add_parser(
@@ -365,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a parameter table")
     evaluate_parser.add_argument("--dataset", required=True)
     evaluate_parser.add_argument("--table", help="learned table JSON (defaults to expert table)")
+    evaluate_parser.add_argument("--megabatch", action=argparse.BooleanOptionalAction,
+                                 default=True,
+                                 help="vectorized megabatch simulation kernels (default "
+                                      "on; --no-megabatch restores the bit-identical "
+                                      "per-block scalar path)")
     _add_simulator_argument(evaluate_parser)
     evaluate_parser.set_defaults(handler=_command_evaluate)
 
@@ -396,7 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--high", type=int, default=10)
     sweep_parser.add_argument("--step", type=int, default=1)
     sweep_parser.add_argument("--workers", type=int, default=0,
-                              help="engine worker processes (one task per swept value)")
+                              help="engine worker processes (megabatches are chunked "
+                                   "across them)")
+    sweep_parser.add_argument("--megabatch", action=argparse.BooleanOptionalAction,
+                              default=True,
+                              help="vectorized megabatch simulation kernels (default "
+                                   "on; --no-megabatch restores the bit-identical "
+                                   "per-block scalar path)")
     sweep_parser.set_defaults(handler=_command_sweep)
 
     baseline_parser = subparsers.add_parser(

@@ -158,7 +158,8 @@ class MCAAdapter(SimulatorAdapter):
                  learn_fields: Optional[Sequence[str]] = None,
                  narrow_sampling: bool = False,
                  engine_cache_size: int = DEFAULT_CACHE_SIZE,
-                 engine_workers: int = 0) -> None:
+                 engine_workers: int = 0,
+                 engine_megabatch: bool = True) -> None:
         """Create an adapter.
 
         Args:
@@ -180,6 +181,9 @@ class MCAAdapter(SimulatorAdapter):
             engine_workers: Opt-in process fan-out for batched table
                 evaluation (``0`` = serial; see
                 :class:`~repro.engine.engine.SimulationEngine`).
+            engine_megabatch: Execute cache misses through the vectorized
+                megabatch kernel (bit-identical; ``False`` restores the
+                per-block scalar path).
         """
         self.uarch = uarch
         self.opcode_table = opcode_table or DEFAULT_OPCODE_TABLE
@@ -187,6 +191,7 @@ class MCAAdapter(SimulatorAdapter):
         self.narrow_sampling = narrow_sampling
         self.engine_cache_size = engine_cache_size
         self.engine_workers = engine_workers
+        self.engine_megabatch = engine_megabatch
         self._default_table = build_default_mca_table(uarch, self.opcode_table)
         self._spec = self._build_spec()
 
@@ -322,7 +327,8 @@ class MCAAdapter(SimulatorAdapter):
     def create_engine(self) -> SimulationEngine:
         return SimulationEngine(self.simulator_factory(), mca_table_digest,
                                 cache_size=self.engine_cache_size,
-                                num_workers=self.engine_workers)
+                                num_workers=self.engine_workers,
+                                megabatch=self.engine_megabatch)
 
     def predict_timings(self, arrays: ParameterArrays,
                         blocks: Sequence[BasicBlock]) -> np.ndarray:
@@ -343,10 +349,10 @@ def _mca_timeline_view(table: MCAParameterTable):
     return TimelineView(table)
 
 
-def _mca_engine_factory(num_workers: int = 0):
+def _mca_engine_factory(num_workers: int = 0, megabatch: bool = True):
     from repro.engine.factories import mca_engine
 
-    return mca_engine(num_workers=num_workers)
+    return mca_engine(num_workers=num_workers, megabatch=megabatch)
 
 
 class LLVMSimAdapter(SimulatorAdapter):
@@ -354,11 +360,13 @@ class LLVMSimAdapter(SimulatorAdapter):
 
     def __init__(self, uarch: UarchSpec, opcode_table: Optional[OpcodeTable] = None,
                  engine_cache_size: int = DEFAULT_CACHE_SIZE,
-                 engine_workers: int = 0) -> None:
+                 engine_workers: int = 0,
+                 engine_megabatch: bool = True) -> None:
         self.uarch = uarch
         self.opcode_table = opcode_table or DEFAULT_OPCODE_TABLE
         self.engine_cache_size = engine_cache_size
         self.engine_workers = engine_workers
+        self.engine_megabatch = engine_megabatch
         self._default_table = build_default_llvm_sim_table(uarch, self.opcode_table)
         self._spec = ParameterSpec(
             global_fields=[],
@@ -412,7 +420,8 @@ class LLVMSimAdapter(SimulatorAdapter):
     def create_engine(self) -> SimulationEngine:
         return SimulationEngine(self.simulator_factory(), llvm_sim_table_digest,
                                 cache_size=self.engine_cache_size,
-                                num_workers=self.engine_workers)
+                                num_workers=self.engine_workers,
+                                megabatch=self.engine_megabatch)
 
     def predict_timings(self, arrays: ParameterArrays,
                         blocks: Sequence[BasicBlock]) -> np.ndarray:
@@ -427,7 +436,8 @@ def _llvm_sim_adapter_factory(uarch: UarchSpec, *,
                               narrow_sampling: bool = True,
                               learn_fields: Optional[Sequence[str]] = None,
                               engine_cache_size: int = DEFAULT_CACHE_SIZE,
-                              engine_workers: int = 0) -> LLVMSimAdapter:
+                              engine_workers: int = 0,
+                              engine_megabatch: bool = True) -> LLVMSimAdapter:
     """Uniform-signature factory for :class:`LLVMSimAdapter`.
 
     ``narrow_sampling`` is accepted and ignored — llvm_sim's sampling ranges
@@ -439,13 +449,14 @@ def _llvm_sim_adapter_factory(uarch: UarchSpec, *,
                          "learn_fields is not supported (use simulator 'mca')")
     return LLVMSimAdapter(uarch, opcode_table=opcode_table,
                           engine_cache_size=engine_cache_size,
-                          engine_workers=engine_workers)
+                          engine_workers=engine_workers,
+                          engine_megabatch=engine_megabatch)
 
 
-def _llvm_sim_engine_factory(num_workers: int = 0):
+def _llvm_sim_engine_factory(num_workers: int = 0, megabatch: bool = True):
     from repro.engine.factories import llvm_sim_engine
 
-    return llvm_sim_engine(num_workers=num_workers)
+    return llvm_sim_engine(num_workers=num_workers, megabatch=megabatch)
 
 
 SIMULATORS.register(
@@ -459,6 +470,7 @@ SIMULATORS.register(
         timeline_factory=_mca_timeline_view,
         sweep_fields={"DispatchWidth": _set_dispatch_width,
                       "ReorderBufferSize": _set_reorder_buffer_size},
+        supports_megabatch=True,
     ),
     aliases=("llvm-mca", "llvm_mca"))
 
@@ -471,5 +483,6 @@ SIMULATORS.register(
         load_table=LLVMSimParameterTable.load_json,
         engine_factory=_llvm_sim_engine_factory,
         supports_partial_learning=False,
+        supports_megabatch=True,
     ),
     aliases=("llvm-sim", "llvmsim"))

@@ -11,8 +11,10 @@ simulator:
    content digests and LRU caches the layer is built on;
 3. **execute** (:mod:`repro.engine.engine`) — the
    :class:`SimulationEngine` batch API ``run(tables, blocks)`` with an LRU
-   result cache keyed by ``(table_digest, block_id)`` and an opt-in
-   ``multiprocessing`` executor for parallel table evaluation.
+   result cache keyed by ``(table_digest, block_id)``, megabatched miss
+   execution through the numpy-vectorized timing kernels
+   (:mod:`repro.engine.megabatch`), and an opt-in ``multiprocessing``
+   executor that chunks megabatches across workers.
 
 :mod:`repro.engine.factories` builds ready-to-use engines for the two
 simulators the paper evaluates (llvm-mca and llvm_sim); it is loaded
@@ -25,6 +27,10 @@ from repro.engine.binding import (LRUCache, LLVMSimBoundBlock, MCABoundBlock,
                                   llvm_sim_table_digest, mca_table_digest,
                                   parameter_arrays_digest)
 from repro.engine.engine import DEFAULT_CACHE_SIZE, SimulationEngine
+from repro.engine.megabatch import (DEFAULT_MEGABATCH_CHUNK, MIN_LOCKSTEP_BLOCKS,
+                                    PackedCorpus, megabatch_timings, pack_corpus,
+                                    predict_timings_megabatch,
+                                    shrink_iteration_counts)
 
 __all__ = [
     "BlockCompiler",
@@ -40,9 +46,16 @@ __all__ = [
     "llvm_sim_table_digest",
     "parameter_arrays_digest",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_MEGABATCH_CHUNK",
+    "MIN_LOCKSTEP_BLOCKS",
+    "PackedCorpus",
     "SimulationEngine",
     "llvm_sim_engine",
     "mca_engine",
+    "megabatch_timings",
+    "pack_corpus",
+    "predict_timings_megabatch",
+    "shrink_iteration_counts",
 ]
 
 _LAZY_FACTORY_EXPORTS = ("mca_engine", "llvm_sim_engine")

@@ -10,14 +10,20 @@ serves that request through one path:
 2. results are cached in an LRU keyed by ``(table_digest, block_id)``, so
    searchers that re-evaluate overlapping table/block pairs (random search,
    annealing, genetic, coordinate descent) never recompute a pair;
-3. cache misses are executed either serially or, opt-in, fanned out across
-   a ``multiprocessing`` pool with one task per table and deterministic
-   result ordering.
+3. cache misses are gathered and executed as *megabatches* — one
+   numpy-vectorized kernel invocation per table over every missing block
+   (see :mod:`repro.engine.megabatch`) — and scattered back through the
+   cache; ``megabatch=False`` retains the per-block scalar path, which is
+   bit-identical;
+4. with workers configured, megabatches are chunked across a
+   ``multiprocessing`` pool (several tasks per worker rather than one
+   monolithic task per table) with deterministic reassembly.
 
 The engine is simulator-agnostic: it is constructed from a
-``simulator_factory`` (native table -> simulator with ``predict_timing``)
-and a ``table_digest`` function.  :mod:`repro.engine.factories` provides the
-two concrete constructions for llvm-mca and llvm_sim.
+``simulator_factory`` (native table -> simulator with ``predict_timing``
+and optionally ``predict_timing_batch``) and a ``table_digest`` function.
+:mod:`repro.engine.factories` provides the two concrete constructions for
+llvm-mca and llvm_sim.
 """
 
 from __future__ import annotations
@@ -35,14 +41,39 @@ from repro.isa.basic_block import BasicBlock
 #: (tens of thousands of table evaluations x a batch of blocks).
 DEFAULT_CACHE_SIZE = 1 << 17
 
+#: Which ``predict_timing_batch`` implementations accept a ``compiled``
+#: keyword (keyed by the underlying function, checked once per simulator
+#: class).  Third-party simulators may predate the parameter.
+_ACCEPTS_COMPILED: Dict[Any, bool] = {}
+
+
+def _accepts_compiled(batch: Callable[..., Any]) -> bool:
+    function = getattr(batch, "__func__", batch)
+    accepts = _ACCEPTS_COMPILED.get(function)
+    if accepts is None:
+        import inspect
+
+        try:
+            accepts = "compiled" in inspect.signature(function).parameters
+        except (TypeError, ValueError):
+            accepts = False
+        _ACCEPTS_COMPILED[function] = accepts
+    return accepts
+
 
 def _simulate_blocks_task(task: Any) -> List[float]:
     """Worker entry point: simulate ``blocks`` under one table.
 
     Module-level so it pickles under every multiprocessing start method.
+    Routes through the simulator's megabatch kernel when the engine runs
+    with ``megabatch=True`` and the simulator provides one; both paths
+    produce identical bits.
     """
-    simulator_factory, table, blocks = task
+    simulator_factory, table, blocks, megabatch = task
     simulator = simulator_factory(table)
+    batch = getattr(simulator, "predict_timing_batch", None) if megabatch else None
+    if batch is not None:
+        return [float(value) for value in batch(blocks)]
     return [float(simulator.predict_timing(block)) for block in blocks]
 
 
@@ -57,23 +88,31 @@ class SimulationEngine:
             block digest it keys the result cache.
         cache_size: Capacity of the timing LRU cache.
         num_workers: Opt-in process fan-out for :meth:`run`.  ``0`` or ``1``
-            executes serially in-process; ``>= 2`` distributes one task per
-            table over a pool.  Results are deterministic and identical to
-            the serial path either way.
+            executes serially in-process; ``>= 2`` chunks the missing
+            blocks of every table across a pool.  Results are deterministic
+            and identical to the serial path either way.
+        megabatch: Route cache misses through the simulators' vectorized
+            megabatch kernels (bit-identical to the scalar path, roughly an
+            order of magnitude faster).  ``False`` simulates blocks one at
+            a time with ``predict_timing`` — the right choice only for
+            debugging single blocks or simulators without a batch kernel.
     """
 
     def __init__(self, simulator_factory: Callable[[Any], Any],
                  table_digest: Callable[[Any], str],
                  cache_size: int = DEFAULT_CACHE_SIZE,
-                 num_workers: int = 0) -> None:
+                 num_workers: int = 0,
+                 megabatch: bool = True) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         self._factory = simulator_factory
         self._table_digest = table_digest
         self.num_workers = num_workers
+        self.megabatch = megabatch
         self._results = LRUCache(cache_size)
         self._compilers: Dict[int, BlockCompiler] = {}
         self._parallel_batches = 0
+        self._megabatch_batches = 0
         self._executed = 0
 
     # ------------------------------------------------------------------
@@ -100,18 +139,49 @@ class SimulationEngine:
         digest = self._table_digest(table)
         compiler = self._compiler_for(table.opcode_table)
         timings = np.empty(len(blocks), dtype=np.float64)
-        simulator: Optional[Any] = None
+        # Misses are gathered (deduplicated by block content) into one
+        # megabatch per table, then scattered back through the cache.
+        missing: Dict[str, List[int]] = {}
+        unique_blocks: List[BasicBlock] = []
+        unique_compiled: List[Any] = []
         for position, block in enumerate(blocks):
-            key = (digest, compiler.compile(block).block_id)
-            cached = self._results.get(key)
+            compiled_block = compiler.compile(block)
+            block_id = compiled_block.block_id
+            cached = self._results.get((digest, block_id))
             if cached is None:
-                if simulator is None:
-                    simulator = self._build_simulator(table, compiler)
-                cached = float(simulator.predict_timing(block))
-                self._executed += 1
-                self._results.put(key, cached)
-            timings[position] = cached
+                if block_id not in missing:
+                    unique_blocks.append(block)
+                    unique_compiled.append(compiled_block)
+                missing.setdefault(block_id, []).append(position)
+            else:
+                timings[position] = cached
+        if missing:
+            simulator = self._build_simulator(table, compiler)
+            values = self._predict_missing(simulator, unique_blocks,
+                                           unique_compiled)
+            self._executed += len(values)
+            for (block_id, positions), value in zip(missing.items(), values):
+                for position in positions:
+                    timings[position] = value
+                self._results.put((digest, block_id), value)
         return timings
+
+    def _predict_missing(self, simulator: Any, blocks: Sequence[BasicBlock],
+                         compiled: Optional[Sequence[Any]] = None
+                         ) -> List[float]:
+        """Simulate uncached blocks, vectorized when the simulator can."""
+        batch = (getattr(simulator, "predict_timing_batch", None)
+                 if self.megabatch else None)
+        if batch is not None:
+            self._megabatch_batches += 1
+            if compiled is not None and _accepts_compiled(batch):
+                values = batch(blocks, compiled=compiled)
+            else:
+                values = batch(blocks)
+            # ndarray -> Python floats in one C call rather than a scalar
+            # conversion per element (the cache stores plain floats).
+            return np.asarray(values, dtype=np.float64).tolist()
+        return [float(simulator.predict_timing(block)) for block in blocks]
 
     def run(self, tables: Sequence[Any], blocks: Sequence[BasicBlock]) -> np.ndarray:
         """Timings of every block under every table.
@@ -141,7 +211,7 @@ class SimulationEngine:
                 results[index] = self.run_one(table, blocks)
             return results
 
-        pending: List[Any] = []     # (pair_index, digest, {block_id: positions}, task)
+        pending: List[Any] = []  # (pair_index, digest, {id: positions}, blocks, table)
         for index, (table, blocks) in enumerate(pairs):
             digest = self._table_digest(table)
             compiler = self._compiler_for(table.opcode_table)
@@ -149,32 +219,53 @@ class SimulationEngine:
             # Deduplicate misses by block content so each unique block is
             # simulated once per table, as the serial path's cache ensures.
             missing: Dict[str, List[int]] = {}
+            unique_blocks: List[BasicBlock] = []
             for position, block in enumerate(blocks):
                 block_id = compiler.compile(block).block_id
                 cached = self._results.get((digest, block_id))
                 if cached is None:
+                    if block_id not in missing:
+                        unique_blocks.append(block)
                     missing.setdefault(block_id, []).append(position)
                 else:
                     timings[position] = cached
             results[index] = timings
             if missing:
-                task = (self._factory, table,
-                        [blocks[positions[0]] for positions in missing.values()])
-                pending.append((index, digest, missing, task))
+                pending.append((index, digest, missing, unique_blocks, table))
         if not pending:
             return results
 
         self._parallel_batches += 1
+        # Fan-out granularity: one monolithic task per table would leave
+        # most workers idle whenever tables are fewer than workers (a single
+        # megabatched table is the common evaluate/sweep shape), so each
+        # table's missing blocks are chunked into a few tasks per worker.
+        # ``pool.map`` preserves task order, so reassembly is deterministic.
+        total_missing = sum(len(entry[3]) for entry in pending)
+        target_tasks = max(self.num_workers * 2, len(pending))
+        chunk = max(1, -(-total_missing // target_tasks))
+        tasks: List[Any] = []
+        segments: List[Any] = []  # (pair_index, digest, missing, ids) per task
+        for index, digest, missing, unique_blocks, table in pending:
+            ids = list(missing.keys())
+            for start in range(0, len(ids), chunk):
+                tasks.append((self._factory, table,
+                              unique_blocks[start:start + chunk],
+                              self.megabatch))
+                segments.append((index, digest, missing,
+                                 ids[start:start + chunk]))
+        if self.megabatch:
+            self._megabatch_batches += len(tasks)
         start_methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in start_methods else start_methods[0])
-        processes = min(self.num_workers, len(pending))
+        processes = min(self.num_workers, len(tasks))
         with context.Pool(processes=processes) as pool:
-            computed = pool.map(_simulate_blocks_task, [entry[3] for entry in pending])
-        for (index, digest, missing, _task), values in zip(pending, computed):
+            computed = pool.map(_simulate_blocks_task, tasks)
+        for (index, digest, missing, ids), values in zip(segments, computed):
             self._executed += len(values)
-            for (block_id, positions), value in zip(missing.items(), values):
-                for position in positions:
+            for block_id, value in zip(ids, values):
+                for position in missing[block_id]:
                     results[index][position] = value
                 self._results.put((digest, block_id), value)
         return results
@@ -198,6 +289,7 @@ class SimulationEngine:
             "compile_hits": sum(compiler.hits for compiler in self._compilers.values()),
             "compile_misses": sum(compiler.misses for compiler in self._compilers.values()),
             "parallel_batches": self._parallel_batches,
+            "megabatch_batches": self._megabatch_batches,
         }
 
     def clear_cache(self) -> None:
@@ -205,4 +297,14 @@ class SimulationEngine:
         for compiler in self._compilers.values():
             compiler.clear()
         self._parallel_batches = 0
+        self._megabatch_batches = 0
         self._executed = 0
+
+    def clear_results(self) -> None:
+        """Drop cached timings but keep compiled blocks.
+
+        The next run re-simulates every block without re-compiling — what a
+        throughput benchmark wants between repetitions, and cheaper than
+        :meth:`clear_cache` when only the result LRU must be invalidated.
+        """
+        self._results.clear()

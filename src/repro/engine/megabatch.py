@@ -1,0 +1,268 @@
+"""Megabatch lowering: the whole compiled-block corpus as structure-of-arrays.
+
+The per-block simulation kernels (:func:`repro.llvm_mca.simulator.simulate_bound_mca`,
+:func:`repro.llvm_sim.simulator.simulate_bound_llvm_sim`) step one dynamic
+instruction per Python bytecode loop iteration.  That loop is the last
+per-block interpreter hot path left in the pipeline: blocks are already
+compiled once and tables bound vectorized, but ``SimulationEngine.run`` still
+walks blocks one at a time.
+
+This module provides the batch-major counterpart, mirroring what
+``PackedBlockBatch`` did for the surrogates: a :class:`PackedCorpus` lowers a
+list of :class:`~repro.engine.compile.CompiledBlock` into padded NumPy
+matrices (opcode indices, interned source/destination register ids, validity
+implied by ``-1`` padding and per-block lengths), over which the
+numpy-vectorized timing kernels in :mod:`repro.llvm_mca.megabatch` and
+:mod:`repro.llvm_sim.megabatch` advance *every* block one dynamic instruction
+per step.  All kernel arithmetic is int64 cycle math, so the megabatch
+timings are bit-identical to the scalar reference kernels (property-tested
+in ``tests/test_megabatch.py``).
+
+:func:`megabatch_timings` is the shared driver: it sorts blocks by their
+total dynamic instruction count so lockstep chunks waste few inactive lanes,
+packs each chunk, runs the kernel, and scatters timings back into input
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.compile import CompiledBlock
+
+#: Maximum blocks per lockstep kernel invocation.  Chunks bound peak state
+#: memory (register scoreboards, reorder-buffer histories are ``O(B * T)``)
+#: and keep each step's working set cache-sized; combined with the sorted
+#: homogeneous chunking in :func:`megabatch_timings`, blocks of similar
+#: dynamic length share a chunk so few lanes idle.
+DEFAULT_MEGABATCH_CHUNK = 1024
+
+#: A chunk never mixes blocks whose total dynamic step counts differ by more
+#: than this factor (plus a small absolute slack for very short blocks).
+#: Lockstep cost is ``O(B * max_steps)``, so homogeneity keeps the padded
+#: lane-step volume within ~2x of the useful work.
+_CHUNK_STEP_RATIO = 2
+_CHUNK_STEP_SLACK = 16
+
+#: Below this many lanes a lockstep chunk cannot amortize the fixed numpy
+#: dispatch overhead of each step (~20 ufunc calls) against the scalar
+#: kernels' few microseconds per dynamic instruction, so chunks this skinny
+#: run the per-block scalar kernel instead when the caller provides one.
+#: Long-tailed corpora (BHive-style lengths) put their few longest blocks
+#: in exactly such chunks.
+MIN_LOCKSTEP_BLOCKS = 8
+
+
+@dataclass(frozen=True)
+class PackedCorpus:
+    """A compiled-block corpus lowered to padded structure-of-arrays form.
+
+    Attributes:
+        lengths: ``(B,)`` int64 instruction counts per block.
+        opcode_indices: ``(B, L)`` int64 opcode-table indices, zero-padded
+            past each block's length (padded positions are never stepped —
+            kernels mask lanes by ``lengths``).
+        source_ids: ``(B, L, S)`` int64 interned source-register ids, padded
+            with ``-1`` (both past a block's length and past an
+            instruction's operand count).
+        destination_ids: ``(B, L, D)`` int64 interned destination-register
+            ids, ``-1``-padded like ``source_ids``.
+        num_registers: ``(B,)`` int64 block-local register-universe sizes.
+    """
+
+    lengths: np.ndarray
+    opcode_indices: np.ndarray
+    source_ids: np.ndarray
+    destination_ids: np.ndarray
+    num_registers: np.ndarray
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.lengths.shape[0])
+
+    @property
+    def max_length(self) -> int:
+        return int(self.opcode_indices.shape[1])
+
+
+#: Cache of per-block dense operand matrices, keyed by the block's content
+#: digest (``CompiledBlock.block_id``).  Lowering the tuple-of-tuples operand
+#: lists is the only per-instruction Python loop left in packing, and the
+#: same blocks recur across chunks, engine calls, and parameter updates
+#: (tables change, blocks don't), so the matrices are built once per block.
+_OPERAND_ROW_CACHE: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+_OPERAND_ROW_CACHE_MAX = 1 << 16
+
+
+def _dense_operands(rows: Tuple[Tuple[int, ...], ...],
+                    length: int) -> np.ndarray:
+    """Lower ragged operand tuples into a dense ``(length, width)`` matrix."""
+    width = max((len(ids) for ids in rows), default=0)
+    dense = np.full((max(length, 1), max(width, 1)), -1, dtype=np.int64)
+    for position, ids in enumerate(rows):
+        if ids:
+            dense[position, :len(ids)] = ids
+    return dense
+
+
+def _operand_rows(block: CompiledBlock) -> Tuple[np.ndarray, np.ndarray]:
+    cached = _OPERAND_ROW_CACHE.get(block.block_id)
+    if cached is None:
+        if len(_OPERAND_ROW_CACHE) >= _OPERAND_ROW_CACHE_MAX:
+            _OPERAND_ROW_CACHE.clear()
+        cached = (_dense_operands(block.source_ids, block.length),
+                  _dense_operands(block.destination_ids, block.length))
+        _OPERAND_ROW_CACHE[block.block_id] = cached
+    return cached
+
+
+def pack_corpus(compiled: Sequence[CompiledBlock]) -> PackedCorpus:
+    """Lower ``compiled`` blocks into one :class:`PackedCorpus`.
+
+    Operand matrices are padded to at least one slot so kernels never deal
+    with zero-width gather/scatter axes.
+    """
+    count = len(compiled)
+    lengths = np.fromiter((block.length for block in compiled), dtype=np.int64,
+                          count=count)
+    max_length = int(lengths.max(initial=1))
+    operand_rows = [_operand_rows(block) for block in compiled]
+    max_sources = max((src.shape[1] for src, _ in operand_rows), default=1)
+    max_destinations = max((dst.shape[1] for _, dst in operand_rows),
+                           default=1)
+
+    opcode_indices = np.zeros((count, max_length), dtype=np.int64)
+    source_ids = np.full((count, max_length, max_sources), -1, dtype=np.int64)
+    destination_ids = np.full((count, max_length, max_destinations), -1,
+                              dtype=np.int64)
+    for row, block in enumerate(compiled):
+        opcode_indices[row, :block.length] = block.opcode_indices
+        src, dst = operand_rows[row]
+        source_ids[row, :src.shape[0], :src.shape[1]] = src
+        destination_ids[row, :dst.shape[0], :dst.shape[1]] = dst
+    num_registers = np.fromiter((block.num_registers for block in compiled),
+                                dtype=np.int64, count=count)
+    return PackedCorpus(lengths=lengths, opcode_indices=opcode_indices,
+                        source_ids=source_ids, destination_ids=destination_ids,
+                        num_registers=num_registers)
+
+
+def shrink_iteration_counts(lengths: np.ndarray, warmup_iterations: int,
+                            measure_iterations: int,
+                            max_dynamic_instructions: int
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``_iteration_counts``: shrink windows for long blocks.
+
+    Replicates the simulators' per-block loop exactly — first the
+    measurement window shrinks (never below 2), then the warmup window
+    (never below 1) — element-wise over ``lengths``.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    warmup = np.full(lengths.shape, int(warmup_iterations), dtype=np.int64)
+    measure = np.full(lengths.shape, int(measure_iterations), dtype=np.int64)
+
+    def over_cap() -> np.ndarray:
+        return (warmup + measure) * lengths > max_dynamic_instructions
+
+    shrink = over_cap() & (measure > 2)
+    while shrink.any():
+        measure[shrink] -= 1
+        shrink = over_cap() & (measure > 2)
+    shrink = over_cap() & (warmup > 1)
+    while shrink.any():
+        warmup[shrink] -= 1
+        shrink = over_cap() & (warmup > 1)
+    return warmup, measure
+
+
+#: A megabatch kernel: ``(corpus, warmup, measure) -> (B,) float64 timings``.
+MegabatchKernel = Callable[[PackedCorpus, np.ndarray, np.ndarray], np.ndarray]
+
+#: A per-block scalar kernel: ``(compiled, warmup, measure) -> timing``.
+ScalarKernel = Callable[[CompiledBlock, int, int], float]
+
+
+def megabatch_timings(compiled: Sequence[CompiledBlock], warmup: np.ndarray,
+                      measure: np.ndarray, kernel: MegabatchKernel,
+                      chunk_size: int = DEFAULT_MEGABATCH_CHUNK,
+                      scalar_kernel: ScalarKernel = None) -> np.ndarray:
+    """Run ``kernel`` over ``compiled`` in sorted lockstep chunks.
+
+    Blocks are ordered by total dynamic instruction count
+    (``(warmup + measure) * length``), then split greedily into chunks of at
+    most ``chunk_size`` blocks whose step counts stay within a small factor
+    of the chunk's shortest block — lockstep lanes padded far past their own
+    work would otherwise dominate both memory traffic and per-step overhead.
+    Results are scattered back into input order.  The sort is stable, so
+    equal-cost blocks keep their relative order and the chunking is fully
+    deterministic.  Chunk membership never changes a block's timing (the
+    kernels are bit-exact per lane), only throughput.
+
+    Chunks with fewer than :data:`MIN_LOCKSTEP_BLOCKS` lanes run
+    ``scalar_kernel`` per block instead when one is provided: with so few
+    lanes the vectorized step overhead exceeds the scalar kernels' cost,
+    and the scalar kernels produce the same bits.
+    """
+    count = len(compiled)
+    timings = np.empty(count, dtype=np.float64)
+    if count == 0:
+        return timings
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    lengths = np.fromiter((block.length for block in compiled), dtype=np.int64,
+                          count=count)
+    total_steps = (np.asarray(warmup, dtype=np.int64)
+                   + np.asarray(measure, dtype=np.int64)) * lengths
+    order = np.argsort(total_steps, kind="stable")
+    sorted_steps = total_steps[order]
+    start = 0
+    while start < count:
+        ceiling = (max(int(sorted_steps[start]), 1) * _CHUNK_STEP_RATIO
+                   + _CHUNK_STEP_SLACK)
+        stop = min(count, start + chunk_size)
+        limit = start + 1
+        while limit < stop and int(sorted_steps[limit]) <= ceiling:
+            limit += 1
+        selected = order[start:limit]
+        if scalar_kernel is not None and limit - start < MIN_LOCKSTEP_BLOCKS:
+            for index in selected:
+                timings[index] = scalar_kernel(compiled[index],
+                                               int(warmup[index]),
+                                               int(measure[index]))
+        else:
+            corpus = pack_corpus([compiled[index] for index in selected])
+            timings[selected] = kernel(corpus, warmup[selected],
+                                       measure[selected])
+        start = limit
+    return timings
+
+
+def predict_timings_megabatch(simulator, blocks: Sequence) -> np.ndarray:
+    """Shared ``predict_many`` implementation for both simulators.
+
+    Routes batch prediction through the simulator's megabatch kernel
+    (:meth:`predict_timing_batch`), falling back to the per-block scalar
+    loop for simulators that do not provide one.
+    """
+    blocks = list(blocks)
+    batch = getattr(simulator, "predict_timing_batch", None)
+    if batch is not None:
+        return np.asarray(batch(blocks), dtype=np.float64)
+    return np.array([simulator.predict_timing(block) for block in blocks],
+                    dtype=np.float64)
+
+
+__all__ = [
+    "DEFAULT_MEGABATCH_CHUNK",
+    "MIN_LOCKSTEP_BLOCKS",
+    "MegabatchKernel",
+    "PackedCorpus",
+    "ScalarKernel",
+    "megabatch_timings",
+    "pack_corpus",
+    "predict_timings_megabatch",
+    "shrink_iteration_counts",
+]

@@ -81,8 +81,19 @@ class BasicBlock:
         return self.to_assembly()
 
     def structural_key(self) -> Tuple[str, ...]:
-        """A hashable identity used to keep dataset splits block-wise disjoint."""
-        return tuple(instruction.to_assembly() for instruction in self.instructions)
+        """A hashable identity used to keep dataset splits block-wise disjoint.
+
+        Memoized on the instance: the key is pure text rendering of the
+        immutable instruction tuple, and hot paths (the block-compilation
+        cache, dataset splits) look it up far more often than blocks are
+        created.
+        """
+        key = self.__dict__.get("_structural_key")
+        if key is None:
+            key = tuple(instruction.to_assembly()
+                        for instruction in self.instructions)
+            object.__setattr__(self, "_structural_key", key)
+        return key
 
     # ------------------------------------------------------------------
     # Dependency analysis helpers

@@ -263,6 +263,48 @@ class MCASimulator:
         """Predicted timing of the block: steady-state cycles per iteration."""
         return self.simulate(block).cycles_per_iteration
 
+    def predict_timing_batch(self, blocks: Sequence[BasicBlock],
+                             chunk_size: Optional[int] = None,
+                             compiled: Optional[Sequence] = None) -> np.ndarray:
+        """Predict timings for ``blocks`` through the megabatch kernel.
+
+        Bit-identical to calling :meth:`predict_timing` per block (see
+        :mod:`repro.llvm_mca.megabatch`), but every block advances one
+        dynamic instruction per vectorized step instead of one per Python
+        loop iteration.  Callers that already hold the blocks' compiled
+        forms (the engine does) pass them via ``compiled`` to skip the
+        compile-cache lookups.
+        """
+        from functools import partial
+
+        from repro.engine.megabatch import (DEFAULT_MEGABATCH_CHUNK,
+                                            megabatch_timings,
+                                            shrink_iteration_counts)
+        from repro.llvm_mca.megabatch import simulate_packed_mca
+
+        if compiled is None:
+            compiled = [self.compiler.compile(block) for block in blocks]
+        lengths = np.fromiter((block.length for block in compiled),
+                              dtype=np.int64, count=len(compiled))
+        warmup, measure = shrink_iteration_counts(
+            lengths, self.warmup_iterations, self.measure_iterations,
+            self.max_dynamic_instructions)
+        width = int(self.parameters.dispatch_width)
+        capacity = int(self.parameters.reorder_buffer_size)
+
+        def scalar_kernel(block, block_warmup, block_measure):
+            bound = bind_mca_block(self.parameters, block)
+            return simulate_bound_mca(bound, width, capacity, block_warmup,
+                                      block_measure).cycles_per_iteration
+
+        return megabatch_timings(
+            compiled, warmup, measure,
+            partial(simulate_packed_mca, self.parameters),
+            chunk_size=chunk_size or DEFAULT_MEGABATCH_CHUNK,
+            scalar_kernel=scalar_kernel)
+
     def predict_many(self, blocks: Sequence[BasicBlock]) -> np.ndarray:
         """Predict timings for a sequence of blocks."""
-        return np.array([self.predict_timing(block) for block in blocks], dtype=np.float64)
+        from repro.engine.megabatch import predict_timings_megabatch
+
+        return predict_timings_megabatch(self, blocks)

@@ -139,5 +139,52 @@ class LLVMSimSimulator:
     def predict_timing(self, block: BasicBlock) -> float:
         return self.simulate(block).cycles_per_iteration
 
+    def predict_timing_batch(self, blocks: Sequence[BasicBlock],
+                             chunk_size: Optional[int] = None,
+                             compiled: Optional[Sequence] = None) -> np.ndarray:
+        """Predict timings for ``blocks`` through the megabatch kernel.
+
+        Bit-identical to calling :meth:`predict_timing` per block (see
+        :mod:`repro.llvm_sim.megabatch`).  Degenerate iteration windows
+        (``measure_iterations < 1``) fall back to the scalar path, whose
+        averaging semantics the megabatch kernel does not model.  Callers
+        that already hold the blocks' compiled forms (the engine does) pass
+        them via ``compiled`` to skip the compile-cache lookups.
+        """
+        from repro.engine.megabatch import (DEFAULT_MEGABATCH_CHUNK,
+                                            megabatch_timings,
+                                            shrink_iteration_counts)
+        from repro.llvm_sim.megabatch import simulate_packed_llvm_sim
+
+        blocks = list(blocks)
+        if self.measure_iterations < 1 or self.warmup_iterations < 0:
+            return np.array([self.predict_timing(block) for block in blocks],
+                            dtype=np.float64)
+        frontend = Frontend(uops_per_cycle=self.frontend_uops_per_cycle)
+        if compiled is None:
+            compiled = [self.compiler.compile(block) for block in blocks]
+        lengths = np.fromiter((block.length for block in compiled),
+                              dtype=np.int64, count=len(compiled))
+        warmup, measure = shrink_iteration_counts(
+            lengths, self.warmup_iterations, self.measure_iterations,
+            self.max_dynamic_instructions)
+
+        def kernel(corpus, chunk_warmup, chunk_measure):
+            return simulate_packed_llvm_sim(
+                self.parameters, corpus, frontend.uops_per_cycle,
+                frontend.decode_latency, chunk_warmup, chunk_measure)
+
+        def scalar_kernel(block, block_warmup, block_measure):
+            bound = bind_llvm_sim_block(self.parameters, block)
+            return simulate_bound_llvm_sim(
+                bound, self.frontend_uops_per_cycle, block_warmup,
+                block_measure).cycles_per_iteration
+
+        return megabatch_timings(compiled, warmup, measure, kernel,
+                                 chunk_size=chunk_size or DEFAULT_MEGABATCH_CHUNK,
+                                 scalar_kernel=scalar_kernel)
+
     def predict_many(self, blocks: Sequence[BasicBlock]) -> np.ndarray:
-        return np.array([self.predict_timing(block) for block in blocks], dtype=np.float64)
+        from repro.engine.megabatch import predict_timings_megabatch
+
+        return predict_timings_megabatch(self, blocks)
