@@ -1,0 +1,17 @@
+"""Inference-server latency/QPS — sequential vs coalesced-batch serving.
+
+Thin wrapper over the registered ``serving_latency`` scenario
+(:mod:`repro.bench.scenarios`): a deployment bundle is exported, served by
+the stdlib ``asyncio`` server on an ephemeral port, and load-tested by a
+single sequential client and a concurrent client pool; served timings are
+checked bit-identical against a direct ``Session.predict``.  Run it without
+pytest via::
+
+    python -m repro.bench run serving_latency --tier smoke
+"""
+
+from conftest import run_scenario_benchmark
+
+
+def bench_serving_latency(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "serving_latency")

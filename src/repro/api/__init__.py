@@ -47,8 +47,19 @@ _LAZY_EXPORTS = {
     "TuneSpec": "repro.api.specs",
     "EvaluateSpec": "repro.api.specs",
     "PredictSpec": "repro.api.specs",
+    "BundleSpec": "repro.api.specs",
+    "ServeSpec": "repro.api.specs",
     "SpecValidationError": "repro.api.specs",
+    "BundleError": "repro.api.bundle",
+    "BundleManifest": "repro.api.bundle",
+    "export_bundle": "repro.api.bundle",
+    "load_bundle": "repro.api.bundle",
+    "inspect_bundle": "repro.api.bundle",
 }
+
+#: Spec class name -> defining module; drives ``describe()["specs"]``.
+_SPEC_EXPORTS = ("TuneSpec", "EvaluateSpec", "PredictSpec", "BundleSpec",
+                 "ServeSpec")
 
 __all__ = [
     # registry machinery
@@ -71,23 +82,33 @@ __all__ = [
     "TuneSpec",
     "EvaluateSpec",
     "PredictSpec",
+    "BundleSpec",
+    "ServeSpec",
     "SpecValidationError",
     # session facade
     "Session",
     "SessionTuneResult",
     "CapabilityError",
+    # deployment bundles
+    "BundleError",
+    "BundleManifest",
+    "export_bundle",
+    "load_bundle",
+    "inspect_bundle",
     # introspection
     "describe",
 ]
 
 
 def describe() -> Dict[str, Any]:
-    """Plain-data snapshot of the public surface: version + every registry.
+    """Plain-data snapshot of the public surface: version, registries, specs.
 
     This is the API-surface smoke hook CI runs against the installed wheel::
 
         python -c "import repro.api, json; print(json.dumps(repro.api.describe()))"
     """
+    import dataclasses
+
     import repro
 
     return {
@@ -95,6 +116,11 @@ def describe() -> Dict[str, Any]:
         "registries": {
             kind: registry.describe()
             for kind, registry in registries().items()
+        },
+        "specs": {
+            name: [spec_field.name
+                   for spec_field in dataclasses.fields(__getattr__(name))]
+            for name in _SPEC_EXPORTS
         },
     }
 

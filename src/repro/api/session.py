@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -29,10 +30,11 @@ import numpy as np
 
 from repro.api.plugins import SimulatorPlugin
 from repro.api.registries import PRESETS, SIMULATORS, SURROGATES, TARGETS
-from repro.api.specs import EvaluateSpec, PredictSpec, SpecValidationError, TuneSpec
+from repro.api.specs import (BundleSpec, EvaluateSpec, PredictSpec,
+                             SpecValidationError, TuneSpec)
 
 #: Specs a session can be created from.
-AnySpec = Union[TuneSpec, EvaluateSpec, PredictSpec]
+AnySpec = Union[TuneSpec, EvaluateSpec, PredictSpec, BundleSpec]
 
 
 class CapabilityError(RuntimeError):
@@ -72,9 +74,9 @@ class Session:
 
     def __init__(self, spec: AnySpec,
                  log: Optional[Callable[[str], None]] = None) -> None:
-        if not isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec)):
-            raise TypeError(f"expected TuneSpec/EvaluateSpec/PredictSpec, "
-                            f"got {type(spec).__name__}")
+        if not isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec, BundleSpec)):
+            raise TypeError(f"expected TuneSpec/EvaluateSpec/PredictSpec/"
+                            f"BundleSpec, got {type(spec).__name__}")
         spec.validate()
         self.spec = spec
         self.log = log or (lambda message: None)
@@ -84,6 +86,18 @@ class Session:
         #: path -> parsed table, so repeated predict/evaluate/timeline calls
         #: on one session do not re-read the table JSON from disk.
         self._table_cache: Dict[str, Any] = {}
+        #: Table pinned by :meth:`from_bundle`; preferred over the default
+        #: table whenever no explicit table/path is given.
+        self._bound_table: Any = None
+        #: The manifest of the bundle this session was loaded from, if any.
+        self.bundle_manifest: Any = None
+        self._bundle_surrogate_state: Any = None
+        #: Surrogate trained by the most recent :meth:`tune` on this session
+        #: (what :meth:`export_bundle` ships by default).
+        self._last_surrogate: Any = None
+        self._predict_calls = 0
+        self._predicted_blocks = 0
+        self._predicted_pairs = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -106,7 +120,7 @@ class Session:
             payload = dict(spec)
             payload.update(overrides)
             spec = TuneSpec.from_dict(payload)
-        elif isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec)):
+        elif isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec, BundleSpec)):
             if overrides:
                 known = {f.name for f in dataclasses.fields(spec)}
                 for key in overrides:
@@ -119,6 +133,34 @@ class Session:
             raise TypeError(f"expected a spec, dict, or keyword arguments; "
                             f"got {type(spec).__name__}")
         return cls(spec, log=log)
+
+    @classmethod
+    def from_bundle(cls, path: str,
+                    log: Optional[Callable[[str], None]] = None,
+                    **overrides: Any) -> "Session":
+        """A ready-to-predict session from a deployment bundle.
+
+        Opens the archive written by :meth:`export_bundle`, verifies every
+        manifest digest and the schema version, and binds the bundled table
+        as the session's default — ``session.predict(blocks)`` then serves
+        the learned table with no further setup.  ``overrides`` update the
+        engine knobs (``engine_workers``, ``engine_megabatch``).
+        """
+        from repro.api.bundle import load_bundle
+
+        bundle = load_bundle(path)
+        payload: Dict[str, Any] = {
+            "target": bundle.manifest.target,
+            "simulator": bundle.manifest.simulator,
+            "engine_workers": bundle.manifest.spec.get("engine_workers", 0),
+            "engine_megabatch": bundle.manifest.spec.get("engine_megabatch", True),
+        }
+        payload.update(overrides)
+        session = cls(PredictSpec.from_dict(payload), log=log)
+        session._bound_table = session.adapter.table_from_arrays(bundle.arrays)
+        session.bundle_manifest = bundle.manifest
+        session._bundle_surrogate_state = bundle.surrogate_state
+        return session
 
     # ------------------------------------------------------------------
     # Resolved components (lazy, memoized)
@@ -218,8 +260,17 @@ class Session:
         return table
 
     def load_table_or_default(self, path: Optional[str]) -> Any:
-        """``load_table(path)`` when a path is given, else the default table."""
-        return self.load_table(path) if path else self.default_table()
+        """``load_table(path)``, the bundle-bound table, or the default.
+
+        Precedence: an explicit ``path`` wins; a session created by
+        :meth:`from_bundle` then serves its bundled table; everything else
+        falls back to the expert default table.
+        """
+        if path:
+            return self.load_table(path)
+        if self._bound_table is not None:
+            return self._bound_table
+        return self.default_table()
 
     def table_from_arrays(self, arrays: Any) -> Any:
         """Convert optimization-layout arrays to a native table."""
@@ -255,6 +306,7 @@ class Session:
         if result is None:
             return SessionTuneResult(completed=False, elapsed_seconds=elapsed,
                                      stopped_after=self._spec_get("stop_after"))
+        self._last_surrogate = getattr(result, "surrogate", None)
         outcome = SessionTuneResult(
             completed=True,
             learned_arrays=result.learned_arrays,
@@ -304,17 +356,28 @@ class Session:
                 tables: Optional[Any] = None) -> np.ndarray:
         """Simulated timings of ``blocks``, batched through the engine.
 
-        ``tables`` may be ``None`` (spec's ``table_path`` or the default
-        table), one native table — returning shape ``(len(blocks),)`` — or a
-        sequence of tables, returning ``(len(tables), len(blocks))``.  The
-        engine's compile and result caches persist across calls on this
-        session, so sweeps and repeated evaluations share work.
+        ``tables`` may be ``None`` (spec's ``table_path``, a bundle-bound
+        table, or the default table), one native table — returning shape
+        ``(len(blocks),)`` — or a sequence of tables, returning
+        ``(len(tables), len(blocks))``.  The engine's compile and result
+        caches persist across calls on this session, so sweeps and repeated
+        evaluations share work.  An empty block list short-circuits to an
+        empty array without touching the engine.
         """
+        blocks = list(blocks)
+        self._predict_calls += 1
+        self._predicted_blocks += len(blocks)
+        if not blocks:
+            if isinstance(tables, (list, tuple)):
+                return np.empty((len(tables), 0), dtype=np.float64)
+            return np.empty(0, dtype=np.float64)
         if tables is None:
             tables = self.load_table_or_default(self._spec_get("table_path"))
         if isinstance(tables, (list, tuple)):
-            return self.adapter.engine.run(list(tables), list(blocks))
-        return self.adapter.engine.run_one(tables, list(blocks))
+            self._predicted_pairs += len(tables) * len(blocks)
+            return self.adapter.engine.run(list(tables), blocks)
+        self._predicted_pairs += len(blocks)
+        return self.adapter.engine.run_one(tables, blocks)
 
     # ------------------------------------------------------------------
     # Simulator capabilities
@@ -364,12 +427,69 @@ class Session:
             candidates.append(candidate)
         return candidates
 
-    def engine_stats(self) -> Optional[Dict[str, int]]:
-        """The shared engine's cache statistics (``None`` off-engine)."""
+    def stats(self) -> Dict[str, Any]:
+        """One stats surface for the whole session.
+
+        ``engine`` holds the shared engine's cache/execution counters
+        (``None`` for adapters without an engine); the ``predict_*`` counters
+        track this session's :meth:`predict` traffic.  The serving layer's
+        ``/stats`` endpoint re-exports exactly this payload.
+        """
         try:
-            return dict(self.adapter.engine.stats)
+            engine: Optional[Dict[str, int]] = dict(self.adapter.engine.stats)
         except NotImplementedError:
-            return None
+            engine = None
+        return {
+            "engine": engine,
+            "predict_calls": self._predict_calls,
+            "predicted_blocks": self._predicted_blocks,
+            "predicted_pairs": self._predicted_pairs,
+        }
+
+    def engine_stats(self) -> Optional[Dict[str, int]]:
+        """Deprecated: use ``Session.stats()["engine"]``."""
+        warnings.warn(
+            "Session.engine_stats() is deprecated; use "
+            "Session.stats()['engine'] (the engine counters are one section "
+            "of the unified stats surface)",
+            DeprecationWarning, stacklevel=2)
+        return self.stats()["engine"]
+
+    # ------------------------------------------------------------------
+    # Deployment bundles
+    # ------------------------------------------------------------------
+    def export_bundle(self, path: str, table: Optional[Any] = None,
+                      surrogate: Optional[Any] = None) -> Any:
+        """Write a single-file deployment bundle of this session's model.
+
+        ``table`` (native table or a table-JSON path) defaults to the
+        session's resolved table; ``surrogate`` defaults to the surrogate
+        trained by this session's last :meth:`tune` call, when any.  Returns
+        the written :class:`~repro.api.bundle.BundleManifest`.
+        """
+        from repro.api.bundle import export_bundle
+
+        return export_bundle(self, path, table=table, surrogate=surrogate)
+
+    def bundle_surrogate(self) -> Any:
+        """Rebuild the surrogate shipped in this session's bundle.
+
+        Only available on sessions created by :meth:`from_bundle` from a
+        bundle that embedded surrogate weights; raises ``ValueError``
+        otherwise.
+        """
+        if self._bundle_surrogate_state is None:
+            raise ValueError("this session has no bundled surrogate weights "
+                             "(load a bundle exported with a surrogate)")
+        from repro.core.surrogate import (BlockFeaturizer, SurrogateConfig,
+                                          build_surrogate)
+
+        config = SurrogateConfig(**(self.bundle_manifest.surrogate or {}))
+        surrogate = build_surrogate(self.adapter.parameter_spec(),
+                                    BlockFeaturizer(self.adapter.opcode_table),
+                                    config)
+        surrogate.load_state_dict(self._bundle_surrogate_state)
+        return surrogate
 
     def __repr__(self) -> str:
         return (f"Session(target={self._spec_get('target')!r}, "

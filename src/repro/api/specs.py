@@ -224,3 +224,79 @@ class PredictSpec(_SpecBase):
     def validate(self) -> None:
         self._check_common()
         self._check_type("table_path", (str,), allow_none=True)
+
+
+@dataclass
+class BundleSpec(_SpecBase):
+    """What goes into a single-file deployment bundle (see :mod:`repro.api.bundle`).
+
+    A bundle freezes one (target, simulator, parameter table) triple — plus,
+    optionally, the trained surrogate — into an archive that
+    :meth:`~repro.api.session.Session.from_bundle` and the serving layer load
+    without the tuning stack.  ``table_path=None`` bundles the expert default
+    table; ``surrogate`` names the surrogate kind whose weights ride along
+    (``None`` ships the table only).
+    """
+
+    target: str = "haswell"
+    simulator: str = "mca"
+    #: Learned table JSON to bundle; ``None`` bundles the expert default table.
+    table_path: Optional[str] = None
+    #: Surrogate kind of the embedded weights (``None``: no surrogate member).
+    surrogate: Optional[str] = None
+    engine_workers: int = 0
+    engine_megabatch: bool = True
+
+    def validate(self) -> None:
+        self._check_common()
+        self._check_type("table_path", (str,), allow_none=True)
+        self._check_registry("surrogate", SURROGATES, allow_none=True)
+
+
+@dataclass
+class ServeSpec(_SpecBase):
+    """One inference-server deployment: what to load and how to batch.
+
+    Either ``bundle_path`` (a deployment bundle, which pins target, simulator
+    and table) or the ``target``/``simulator``/``table_path`` triple describes
+    the model; the remaining fields are the server knobs.  Consumed by
+    :class:`repro.serving.InferenceServer` and the ``repro serve`` CLI.
+    """
+
+    target: str = "haswell"
+    simulator: str = "mca"
+    #: Deployment bundle to serve; overrides target/simulator/table_path.
+    bundle_path: Optional[str] = None
+    #: Learned table JSON; ``None`` serves the expert default table.
+    table_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral port (reported once the server is up).
+    port: int = 8000
+    #: Most blocks coalesced into one engine megabatch.
+    max_batch_size: int = 64
+    #: How long the coalescer holds the first request of a batch open for
+    #: company, in milliseconds.  ``0`` executes every request immediately.
+    max_batch_wait_ms: float = 2.0
+    #: Capacity of each per-table-digest LRU result shard.
+    cache_size: int = 4096
+    engine_workers: int = 0
+    engine_megabatch: bool = True
+
+    def validate(self) -> None:
+        self._check_common()
+        self._check_type("bundle_path", (str,), allow_none=True)
+        self._check_type("table_path", (str,), allow_none=True)
+        self._check_type("host", (str,))
+        self._check_type("port", (int,))
+        if not 0 <= self.port <= 65535:
+            raise SpecValidationError("port", f"must be in [0, 65535], got {self.port}")
+        self._check_positive("max_batch_size")
+        self._check_type("max_batch_wait_ms", (int, float))
+        if self.max_batch_wait_ms < 0:
+            raise SpecValidationError(
+                "max_batch_wait_ms", f"must be >= 0, got {self.max_batch_wait_ms}")
+        self._check_positive("cache_size")
+        if self.bundle_path is not None and self.table_path is not None:
+            raise SpecValidationError(
+                "table_path", "a bundle pins its own table; pass either "
+                              "bundle_path or table_path, not both")

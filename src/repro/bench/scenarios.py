@@ -651,3 +651,142 @@ def pipeline_resume(ctx: ScenarioContext):
         "train_error_full": full.train_error,
         "train_error_resumed": resumed.train_error,
     }
+
+
+def _format_serving_latency(metrics) -> str:
+    rows = []
+    for label in ("sequential", "batched"):
+        phase = metrics["phases"][label]
+        rows.append([f"{label} ({phase['num_clients']} client"
+                     f"{'s' if phase['num_clients'] > 1 else ''})",
+                     f"{phase['qps']:.0f}",
+                     f"{phase['latency_ms']['p50']:.2f}ms",
+                     f"{phase['latency_ms']['p99']:.2f}ms"])
+    rows.append(["throughput ratio (batched/sequential)",
+                 f"{metrics['throughput_ratio_batched_vs_sequential']:.2f}x",
+                 "", ""])
+    rows.append(["served == direct predict",
+                 "yes" if metrics["bit_identical"] else "NO", "", ""])
+    return format_table(["Phase", "QPS", "p50", "p99"], rows,
+                        title="Serving latency (HTTP server, coalesced batches)")
+
+
+@scenario("serving_latency", tags=("perf", "ci"),
+          formatter=_format_serving_latency)
+def serving_latency(ctx: ScenarioContext):
+    """QPS and p50/p99 latency of the inference server, sequential vs batched.
+
+    Exercises the full deployment path: a bundle is exported and served by
+    :class:`repro.serving.InferenceServer` on an ephemeral port, then hit by
+    a single sequential client and by a concurrent client pool whose
+    requests the coalescer merges into engine megabatches.  Every request
+    uses distinct blocks (compile caches warm, engine result caches cleared
+    between phases) so the batched/sequential ratio measures batching, not
+    caching — and every served timing must be bit-identical to a direct
+    ``Session.predict`` on a fresh session from the same bundle.
+    """
+    import os
+    import tempfile
+
+    from repro.api import Session
+    from repro.bhive.generator import BlockGenerator
+    from repro.serving import InferenceServer, run_load
+
+    # Small requests are the regime coalescing exists for: a lone client
+    # pays the batching window per request while the concurrent pool shares
+    # it, so the quick-tier acceptance ratio (>= 3x) uses 2-block requests.
+    num_requests = ctx.by_tier(smoke=48, quick=192, full=384)
+    num_clients = ctx.by_tier(smoke=8, quick=16, full=16)
+    blocks_per_request = ctx.by_tier(smoke=2, quick=2, full=4)
+    max_wait_ms = 2.0
+
+    # Distinct block text per request (both phases), deduplicated so the
+    # server's text-keyed result cache cannot serve one request from another.
+    needed = 2 * num_requests * blocks_per_request
+    generator = BlockGenerator(seed=ctx.seed)
+    texts: List[str] = []
+    seen = set()
+    for block in generator.generate_blocks(6 * needed):
+        text = "; ".join(line for line in block.to_assembly().splitlines())
+        if text not in seen:
+            seen.add(text)
+            texts.append(text)
+        if len(texts) >= needed:
+            break
+    assert len(texts) >= needed, "block generator ran dry of unique blocks"
+    requests = [texts[i * blocks_per_request:(i + 1) * blocks_per_request]
+                for i in range(2 * num_requests)]
+    sequential_requests = requests[:num_requests]
+    batched_requests = requests[num_requests:]
+
+    with tempfile.TemporaryDirectory(prefix="repro-serving-bench-") as scratch:
+        bundle_path = os.path.join(scratch, "haswell.bundle")
+        Session.from_spec({"target": "haswell",
+                           "simulator": "mca"}).export_bundle(bundle_path)
+        server = InferenceServer.from_spec(
+            {"bundle_path": bundle_path, "port": 0,
+             "max_batch_wait_ms": max_wait_ms})
+        # Warm the compile/operand caches over the whole corpus so both
+        # phases time the simulation kernels, then clear the engine's result
+        # cache so the measured requests do real work.
+        engine = server.session.adapter.engine
+        from repro.isa.parser import parse_block
+
+        parsed = {text: parse_block(text, server.session.adapter.opcode_table)
+                  for text in texts}
+        server.session.predict(list(parsed.values()))
+        engine.clear_results()
+
+        handle = server.start_in_thread()
+        try:
+            sequential = run_load(handle.host, handle.port,
+                                  sequential_requests, num_clients=1)
+            engine.clear_results()
+            batched = run_load(handle.host, handle.port, batched_requests,
+                               num_clients=num_clients)
+            server_stats = server.stats_payload()
+        finally:
+            handle.stop()
+
+        assert not sequential.errors, sequential.errors[:3]
+        assert not batched.errors, batched.errors[:3]
+
+        # Bit-identity: a fresh session loaded from the same bundle must
+        # reproduce every served timing exactly, however the server batched
+        # the requests.
+        reference = Session.from_bundle(bundle_path)
+        identical = True
+        for phase_requests, report in ((sequential_requests, sequential),
+                                       (batched_requests, batched)):
+            for index, blocks in enumerate(phase_requests):
+                expected = [float(value) for value in reference.predict(
+                    [parsed[text] for text in blocks])]
+                if report.results.get(index) != expected:
+                    identical = False
+        assert identical, "served timings diverged from direct Session.predict"
+
+    ratio = batched.qps / max(sequential.qps, 1e-9)
+    return {
+        "workload": {"num_requests": num_requests,
+                     "blocks_per_request": blocks_per_request,
+                     "num_clients": num_clients,
+                     "max_batch_wait_ms": max_wait_ms,
+                     "seed": ctx.seed, "uarch": "haswell"},
+        "phases": {"sequential": sequential.summary(),
+                   "batched": batched.summary()},
+        "qps": {"sequential": sequential.qps, "batched": batched.qps},
+        "latency_ms": {
+            "sequential": {"p50": sequential.latency_ms(0.50),
+                           "p99": sequential.latency_ms(0.99)},
+            "batched": {"p50": batched.latency_ms(0.50),
+                        "p99": batched.latency_ms(0.99)},
+        },
+        "throughput_ratio_batched_vs_sequential": ratio,
+        "bit_identical": float(identical),
+        "server": {
+            "mean_batch_size": server_stats["mean_batch_size"],
+            "batches": server_stats["batches"],
+            "cache_hit_rate": server_stats["result_cache"]["hit_rate"],
+            "latency_ms": server_stats["latency_ms"],
+        },
+    }

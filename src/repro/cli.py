@@ -1,6 +1,6 @@
 """Command-line interface for the DiffTune reproduction.
 
-Nine subcommands cover the day-to-day workflow:
+Eleven subcommands cover the day-to-day workflow:
 
 * ``dataset``  — generate and measure a BHive-like dataset and save it to JSON.
 * ``learn``    — run DiffTune on a dataset (or a freshly generated one) and
@@ -18,6 +18,11 @@ Nine subcommands cover the day-to-day workflow:
 * ``tune-baseline`` — run one of the black-box baselines (OpenTuner-style,
   genetic, annealing, coordinate descent, random search) for comparison
   with DiffTune.
+* ``bundle``   — export a tuned parameter table (plus, when available, the
+  trained surrogate) into a single-file deployment bundle, or inspect and
+  digest-verify an existing bundle.
+* ``serve``    — run the stdlib-only HTTP/JSON inference server on a bundle
+  or a table, with request coalescing into engine megabatches.
 * ``bench``    — the benchmark-scenario subsystem: list registered paper
   experiments, run them at a scale tier, and compare result files
   (forwards to ``python -m repro.bench``).
@@ -41,6 +46,9 @@ Examples::
     python -m repro.cli timeline --block "addq %rax, %rbx; imulq %rbx, %rcx"
     python -m repro.cli sweep --dataset haswell.json --field DispatchWidth
     python -m repro.cli tune-baseline --dataset haswell.json --method genetic
+    python -m repro.cli bundle export --uarch haswell --table learned.json --output hsw.bundle
+    python -m repro.cli bundle inspect hsw.bundle
+    python -m repro.cli serve --bundle hsw.bundle --port 8000
     python -m repro.cli bench list
     python -m repro.cli bench run --tier smoke --workers 2
 """
@@ -55,9 +63,9 @@ from typing import List, Optional
 import numpy as np
 
 import repro
-from repro.api import (BASELINES, PRESETS, SIMULATORS, TARGETS, CapabilityError,
-                       EvaluateSpec, PredictSpec, Session, SpecValidationError,
-                       TuneSpec)
+from repro.api import (BASELINES, PRESETS, SIMULATORS, TARGETS, BundleError,
+                       CapabilityError, EvaluateSpec, PredictSpec, Session,
+                       SpecValidationError, TuneSpec)
 from repro.api.plugins import search_baseline_names
 
 
@@ -280,6 +288,48 @@ def _command_tune_baseline(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from repro.api import ServeSpec
+    from repro.serving import InferenceServer
+
+    spec = ServeSpec(target=arguments.uarch,
+                     simulator=arguments.simulator,
+                     bundle_path=arguments.bundle,
+                     table_path=arguments.table,
+                     host=arguments.host,
+                     port=arguments.port,
+                     max_batch_size=arguments.max_batch,
+                     max_batch_wait_ms=arguments.max_wait_ms,
+                     cache_size=arguments.cache_size,
+                     engine_workers=arguments.workers,
+                     engine_megabatch=arguments.megabatch)
+    server = InferenceServer.from_spec(
+        spec, log=lambda message: print(f"[serve] {message}"))
+    server.serve()
+    return 0
+
+
+def _command_bundle(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import BundleSpec, Session, inspect_bundle
+
+    if arguments.bundle_command == "export":
+        session = Session.from_spec(BundleSpec(target=arguments.uarch,
+                                               simulator=arguments.simulator,
+                                               table_path=arguments.table))
+        manifest = session.export_bundle(arguments.output)
+        surrogate_note = (" + surrogate" if manifest.surrogate is not None
+                          else "")
+        print(f"Wrote {manifest.target}/{manifest.simulator} bundle"
+              f"{surrogate_note} to {arguments.output}")
+        print(f"  table digest {manifest.table_digest}")
+        return 0
+    # inspect: verify digests and print the plain-data summary.
+    print(json.dumps(inspect_bundle(arguments.path), indent=2))
+    return 0
+
+
 def _command_bench(arguments: argparse.Namespace) -> int:
     # Forward to the benchmark subsystem's own CLI so `repro bench ...` and
     # `python -m repro.bench ...` stay identical.
@@ -430,6 +480,53 @@ def build_parser() -> argparse.ArgumentParser:
     baseline_parser.add_argument("--output", help="where to save the tuned table JSON")
     baseline_parser.set_defaults(handler=_command_tune_baseline)
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the HTTP/JSON inference server (repro.serving)")
+    serve_parser.add_argument("--bundle", default=None,
+                              help="deployment bundle to serve (from "
+                                   "'repro bundle export'); mutually "
+                                   "exclusive with --table")
+    serve_parser.add_argument("--uarch", default="haswell", choices=_target_choices(),
+                              help="target (ignored when --bundle is given)")
+    _add_simulator_argument(serve_parser)
+    serve_parser.add_argument("--table", help="learned table JSON to serve "
+                                              "(defaults to expert table)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8000,
+                              help="TCP port (0 picks an ephemeral port)")
+    serve_parser.add_argument("--max-batch", type=int, default=64,
+                              help="most blocks coalesced into one engine batch")
+    serve_parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                              help="how long a non-full batch waits for "
+                                   "company before executing")
+    serve_parser.add_argument("--cache-size", type=int, default=4096,
+                              help="entries per result-cache shard")
+    serve_parser.add_argument("--workers", type=int, default=0,
+                              help="engine worker processes")
+    serve_parser.add_argument("--megabatch", action=argparse.BooleanOptionalAction,
+                              default=True,
+                              help="vectorized megabatch simulation kernels")
+    serve_parser.set_defaults(handler=_command_serve)
+
+    bundle_parser = subparsers.add_parser(
+        "bundle", help="export / inspect single-file deployment bundles")
+    bundle_subparsers = bundle_parser.add_subparsers(dest="bundle_command",
+                                                     required=True)
+    export_parser = bundle_subparsers.add_parser(
+        "export", help="freeze a parameter table (+ optional surrogate) into "
+                       "a deployment bundle")
+    export_parser.add_argument("--uarch", default="haswell", choices=_target_choices())
+    _add_simulator_argument(export_parser)
+    export_parser.add_argument("--table",
+                               help="learned table JSON (defaults to expert table)")
+    export_parser.add_argument("--output", required=True,
+                               help="bundle path to write (single zip file)")
+    export_parser.set_defaults(handler=_command_bundle)
+    inspect_parser = bundle_subparsers.add_parser(
+        "inspect", help="verify a bundle's digests and print its manifest summary")
+    inspect_parser.add_argument("path", help="bundle file to inspect")
+    inspect_parser.set_defaults(handler=_command_bundle)
+
     bench_parser = subparsers.add_parser(
         "bench", add_help=False,
         help="benchmark scenarios: list / run / compare (python -m repro.bench)")
@@ -447,6 +544,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except SpecValidationError as error:
         # Spec validation names the bad field and suggests fixes; surface it
         # as a clean CLI error instead of a traceback.
+        raise SystemExit(f"error: {error}")
+    except BundleError as error:
+        # Bundle verification failures likewise name the offending field.
         raise SystemExit(f"error: {error}")
 
 

@@ -75,6 +75,8 @@ class DiffTuneResult:
     #: Stage names served from checkpoints instead of executed (empty for
     #: non-resumed runs).
     resumed_stages: List[str] = field(default_factory=list)
+    #: The trained surrogate module (what a deployment bundle embeds).
+    surrogate: Optional[object] = None
 
 
 class DiffTune:
@@ -170,7 +172,8 @@ class DiffTune:
                               simulated_dataset_size=len(state.simulated_examples),
                               train_error=state.train_error,
                               elapsed_seconds=elapsed,
-                              resumed_stages=list(state.resumed_stages))
+                              resumed_stages=list(state.resumed_stages),
+                              surrogate=state.surrogate)
 
     # ------------------------------------------------------------------
     # Evaluation helpers

@@ -1,0 +1,67 @@
+"""The serving result cache: one LRU shard per parameter-table digest.
+
+The server caches ``block text -> timing`` so a repeated query skips
+parsing, compilation, *and* simulation.  Shards are keyed by the table's
+content digest — the same identity the engine's own result cache uses — so
+a server that hot-swaps tables (or a future multi-table server) never mixes
+timings across tables, and dropping one table's results is dropping its
+shard.  Shards themselves are LRU-bounded, so a bounded number of historic
+tables is retained.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.engine.binding import LRUCache
+
+
+class ShardedResultCache:
+    """``(table_digest, key) -> value`` with per-digest LRU shards."""
+
+    def __init__(self, shard_capacity: int = 4096, max_shards: int = 8) -> None:
+        if shard_capacity < 1:
+            raise ValueError("shard_capacity must be >= 1")
+        if max_shards < 1:
+            raise ValueError("max_shards must be >= 1")
+        self.shard_capacity = shard_capacity
+        self.max_shards = max_shards
+        self._shards: "OrderedDict[str, LRUCache]" = OrderedDict()
+        #: Hit/miss totals of shards that have been evicted, so the global
+        #: hit rate survives shard turnover.
+        self._retired_hits = 0
+        self._retired_misses = 0
+
+    def shard(self, table_digest: str) -> LRUCache:
+        """The live shard for ``table_digest`` (created on first use)."""
+        cache = self._shards.get(table_digest)
+        if cache is None:
+            cache = LRUCache(self.shard_capacity)
+            self._shards[table_digest] = cache
+            while len(self._shards) > self.max_shards:
+                _digest, retired = self._shards.popitem(last=False)
+                self._retired_hits += retired.hits
+                self._retired_misses += retired.misses
+        else:
+            self._shards.move_to_end(table_digest)
+        return cache
+
+    def get(self, table_digest: str, key: Any) -> Optional[Any]:
+        return self.shard(table_digest).get(key)
+
+    def put(self, table_digest: str, key: Any, value: Any) -> None:
+        self.shard(table_digest).put(key, value)
+
+    def stats(self) -> Dict[str, Any]:
+        hits = self._retired_hits + sum(shard.hits for shard in self._shards.values())
+        misses = self._retired_misses + sum(shard.misses
+                                            for shard in self._shards.values())
+        lookups = hits + misses
+        return {
+            "shards": len(self._shards),
+            "entries": sum(len(shard) for shard in self._shards.values()),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }

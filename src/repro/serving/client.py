@@ -1,0 +1,168 @@
+"""A tiny stdlib client for the inference server, plus a load generator.
+
+:class:`ServingClient` wraps :mod:`http.client` (one keep-alive connection,
+JSON in/out) and :func:`run_load` drives N concurrent clients against a
+server, returning a :class:`LoadReport` with QPS and latency percentiles.
+Both ``examples/serving_client.py`` and the ``serving_latency`` benchmark
+scenario are built on this module, so the numbers they report come from the
+same measurement code.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serving.stats import percentile
+
+
+class ServingClient:
+    """One keep-alive HTTP/JSON connection to an inference server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        body = None if payload is None else json.dumps(payload)
+        try:
+            self._connection.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"})
+            response = self._connection.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+        except Exception:
+            # Drop the (possibly half-closed) connection so the next call
+            # reconnects instead of failing on a stale socket.
+            self.close()
+            raise
+        if response.status >= 400:
+            raise RuntimeError(f"{method} {path} -> {response.status}: "
+                               f"{data.get('error', data)}")
+        return data
+
+    def predict(self, blocks: Sequence[str]) -> List[float]:
+        """Predicted timings of ``blocks`` (assembly text, ``;``-separated)."""
+        return self._request("POST", "/predict",
+                             {"blocks": list(blocks)})["timings"]
+
+    def predict_raw(self, blocks: Sequence[str]) -> Dict[str, Any]:
+        """The full ``/predict`` payload (timings, digest, cache hits)."""
+        return self._request("POST", "/predict", {"blocks": list(blocks)})
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one :func:`run_load` run (plain data)."""
+
+    num_clients: int
+    requests: int
+    blocks: int
+    elapsed_seconds: float
+    #: Per-request wall-clock latencies, in seconds, in completion order.
+    latencies: List[float] = field(default_factory=list)
+    #: request index -> timings, so callers can verify responses.
+    results: Dict[int, List[float]] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        return self.requests / max(self.elapsed_seconds, 1e-9)
+
+    @property
+    def blocks_per_sec(self) -> float:
+        return self.blocks / max(self.elapsed_seconds, 1e-9)
+
+    def latency_ms(self, fraction: float) -> float:
+        return percentile(sorted(self.latencies), fraction) * 1e3
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "num_clients": self.num_clients,
+            "requests": self.requests,
+            "blocks": self.blocks,
+            "elapsed_seconds": self.elapsed_seconds,
+            "qps": self.qps,
+            "blocks_per_sec": self.blocks_per_sec,
+            "latency_ms": {"p50": self.latency_ms(0.50),
+                           "p99": self.latency_ms(0.99)},
+            "errors": len(self.errors),
+        }
+
+
+def run_load(host: str, port: int, requests: Sequence[Sequence[str]],
+             num_clients: int = 8, timeout: float = 30.0) -> LoadReport:
+    """Send ``requests`` (each a list of block texts) from concurrent clients.
+
+    Requests are dealt round-robin to ``num_clients`` threads, each with its
+    own keep-alive connection.  Per-request results are kept (indexed by the
+    request's position in ``requests``) so callers can check responses
+    against ground truth regardless of how the server batched them.
+    """
+    requests = [list(blocks) for blocks in requests]
+    num_clients = max(1, min(num_clients, len(requests) or 1))
+    report = LoadReport(num_clients=num_clients, requests=0, blocks=0,
+                        elapsed_seconds=0.0)
+    lock = threading.Lock()
+    barrier = threading.Barrier(num_clients + 1)
+
+    def _client(worker: int) -> None:
+        client = ServingClient(host, port, timeout=timeout)
+        barrier.wait()
+        try:
+            for index in range(worker, len(requests), num_clients):
+                blocks = requests[index]
+                started = time.perf_counter()
+                try:
+                    timings = client.predict(blocks)
+                except Exception as error:  # noqa: BLE001 - reported per req
+                    with lock:
+                        report.errors.append(f"request {index}: {error}")
+                    continue
+                latency = time.perf_counter() - started
+                with lock:
+                    report.requests += 1
+                    report.blocks += len(blocks)
+                    report.latencies.append(latency)
+                    report.results[index] = [float(v) for v in timings]
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=_client, args=(worker,), daemon=True)
+               for worker in range(num_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

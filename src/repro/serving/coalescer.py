@@ -1,0 +1,164 @@
+"""Request coalescing: concurrent predict calls become engine megabatches.
+
+The engine's megabatch kernels (PR 6) are an order of magnitude faster than
+per-block simulation, but only when fed batches — and an HTTP server
+naturally receives single small requests.  The :class:`RequestCoalescer`
+closes that gap: concurrent ``submit()`` calls enqueue their blocks, and a
+single worker drains the queue into one batched execution at a time under a
+``max_batch_size`` / ``max_wait`` policy:
+
+* the worker picks up a new batch the moment a request arrives;
+* it holds the batch open up to ``max_wait`` seconds for company (skipped
+  once ``max_batch_size`` blocks are pending — a full batch leaves early);
+* while a batch *executes* (in a thread-pool executor, so the event loop
+  keeps serving health checks), new arrivals accumulate — so under load the
+  effective batch size adapts upward with no tuning.
+
+Results are matched back to requests by construction (each request owns a
+future covering its slice of the batch), so responses are deterministic and
+independent of how requests happened to be batched — the engine paths are
+bit-identical batched or not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
+
+
+class RequestCoalescer:
+    """Batches concurrent ``submit()`` calls into single batched executions.
+
+    Args:
+        run_batch: Synchronous ``(items) -> sequence of floats`` executed in
+            the event loop's default executor; one call per coalesced batch.
+        max_batch_size: Most items per execution.  A single request larger
+            than this still executes (in one oversized batch of its own).
+        max_wait: Seconds the worker holds a non-full batch open for more
+            requests.  ``0`` executes whatever is pending immediately.
+        on_batch: Optional ``(num_items, num_requests)`` callback per
+            executed batch (the stats hook).
+    """
+
+    def __init__(self, run_batch: Callable[[List[Any]], Sequence[float]],
+                 max_batch_size: int = 64, max_wait: float = 0.002,
+                 on_batch: Optional[Callable[[int, int], None]] = None) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self._run_batch = run_batch
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self.on_batch = on_batch
+        self._pending: Deque[Tuple[List[Any], asyncio.Future]] = deque()
+        self._pending_items = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._worker: Optional[asyncio.Task] = None
+        self._closing = False
+        self.batches_executed = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    @property
+    def pending_items(self) -> int:
+        return self._pending_items
+
+    async def submit(self, items: Sequence[Any]) -> List[float]:
+        """Enqueue ``items`` and await their results (in input order)."""
+        if self._closing:
+            raise RuntimeError("coalescer is draining; not accepting new requests")
+        items = list(items)
+        if not items:
+            return []
+        loop = asyncio.get_running_loop()
+        if self._worker is None or self._worker.done():
+            self._wakeup = asyncio.Event()
+            self._worker = loop.create_task(self._serve())
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((items, future))
+        self._pending_items += len(items)
+        self._wakeup.set()
+        return list(await future)
+
+    # ------------------------------------------------------------------
+    # The single batch worker
+    # ------------------------------------------------------------------
+    async def _wait_for_company(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Hold the batch open up to ``max_wait`` or until it is full."""
+        deadline = loop.time() + self.max_wait
+        while (self._pending_items < self.max_batch_size and not self._closing):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), remaining)
+            except (asyncio.TimeoutError, TimeoutError):
+                break
+
+    def _take_batch(self) -> List[Tuple[List[Any], asyncio.Future]]:
+        """Pop whole requests until the batch is full (always at least one)."""
+        batch: List[Tuple[List[Any], asyncio.Future]] = []
+        taken = 0
+        while self._pending:
+            items, _future = self._pending[0]
+            if batch and taken + len(items) > self.max_batch_size:
+                break
+            batch.append(self._pending.popleft())
+            taken += len(items)
+            self._pending_items -= len(items)
+        return batch
+
+    async def _serve(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._pending:
+                if self._closing:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            if self.max_wait > 0:
+                await self._wait_for_company(loop)
+            batch = self._take_batch()
+            flat: List[Any] = []
+            for items, _future in batch:
+                flat.extend(items)
+            self.batches_executed += 1
+            if self.on_batch is not None:
+                self.on_batch(len(flat), len(batch))
+            try:
+                values = list(await loop.run_in_executor(
+                    None, self._run_batch, flat))
+            except Exception as error:  # noqa: BLE001 - propagated per request
+                for _items, future in batch:
+                    if not future.done():
+                        future.set_exception(error)
+                continue
+            if len(values) != len(flat):
+                error = RuntimeError(
+                    f"batch runner returned {len(values)} results for "
+                    f"{len(flat)} items")
+                for _items, future in batch:
+                    if not future.done():
+                        future.set_exception(error)
+                continue
+            offset = 0
+            for items, future in batch:
+                chunk = values[offset:offset + len(items)]
+                offset += len(items)
+                if not future.done():
+                    future.set_result(chunk)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Refuse new submissions, finish everything pending, stop the worker."""
+        self._closing = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._worker is not None and not self._worker.done():
+            await self._worker

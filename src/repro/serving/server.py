@@ -1,0 +1,446 @@
+"""The stdlib-only inference server: deployment bundles behind HTTP/JSON.
+
+:class:`InferenceServer` binds a :class:`~repro.api.session.Session` (built
+from a deployment bundle or a spec) to an ``asyncio`` TCP server speaking
+just enough HTTP/1.1 for three endpoints:
+
+* ``POST /predict`` — ``{"blocks": ["add rax, rbx; ..."]}`` in, predicted
+  timings out.  Requests hitting the sharded result cache are answered
+  inline; misses are parsed and funneled through the
+  :class:`~repro.serving.coalescer.RequestCoalescer` so concurrent clients
+  share engine megabatches.
+* ``GET /healthz`` — liveness plus drain state.
+* ``GET /stats`` — uptime, QPS, batch-size histogram, cache hit rate,
+  p50/p99 latency, and the session's own engine counters.
+
+Shutdown is graceful: the listener closes first, in-flight requests finish
+through a coalescer drain, responses are written, and only then do
+connections die.  Everything here is standard library — ``asyncio``,
+``json``, ``threading`` — on top of the package itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
+
+from repro.api.session import Session
+from repro.api.specs import PredictSpec, ServeSpec
+from repro.engine.binding import parameter_arrays_digest
+from repro.isa.parser import ParseError, parse_block
+from repro.serving.cache import ShardedResultCache
+from repro.serving.coalescer import RequestCoalescer
+from repro.serving.stats import ServerStats
+
+#: Request bodies above this are refused with 413 (a DoS guard, not a limit
+#: any legitimate block corpus approaches).
+MAX_BODY_BYTES = 8 << 20
+
+#: Longest request line / header section we accept.
+MAX_HEADER_BYTES = 64 << 10
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServingError(Exception):
+    """An HTTP-mappable request failure."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServerHandle:
+    """A running server on a background thread (see ``start_in_thread``)."""
+
+    def __init__(self, server: "InferenceServer",
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request graceful shutdown and wait for the server thread."""
+        self.server.request_stop()
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("server thread did not stop within "
+                               f"{timeout} seconds")
+
+
+class InferenceServer:
+    """Serves one session's predictions over HTTP/JSON (see module doc)."""
+
+    def __init__(self, session: Session, *, host: str = "127.0.0.1",
+                 port: int = 8000, max_batch_size: int = 64,
+                 max_batch_wait_ms: float = 2.0, cache_size: int = 4096,
+                 log: Optional[Callable[[str], None]] = None) -> None:
+        self.session = session
+        self.host = host
+        self.requested_port = port
+        #: The bound port — equals ``requested_port`` unless that was 0
+        #: (ephemeral); set once the listening socket exists.
+        self.port: Optional[int] = None
+        self.log = log or (lambda message: None)
+        self._table = session.load_table_or_default(
+            getattr(session.spec, "table_path", None))
+        self.table_digest = parameter_arrays_digest(
+            session.adapter.arrays_from_table(self._table))
+        self.cache = ShardedResultCache(shard_capacity=cache_size)
+        self.stats = ServerStats()
+        self.coalescer = RequestCoalescer(
+            self._simulate_batch, max_batch_size=max_batch_size,
+            max_wait=max_batch_wait_ms / 1e3,
+            on_batch=self.stats.record_batch)
+        self._draining = False
+        self._active_requests = 0
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Construction from specs / bundles
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: Union[ServeSpec, Dict[str, Any]],
+                  log: Optional[Callable[[str], None]] = None,
+                  **overrides: Any) -> "InferenceServer":
+        """Build server + session from a :class:`~repro.api.specs.ServeSpec`.
+
+        With ``bundle_path`` the session comes from
+        :meth:`Session.from_bundle` (serving the bundled table); otherwise a
+        :class:`PredictSpec` session serves ``table_path`` or the default
+        table.
+        """
+        import dataclasses
+
+        if isinstance(spec, dict):
+            payload = dict(spec)
+            payload.update(overrides)
+            spec = ServeSpec.from_dict(payload)
+        elif overrides:
+            spec = dataclasses.replace(spec, **overrides)
+        spec.validate()
+        if spec.bundle_path is not None:
+            session = Session.from_bundle(
+                spec.bundle_path, log=log,
+                engine_workers=spec.engine_workers,
+                engine_megabatch=spec.engine_megabatch)
+        else:
+            session = Session.from_spec(PredictSpec(
+                target=spec.target, simulator=spec.simulator,
+                table_path=spec.table_path,
+                engine_workers=spec.engine_workers,
+                engine_megabatch=spec.engine_megabatch), log=log)
+        return cls(session, host=spec.host, port=spec.port,
+                   max_batch_size=spec.max_batch_size,
+                   max_batch_wait_ms=spec.max_batch_wait_ms,
+                   cache_size=spec.cache_size, log=log)
+
+    # ------------------------------------------------------------------
+    # Prediction path
+    # ------------------------------------------------------------------
+    def _simulate_batch(self, blocks: List[Any]) -> List[float]:
+        """Synchronous batch prediction; runs in the loop's executor."""
+        return [float(value)
+                for value in self.session.predict(blocks, self._table)]
+
+    @staticmethod
+    def _cache_key(text: str) -> str:
+        return " ".join(text.split())
+
+    async def _predict(self, texts: List[str]) -> Dict[str, Any]:
+        timings: List[Optional[float]] = [None] * len(texts)
+        miss_positions: List[int] = []
+        miss_keys: List[str] = []
+        miss_blocks: List[Any] = []
+        for position, text in enumerate(texts):
+            if not isinstance(text, str):
+                raise ServingError(
+                    400, f"blocks[{position}]: expected a string, "
+                         f"got {type(text).__name__}")
+            key = self._cache_key(text)
+            cached = self.cache.get(self.table_digest, key)
+            if cached is not None:
+                timings[position] = cached
+                continue
+            try:
+                block = parse_block(text, self.session.adapter.opcode_table)
+            except ParseError as error:
+                raise ServingError(400, f"blocks[{position}]: {error}")
+            miss_positions.append(position)
+            miss_keys.append(key)
+            miss_blocks.append(block)
+        if miss_blocks:
+            try:
+                values = await self.coalescer.submit(miss_blocks)
+            except RuntimeError as error:
+                raise ServingError(503, str(error))
+            for position, key, value in zip(miss_positions, miss_keys, values):
+                timings[position] = value
+                self.cache.put(self.table_digest, key, value)
+        return {
+            "timings": timings,
+            "table_digest": self.table_digest,
+            "cache_hits": len(texts) - len(miss_blocks),
+        }
+
+    # ------------------------------------------------------------------
+    # Endpoint payloads
+    # ------------------------------------------------------------------
+    def health_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": self.stats.uptime_seconds,
+            "target": self.session.target_name,
+            "simulator": self.session.spec.simulator,
+            "table_digest": self.table_digest,
+            "draining": self._draining,
+        }
+
+    def stats_payload(self) -> Dict[str, Any]:
+        payload = self.stats.snapshot(self.cache)
+        payload["table_digest"] = self.table_digest
+        payload["draining"] = self._draining
+        payload["coalescer"] = {
+            "max_batch_size": self.coalescer.max_batch_size,
+            "max_batch_wait_ms": self.coalescer.max_wait * 1e3,
+            "batches_executed": self.coalescer.batches_executed,
+        }
+        payload["session"] = self.session.stats()
+        return payload
+
+    async def _dispatch(self, method: str, path: str,
+                        body: bytes) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": f"{path} only supports GET"}
+            return 200, self.health_payload()
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": f"{path} only supports GET"}
+            return 200, self.stats_payload()
+        if path == "/predict":
+            if method != "POST":
+                return 405, {"error": f"{path} only supports POST"}
+            if self._draining:
+                return 503, {"error": "server is draining"}
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                return 400, {"error": f"request body is not JSON: {error}"}
+            if not isinstance(payload, dict) or "blocks" not in payload:
+                return 400, {"error": 'request body must be an object with '
+                                      'a "blocks" list'}
+            texts = payload["blocks"]
+            if not isinstance(texts, list):
+                return 400, {"error": '"blocks" must be a list of strings'}
+            try:
+                return 200, await self._predict(texts)
+            except ServingError as error:
+                return error.status, {"error": str(error)}
+        return 404, {"error": f"unknown path {path!r} (have /predict, "
+                              f"/healthz, /stats)"}
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _read_request(
+            self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """One HTTP/1.1 request, or ``None`` on clean EOF between requests."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None
+            raise ServingError(400, "truncated HTTP request")
+        except asyncio.LimitOverrunError:
+            raise ServingError(400, "request headers too large")
+        if len(head) > MAX_HEADER_BYTES:
+            raise ServingError(400, "request headers too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise ServingError(400, f"malformed request line {lines[0]!r}")
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _separator, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ServingError(400, "malformed Content-Length header")
+        if content_length > MAX_BODY_BYTES:
+            raise ServingError(
+                413, f"request body of {content_length} bytes exceeds the "
+                     f"{MAX_BODY_BYTES}-byte limit")
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method, path.split("?", 1)[0], headers, body
+
+    @staticmethod
+    def _encode_response(status: int, payload: Dict[str, Any],
+                         keep_alive: bool) -> bytes:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                f"\r\n")
+        return head.encode("latin-1") + body
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ServingError as error:
+                    writer.write(self._encode_response(
+                        error.status, {"error": str(error)}, False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = (headers.get("connection", "keep-alive").lower()
+                              != "close")
+                self._active_requests += 1
+                started = self.stats._clock()
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - last-resort 500
+                    status, payload = 500, {"error": f"internal error: {error}"}
+                finally:
+                    self._active_requests -= 1
+                num_blocks = (len(payload.get("timings", []))
+                              if isinstance(payload, dict) else 0)
+                self.stats.record_request(
+                    path, self.stats._clock() - started,
+                    num_blocks=num_blocks, error=status >= 400)
+                if self._draining:
+                    keep_alive = False
+                writer.write(self._encode_response(status, payload, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # CancelledError here means the loop is tearing the handler
+                # down during shutdown; the connection is closed either way.
+                pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Trigger graceful shutdown (safe to call from any thread)."""
+        loop, stop_event = self._loop, self._stop_event
+        if loop is None or stop_event is None:
+            return
+        if loop.is_running():
+            loop.call_soon_threadsafe(stop_event.set)
+
+    async def _serve_async(
+            self, ready: Optional[threading.Event] = None) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.requested_port)
+        self.port = server.sockets[0].getsockname()[1]
+        if threading.current_thread() is threading.main_thread():
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._loop.add_signal_handler(signum,
+                                                  self._stop_event.set)
+                except (NotImplementedError, RuntimeError):
+                    break
+        self.log(f"serving {self.session.target_name}/"
+                 f"{self.session.spec.simulator} on "
+                 f"http://{self.host}:{self.port} "
+                 f"(table {self.table_digest[:12]}...)")
+        if ready is not None:
+            ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            # Graceful shutdown: stop accepting, refuse new predict work,
+            # finish everything already submitted, then close connections.
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            await self.coalescer.drain()
+            deadline = self._loop.time() + 10.0
+            while self._active_requests > 0 and self._loop.time() < deadline:
+                await asyncio.sleep(0.005)
+            for writer in list(self._connections):
+                writer.close()
+            self.log("server stopped")
+
+    def serve(self) -> None:
+        """Run the server on this thread until SIGINT/SIGTERM (blocking)."""
+        try:
+            asyncio.run(self._serve_async())
+        except KeyboardInterrupt:
+            pass
+
+    def start_in_thread(self) -> ServerHandle:
+        """Run the server on a daemon thread; returns once the port is bound."""
+        ready = threading.Event()
+
+        def _run() -> None:
+            try:
+                asyncio.run(self._serve_async(ready))
+            except BaseException as error:  # noqa: BLE001 - reported to caller
+                self._startup_error = error
+            finally:
+                ready.set()
+
+        thread = threading.Thread(target=_run, name="repro-serving",
+                                  daemon=True)
+        thread.start()
+        if not ready.wait(timeout=30.0):
+            raise RuntimeError("server did not start within 30 seconds")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}")
+        return ServerHandle(self, thread)

@@ -161,12 +161,38 @@ class TestEvaluatePredict:
         blocks = [example.block for example
                   in build_dataset("haswell", num_blocks=20, seed=0).train_examples]
         first = session.predict(blocks)
-        executed_after_first = session.engine_stats()["executed"]
+        executed_after_first = session.stats()["engine"]["executed"]
         second = session.predict(blocks)
         assert np.array_equal(first, second)
-        stats = session.engine_stats()
+        stats = session.stats()["engine"]
         assert stats["executed"] == executed_after_first  # all hits, no re-runs
         assert stats["result_hits"] >= len(blocks)
+
+    def test_predict_empty_blocks_short_circuits(self):
+        session = Session.from_spec(PredictSpec(target="haswell"))
+        empty = session.predict([])
+        assert empty.shape == (0,)
+        # No table was resolved and no engine work happened.
+        assert session.stats()["engine"]["executed"] == 0
+        batch = session.predict([], [object(), object()])
+        assert batch.shape == (2, 0)
+        assert session.stats()["predict_calls"] == 2
+        assert session.stats()["predicted_blocks"] == 0
+
+    def test_stats_counts_predict_traffic(self, tune_session):
+        blocks, _timings = tune_session.split("test")
+        before = tune_session.stats()
+        tune_session.predict(blocks)
+        after = tune_session.stats()
+        assert after["predict_calls"] == before["predict_calls"] + 1
+        assert after["predicted_blocks"] == (before["predicted_blocks"]
+                                             + len(blocks))
+        assert isinstance(after["engine"], dict)
+
+    def test_engine_stats_shim_warns_and_matches(self, tune_session):
+        with pytest.warns(DeprecationWarning, match="engine_stats.*deprecated"):
+            shimmed = tune_session.engine_stats()
+        assert shimmed == tune_session.stats()["engine"]
 
     def test_evaluate_with_table_path(self, tmp_path, tune_session):
         table = tune_session.default_table()

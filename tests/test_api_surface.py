@@ -35,11 +35,19 @@ EXPECTED_API_SURFACE = sorted([
     "TuneSpec",
     "EvaluateSpec",
     "PredictSpec",
+    "BundleSpec",
+    "ServeSpec",
     "SpecValidationError",
     # session facade
     "Session",
     "SessionTuneResult",
     "CapabilityError",
+    # deployment bundles
+    "BundleError",
+    "BundleManifest",
+    "export_bundle",
+    "load_bundle",
+    "inspect_bundle",
     # introspection
     "describe",
 ])
@@ -70,6 +78,15 @@ class TestDescribe:
         haswell = description["registries"]["targets"]["haswell"]
         assert haswell["aliases"] == ["hsw"]
         assert haswell["summary"]
+
+    def test_describe_lists_spec_fields(self):
+        description = repro.api.describe()
+        assert sorted(description["specs"]) == [
+            "BundleSpec", "EvaluateSpec", "PredictSpec", "ServeSpec",
+            "TuneSpec"]
+        assert "target" in description["specs"]["ServeSpec"]
+        assert "bundle_path" in description["specs"]["ServeSpec"]
+        assert "table_path" in description["specs"]["BundleSpec"]
 
     def test_registries_keys_acceptance(self):
         # Acceptance criterion: repro.api.registries().keys() lists all five.
