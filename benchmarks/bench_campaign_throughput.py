@@ -1,0 +1,16 @@
+"""Campaign throughput — variants/sec of a grid campaign, cached vs uncached.
+
+Thin wrapper over the registered ``campaign_throughput`` scenario
+(:mod:`repro.bench.scenarios`): the same Figure-5 campaign runs repeatedly
+through one session, timing an uncached pass (engine result cache cleared)
+against a cached rerun (every variant digest an LRU hit), with the reports
+asserted byte-identical.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run campaign_throughput --tier quick
+"""
+
+from conftest import run_scenario_benchmark
+
+
+def bench_campaign_throughput(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "campaign_throughput")

@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
 """Reproduce Figure 5: llvm-mca's sensitivity to its global parameters.
 
-Sweeps DispatchWidth and ReorderBufferSize around the default Haswell table
-and prints the resulting error curve on a generated dataset, showing the two
-behaviours the paper highlights: a sharp minimum in DispatchWidth near the
-true machine width, and near-total insensitivity to ReorderBufferSize above a
-modest threshold (because llvm-mca assumes every access hits the L1 cache,
-the reorder buffer is rarely the bottleneck).
+Runs the ``fig5_global_sensitivity`` campaign preset — a one-at-a-time grid
+over DispatchWidth and ReorderBufferSize around the default Haswell table —
+and prints the resulting error curves, showing the two behaviours the paper
+highlights: a sharp minimum in DispatchWidth near the true machine width,
+and near-total insensitivity to ReorderBufferSize above a modest threshold
+(because llvm-mca assumes every access hits the L1 cache, the reorder
+buffer is rarely the bottleneck).
+
+The campaign machinery (:mod:`repro.campaigns`) batches every swept table
+into one simulation-engine call, ranks the axes by error spread, and can
+checkpoint/resume long sweeps; the same preset is runnable from the CLI::
+
+    python -m repro.cli campaign run --preset fig5_global_sensitivity
 """
 
 import argparse
 
-from repro.bhive import build_dataset
-from repro.eval.analysis import global_parameter_sensitivity
+from repro.campaigns import CAMPAIGNS, run_campaign
 from repro.eval.tables import format_table
-from repro.targets import HASWELL, build_default_mca_table
 
 
 def main() -> None:
@@ -25,26 +30,25 @@ def main() -> None:
                         help="number of test blocks to evaluate each sweep point on")
     arguments = parser.parse_args()
 
-    print(f"Generating and measuring {arguments.blocks} Haswell blocks...")
-    dataset = build_dataset("haswell", num_blocks=arguments.blocks, seed=arguments.seed)
-    table = build_default_mca_table(HASWELL)
-
-    dispatch_sweep = global_parameter_sensitivity(
-        table, dataset, "DispatchWidth", list(range(1, 11)),
+    print(f"Generating and measuring {arguments.blocks} Haswell blocks, then "
+          f"sweeping both global parameters in one campaign...")
+    spec = CAMPAIGNS.get("fig5_global_sensitivity")(
+        num_blocks=arguments.blocks, seed=arguments.seed,
         max_blocks=arguments.max_test_blocks)
-    rob_sweep = global_parameter_sensitivity(
-        table, dataset, "ReorderBufferSize", [10, 25, 50, 75, 100, 150, 200, 250, 300, 400],
-        max_blocks=arguments.max_test_blocks)
+    result = run_campaign(spec)
+    curves = {entry["axis"]: entry["mean_error_by_value"]
+              for entry in result.report["axis_sensitivity"]}
 
     def bar(error: float, scale: float = 60.0) -> str:
         return "#" * int(round(error * scale))
 
-    rows = [[value, f"{error * 100:.1f}%", bar(error)] for value, error in dispatch_sweep]
-    print("\n" + format_table(["DispatchWidth", "Error", ""], rows,
-                              title="Figure 5 (top): sensitivity to DispatchWidth"))
-    rows = [[value, f"{error * 100:.1f}%", bar(error)] for value, error in rob_sweep]
-    print("\n" + format_table(["ReorderBufferSize", "Error", ""], rows,
-                              title="Figure 5 (bottom): sensitivity to ReorderBufferSize"))
+    for axis, title in (("DispatchWidth", "Figure 5 (top): sensitivity to "
+                                          "DispatchWidth"),
+                        ("ReorderBufferSize", "Figure 5 (bottom): sensitivity "
+                                              "to ReorderBufferSize")):
+        rows = [[value, f"{error * 100:.1f}%", bar(error)]
+                for value, error in curves[axis]]
+        print("\n" + format_table([axis, "Error", ""], rows, title=title))
     print("\nExpected shape (paper): a sharp minimum at DispatchWidth 4, and a flat "
           "curve for every ReorderBufferSize above ~70.")
 

@@ -3,17 +3,20 @@
 Three layers:
 
 1. **Registries** (:data:`TARGETS`, :data:`SIMULATORS`, :data:`SURROGATES`,
-   :data:`BASELINES`, :data:`PRESETS`; :func:`registries`) — string-keyed
-   component catalogs with decorator registration, did-you-mean diagnostics,
+   :data:`BASELINES`, :data:`PRESETS`, :data:`STRATEGIES`;
+   :func:`registries`) — string-keyed component catalogs with decorator
+   registration, did-you-mean diagnostics,
    and entry-point plugin discovery.  Everything the system can construct is
    listed here, and third-party packages can add entries without touching
    this repository.
-2. **Specs** (:class:`TuneSpec`, :class:`EvaluateSpec`, :class:`PredictSpec`)
-   — typed, JSON-round-trippable descriptions of what to run, with
-   validation errors that name the bad field.
+2. **Specs** (:class:`TuneSpec`, :class:`EvaluateSpec`, :class:`PredictSpec`,
+   :class:`CampaignSpec`) — typed, JSON-round-trippable descriptions of what
+   to run, with validation errors that name the bad field.
 3. **Session** (:class:`Session`) — the facade binding a spec to live
    components: ``.tune()`` (checkpointable DiffTune runs), ``.evaluate()``,
-   and ``.predict()`` (batched through the shared simulation engine).
+   ``.predict()`` (batched through the shared simulation engine), and
+   ``.run_campaign()`` (declarative sweep campaigns, see
+   :mod:`repro.campaigns`).
 
 Quickstart::
 
@@ -35,8 +38,8 @@ from typing import Any, Dict, List
 
 from repro.api.registry import (DuplicateKeyError, Registry, RegistryEntry,
                                 RegistryError, UnknownKeyError)
-from repro.api.registries import (BASELINES, PRESETS, SIMULATORS, SURROGATES,
-                                  TARGETS, registries)
+from repro.api.registries import (BASELINES, PRESETS, SIMULATORS, STRATEGIES,
+                                  SURROGATES, TARGETS, registries)
 from repro.api.plugins import BaselinePlugin, SimulatorPlugin
 
 #: name -> defining module for the lazily imported part of the surface.
@@ -55,11 +58,17 @@ _LAZY_EXPORTS = {
     "export_bundle": "repro.api.bundle",
     "load_bundle": "repro.api.bundle",
     "inspect_bundle": "repro.api.bundle",
+    "CampaignSpec": "repro.campaigns.spec",
+    "AxisSpec": "repro.campaigns.spec",
+    "CampaignRunner": "repro.campaigns.runner",
+    "CampaignResult": "repro.campaigns.runner",
+    "run_campaign": "repro.campaigns.runner",
+    "CAMPAIGNS": "repro.campaigns.presets",
 }
 
 #: Spec class name -> defining module; drives ``describe()["specs"]``.
 _SPEC_EXPORTS = ("TuneSpec", "EvaluateSpec", "PredictSpec", "BundleSpec",
-                 "ServeSpec")
+                 "ServeSpec", "CampaignSpec")
 
 __all__ = [
     # registry machinery
@@ -74,6 +83,7 @@ __all__ = [
     "SURROGATES",
     "BASELINES",
     "PRESETS",
+    "STRATEGIES",
     "registries",
     # plugin record types
     "SimulatorPlugin",
@@ -84,11 +94,18 @@ __all__ = [
     "PredictSpec",
     "BundleSpec",
     "ServeSpec",
+    "CampaignSpec",
+    "AxisSpec",
     "SpecValidationError",
     # session facade
     "Session",
     "SessionTuneResult",
     "CapabilityError",
+    # sweep campaigns
+    "CampaignRunner",
+    "CampaignResult",
+    "run_campaign",
+    "CAMPAIGNS",
     # deployment bundles
     "BundleError",
     "BundleManifest",

@@ -38,6 +38,11 @@ class SimulatorPlugin:
             no per-cycle timeline report.
         sweep_fields: Global parameter fields a one-dimensional sweep can
             vary: ``field name -> (table, value) -> None`` setter.
+        opcode_sweep_fields: Per-opcode parameter fields a campaign axis can
+            vary: ``field name -> (table, opcode_index, value) -> None``
+            setter.  A setter that additionally needs a port index declares
+            ``accepts_port = True`` and ``num_ports`` on itself and is called
+            as ``(table, opcode_index, port, value)``.
         supports_partial_learning: Whether the adapter accepts
             ``learn_fields`` (learning a subset of the parameter set);
             validated up front by :class:`~repro.api.specs.TuneSpec`.
@@ -56,6 +61,7 @@ class SimulatorPlugin:
     engine_factory: Optional[Callable[..., Any]] = None
     timeline_factory: Optional[Callable[[Any], Any]] = None
     sweep_fields: Mapping[str, Callable[[Any, int], None]] = field(default_factory=dict)
+    opcode_sweep_fields: Mapping[str, Callable[..., None]] = field(default_factory=dict)
     supports_partial_learning: bool = True
     supports_megabatch: bool = False
 

@@ -1,4 +1,4 @@
-"""The five component registries backing the public API.
+"""The six component registries backing the public API.
 
 Components register themselves when their defining module is imported:
 
@@ -11,7 +11,9 @@ Components register themselves when their defining module is imported:
   (``ithemal``, ``pooled``, ``analytical``);
 * :mod:`repro.core.config` registers the configuration presets
   (``fast``, ``paper``, ``test``);
-* :mod:`repro.baselines` registers the seven baselines of Table IV.
+* :mod:`repro.baselines` registers the seven baselines of Table IV;
+* :mod:`repro.campaigns.strategies` registers the campaign sampling
+  strategies (``grid``, ``random``, ``adaptive``).
 
 To keep ``import repro.api`` cheap, none of those modules is imported here;
 each registry lazily runs :func:`_bootstrap_components` on its first lookup.
@@ -36,6 +38,11 @@ def _bootstrap_components() -> None:
     import repro.targets  # noqa: F401
 
 
+def _bootstrap_strategies() -> None:
+    """Import the module that self-registers the built-in strategies."""
+    import repro.campaigns.strategies  # noqa: F401
+
+
 def _normalize_target(key: str) -> str:
     """Targets accept spacing/punctuation variants: ``"Ivy Bridge"`` == ``"ivybridge"``."""
     return key.strip().lower().replace(" ", "").replace("_", "").replace("-", "")
@@ -51,6 +58,8 @@ BASELINES = Registry("baseline", entry_point_group="repro.baselines",
                      bootstrap=_bootstrap_components)
 PRESETS = Registry("preset", entry_point_group="repro.presets",
                    bootstrap=_bootstrap_components)
+STRATEGIES = Registry("strategy", entry_point_group="repro.strategies",
+                      bootstrap=_bootstrap_strategies)
 
 
 def registries() -> Dict[str, Registry]:
@@ -61,4 +70,5 @@ def registries() -> Dict[str, Registry]:
         "surrogates": SURROGATES,
         "baselines": BASELINES,
         "presets": PRESETS,
+        "strategies": STRATEGIES,
     }

@@ -32,9 +32,10 @@ from repro.api.plugins import SimulatorPlugin
 from repro.api.registries import PRESETS, SIMULATORS, SURROGATES, TARGETS
 from repro.api.specs import (BundleSpec, EvaluateSpec, PredictSpec,
                              SpecValidationError, TuneSpec)
+from repro.campaigns.spec import CampaignSpec
 
 #: Specs a session can be created from.
-AnySpec = Union[TuneSpec, EvaluateSpec, PredictSpec, BundleSpec]
+AnySpec = Union[TuneSpec, EvaluateSpec, PredictSpec, BundleSpec, CampaignSpec]
 
 
 class CapabilityError(RuntimeError):
@@ -74,9 +75,10 @@ class Session:
 
     def __init__(self, spec: AnySpec,
                  log: Optional[Callable[[str], None]] = None) -> None:
-        if not isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec, BundleSpec)):
+        if not isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec, BundleSpec,
+                                 CampaignSpec)):
             raise TypeError(f"expected TuneSpec/EvaluateSpec/PredictSpec/"
-                            f"BundleSpec, got {type(spec).__name__}")
+                            f"BundleSpec/CampaignSpec, got {type(spec).__name__}")
         spec.validate()
         self.spec = spec
         self.log = log or (lambda message: None)
@@ -120,7 +122,8 @@ class Session:
             payload = dict(spec)
             payload.update(overrides)
             spec = TuneSpec.from_dict(payload)
-        elif isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec, BundleSpec)):
+        elif isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec, BundleSpec,
+                               CampaignSpec)):
             if overrides:
                 known = {f.name for f in dataclasses.fields(spec)}
                 for key in overrides:
@@ -404,26 +407,80 @@ class Session:
             table = self.load_table_or_default(self._spec_get("table_path"))
         return plugin.timeline_factory(table).summary(block)
 
+    def run_campaign(self, spec: Optional[Union["CampaignSpec", Dict[str, Any]]] = None,
+                     **overrides: Any) -> Any:
+        """Run a declarative sweep campaign on this session's components.
+
+        ``spec`` may be a :class:`~repro.campaigns.spec.CampaignSpec`, a
+        plain spec dict, or ``None`` (campaign fields come entirely from
+        ``overrides``, with the dataset/simulator identity inherited from
+        this session's spec).  The campaign shares this session's adapter,
+        so its engine compile/result caches carry across campaigns and
+        :meth:`predict` calls.  Returns a
+        :class:`~repro.campaigns.runner.CampaignResult`.
+        """
+        from repro.campaigns.runner import CampaignRunner
+
+        if spec is None or isinstance(spec, dict):
+            payload: Dict[str, Any] = {
+                "simulator": SIMULATORS.resolve(self.spec.simulator)}
+            for name in ("target", "dataset_path", "num_blocks", "seed",
+                         "table_path", "narrow_sampling", "engine_workers",
+                         "engine_megabatch"):
+                value = self._spec_get(name)
+                if value is not None:
+                    payload[name] = value
+            payload.update(spec or {})
+            payload.update(overrides)
+            spec = CampaignSpec.from_dict(payload)
+        elif isinstance(spec, CampaignSpec):
+            if overrides:
+                known = {f.name for f in dataclasses.fields(spec)}
+                for key in overrides:
+                    if key not in known:
+                        raise SpecValidationError(
+                            key, "unknown field for CampaignSpec")
+                spec = dataclasses.replace(spec, **overrides)
+            spec.validate()
+        else:
+            raise TypeError(f"expected a CampaignSpec, dict, or keyword "
+                            f"arguments; got {type(spec).__name__}")
+        return CampaignRunner(spec, session=self, log=self.log).run()
+
     def sweep_tables(self, field_name: str, values: Sequence[int],
                      table: Optional[Any] = None) -> List[Any]:
-        """Candidate tables varying one global parameter (Figure 5 sweeps).
+        """Deprecated: candidate tables varying one global parameter.
+
+        Thin shim over the campaign axis machinery
+        (:func:`repro.campaigns.spec.resolve_axis`): the base table is
+        resolved once and each candidate applies the plugin's setter to a
+        copy, exactly as a single-axis grid campaign materializes its
+        variants.  Use :meth:`run_campaign` with a grid axis instead.
 
         Raises :class:`CapabilityError` when the simulator does not expose
         ``field_name`` as a sweepable global parameter.
         """
+        warnings.warn(
+            "Session.sweep_tables() is deprecated; use Session.run_campaign() "
+            "with a single grid axis (repro.campaigns)",
+            DeprecationWarning, stacklevel=2)
+        from repro.campaigns.spec import AxisSpec, resolve_axis
+
         plugin = self.plugin
-        setter = plugin.sweep_fields.get(field_name)
-        if setter is None:
+        if field_name not in plugin.sweep_fields:
             supported = ", ".join(sorted(plugin.sweep_fields)) or "<none>"
             raise CapabilityError(
                 f"simulator {plugin.name!r} cannot sweep {field_name!r}; "
                 f"sweepable fields: {supported}")
+        axis = resolve_axis(AxisSpec(field=field_name,
+                                     values=[int(value) for value in values]),
+                            plugin)
         if table is None:
             table = self.load_table_or_default(self._spec_get("table_path"))
         candidates = []
-        for value in values:
+        for value in axis.values:
             candidate = table.copy()
-            setter(candidate, int(value))
+            axis.apply(candidate, value)
             candidates.append(candidate)
         return candidates
 

@@ -150,11 +150,24 @@ def _format_sec5a(metrics) -> str:
 
 @scenario("sec5a_random_tables", tags=("paper", "ci"), formatter=_format_sec5a)
 def sec5a_random_tables(ctx: ScenarioContext):
-    """Section V-A — error of randomly sampled parameter tables on Haswell."""
+    """Section V-A — error of randomly sampled parameter tables on Haswell.
+
+    Thin wrapper over the ``sec5a_random_tables`` campaign preset
+    (:mod:`repro.campaigns.presets`): same sampling distribution, rng
+    stream, and error metric as the pre-campaign experiment loop, so the
+    reported statistics are bit-identical to earlier baselines.
+    """
+    from repro.campaigns import CAMPAIGNS, run_campaign
+
     num_blocks = ctx.by_tier(smoke=120, quick=200, full=400)
     num_tables = ctx.by_tier(smoke=3, quick=8, full=10)
-    return experiments.run_section5a_random_tables(num_blocks=num_blocks,
-                                                   num_tables=num_tables, seed=ctx.seed)
+    spec = CAMPAIGNS.get("sec5a_random_tables")(
+        num_blocks=num_blocks, num_tables=num_tables, seed=ctx.seed,
+        engine_workers=ctx.workers)
+    errors = np.array([variant["error"]
+                       for variant in run_campaign(spec).variants])
+    return {"mean": float(errors.mean()), "std": float(errors.std()),
+            "min": float(errors.min()), "max": float(errors.max())}
 
 
 def _format_sec6b(metrics) -> str:
@@ -170,20 +183,39 @@ def sec6b_writelatency_only(ctx: ScenarioContext):
 
 
 def _format_sec6c(metrics) -> str:
+    cases = metrics["cases"] if isinstance(metrics, dict) else metrics
     rows = [[case["name"], f"{case['true_timing']:.2f}",
              f"{case['default_prediction']:.2f}", f"{case['learned_prediction']:.2f}",
-             case["default_latency"], case["learned_latency"]] for case in metrics]
-    return format_table(
+             case["default_latency"], case["learned_latency"]] for case in cases]
+    text = format_table(
         ["Case", "True", "Default pred", "Learned pred", "Default lat", "Learned lat"],
         rows, title="Section VI-C analogue: case studies (Haswell)")
+    sensitivity = (metrics.get("write_latency_sensitivity", [])
+                   if isinstance(metrics, dict) else [])
+    if sensitivity:
+        lines = [text, "WriteLatency sensitivity (campaign error spread per opcode):"]
+        for entry in sensitivity:
+            lines.append(f"  {entry['axis']:28s} {entry['spread'] * 100:.2f}%")
+        text = "\n".join(lines)
+    return text
 
 
 @scenario("sec6c_case_studies", tags=("paper",), formatter=_format_sec6c)
 def sec6c_case_studies(ctx: ScenarioContext):
-    """Section VI-C — case studies: PUSH64r, XOR32rr (zero idiom), ADD32mr."""
+    """Section VI-C — case studies plus the case-study opcodes' WriteLatency
+    sensitivity, via the ``sec6c_write_latency`` campaign preset."""
+    from repro.campaigns import CAMPAIGNS, run_campaign
+
     report = experiments.run_section6c_case_studies(ctx.scale,
                                                     dataset=ctx.dataset("haswell"))
-    return [vars(case) for case in report]
+    spec = CAMPAIGNS.get("sec6c_write_latency")(
+        num_blocks=ctx.scale.num_blocks, seed=ctx.seed,
+        max_blocks=ctx.by_tier(smoke=24, quick=60, full=None),
+        engine_workers=ctx.workers)
+    campaign = run_campaign(spec)
+    return {"cases": [vars(case) for case in report],
+            "write_latency_sensitivity": campaign.report["axis_sensitivity"],
+            "campaign_baseline_error": campaign.report["baseline_error"]}
 
 
 # ----------------------------------------------------------------------
@@ -789,4 +821,76 @@ def serving_latency(ctx: ScenarioContext):
             "cache_hit_rate": server_stats["result_cache"]["hit_rate"],
             "latency_ms": server_stats["latency_ms"],
         },
+    }
+
+
+def _format_campaign_throughput(metrics) -> str:
+    rows = [[name, f"{row['variants_per_sec']:.1f}", f"{row['seconds']:.3f}s"]
+            for name, row in metrics["paths"].items()]
+    rows.append(["speedup (cached/uncached)",
+                 f"{metrics['speedup']['cached']:.2f}x", ""])
+    rows.append(["byte-identical reports",
+                 "yes" if metrics["reports_identical"] else "NO", ""])
+    return format_table(["Path", "Variants/sec", "Wall time"], rows,
+                        title="Campaign throughput (engine result caching "
+                              "across repeated campaigns)")
+
+
+@scenario("campaign_throughput", tags=("perf", "ci"),
+          formatter=_format_campaign_throughput)
+def campaign_throughput(ctx: ScenarioContext):
+    """Variants/second of a grid campaign, uncached vs engine-result-cached.
+
+    The same one-at-a-time Figure-5 campaign runs repeatedly through one
+    session, so every run shares the adapter's engine (compile caches,
+    megabatch kernels, per-digest result LRU).  Each round times an uncached
+    run (result cache cleared first) and a cached rerun (every variant digest
+    is an LRU hit); the best round is reported, and all reports must be
+    byte-identical — the cache may only change wall time, never results.
+    """
+    import json
+
+    from repro.api import Session
+    from repro.campaigns import CAMPAIGNS, run_campaign
+
+    num_blocks = ctx.by_tier(smoke=100, quick=200, full=300)
+    max_blocks = ctx.by_tier(smoke=32, quick=64, full=120)
+    spec = CAMPAIGNS.get("fig5_global_sensitivity")(
+        num_blocks=num_blocks, seed=ctx.seed, max_blocks=max_blocks,
+        engine_workers=ctx.workers)
+    session = Session(spec)
+    engine = session.adapter.engine
+
+    # Untimed warm-up: hot compile/operand caches for both timed paths.
+    warmup = run_campaign(spec, session=session)
+    reports = [json.dumps(warmup.report, sort_keys=True)]
+    results: Dict[str, Dict[str, float]] = {}
+    num_variants = warmup.num_variants
+    rounds = 2
+    for _ in range(rounds):
+        for label, clear in (("uncached", True), ("cached", False)):
+            if clear:
+                engine.clear_results()
+            start = time.perf_counter()
+            result = run_campaign(spec, session=session)
+            elapsed = time.perf_counter() - start
+            reports.append(json.dumps(result.report, sort_keys=True))
+            if label not in results or elapsed < results[label]["seconds"]:
+                results[label] = {
+                    "seconds": elapsed,
+                    "variants_per_sec": num_variants / max(elapsed, 1e-9),
+                    "rounds": rounds}
+    identical = all(report == reports[0] for report in reports)
+    assert identical, "cached campaign report diverged from uncached run"
+
+    return {
+        "workload": {"num_blocks": num_blocks, "max_blocks": max_blocks,
+                     "num_variants": num_variants,
+                     "preset": "fig5_global_sensitivity",
+                     "seed": ctx.seed, "uarch": "haswell"},
+        "paths": results,
+        "speedup": {"cached": (results["cached"]["variants_per_sec"]
+                               / results["uncached"]["variants_per_sec"])},
+        "reports_identical": float(identical),
+        "engine_stats": engine.stats,
     }

@@ -1,0 +1,65 @@
+"""Declarative sweep campaigns: population-scale sensitivity as a workload.
+
+A campaign sweeps a population of parameter-table variants (grid, random,
+or adaptive successive-halving sampling over global / per-opcode / per-port
+axes) across a block corpus through the shared cached engine, with
+per-chunk checkpointed resume and a streamed schema-versioned JSON report.
+
+Public entry points::
+
+    from repro.campaigns import CampaignSpec, run_campaign, CAMPAIGNS
+
+    spec = CampaignSpec(axes=[{"field": "DispatchWidth", "low": 1, "high": 6}])
+    result = run_campaign(spec)
+
+Only the spec and strategy layers import eagerly; the runner and presets
+load on first attribute access (:mod:`repro.api.session` imports the spec at
+module import time, and the runner imports the session — laziness breaks
+that cycle).
+"""
+
+from repro.campaigns.spec import (AxisSpec, CampaignSpec, ResolvedAxis,
+                                  resolve_axes, resolve_axis)
+
+__all__ = [
+    "AxisSpec",
+    "CampaignSpec",
+    "ResolvedAxis",
+    "resolve_axes",
+    "resolve_axis",
+    "CampaignResult",
+    "CampaignRunner",
+    "run_campaign",
+    "sweep_error_curve",
+    "campaign_fingerprint",
+    "CAMPAIGNS",
+    "build_report",
+    "format_report",
+    "write_report",
+]
+
+#: Lazily resolved exports: name -> defining submodule.
+_LAZY_EXPORTS = {
+    "CampaignResult": "repro.campaigns.runner",
+    "CampaignRunner": "repro.campaigns.runner",
+    "run_campaign": "repro.campaigns.runner",
+    "sweep_error_curve": "repro.campaigns.runner",
+    "campaign_fingerprint": "repro.campaigns.runner",
+    "CAMPAIGNS": "repro.campaigns.presets",
+    "build_report": "repro.campaigns.report",
+    "format_report": "repro.campaigns.report",
+    "write_report": "repro.campaigns.report",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,204 @@
+"""Campaign sampling strategies (the STRATEGIES registry entries).
+
+A strategy turns a campaign's axes into rounds of concrete variant
+assignments.  The protocol is generate-and-observe:
+
+* ``propose(rng) -> CampaignRound | None`` — the next round of assignments
+  (``None`` when the campaign is exhausted).  An assignment maps axis labels
+  to values; the special key :data:`~repro.campaigns.spec.SAMPLE_KEY` marks
+  a freshly sampled full table (axis-free mode) by rng draw index.
+* ``observe(round, errors)`` — the measured per-variant errors of the round
+  just proposed, which adaptive strategies use to pick survivors.
+
+Strategies are deterministic given ``(axes, num_variants, options)`` and the
+rng stream: replaying the same seed reproduces the exact proposal sequence,
+which is what makes checkpointed campaign resume bit-identical.
+
+Everything here is registered into :data:`repro.api.registries.STRATEGIES`
+at import time; the registry's bootstrap imports this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.api.registries import STRATEGIES
+from repro.campaigns.spec import SAMPLE_KEY, ResolvedAxis
+
+#: One assignment: axis label -> swept value (or SAMPLE_KEY -> draw index).
+Assignment = Dict[str, int]
+
+
+@dataclass
+class CampaignRound:
+    """One batch of variants to evaluate on a prefix of the block corpus."""
+
+    index: int
+    assignments: List[Assignment]
+    #: Fraction of the evaluation blocks this round runs on (adaptive
+    #: strategies screen early rounds on a cheap prefix).
+    block_fraction: float = 1.0
+
+
+def _check_options(name: str, options: Mapping[str, Any],
+                   allowed: Sequence[str]) -> None:
+    unknown = sorted(set(options) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) for strategy {name!r}: {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(allowed)) or '<none>'})")
+
+
+def _random_assignments(axes: Sequence[ResolvedAxis], count: int,
+                        rng: np.random.Generator,
+                        start_index: int) -> List[Assignment]:
+    """``count`` assignments: uniform per-axis draws, or full-table draws."""
+    if not axes:
+        return [{SAMPLE_KEY: start_index + offset} for offset in range(count)]
+    assignments = []
+    for _ in range(count):
+        assignment = {axis.label: int(axis.values[int(rng.integers(len(axis.values)))])
+                      for axis in axes}
+        assignments.append(assignment)
+    return assignments
+
+
+@STRATEGIES.register("grid", summary="Exhaustive cartesian product (or "
+                                     "one-at-a-time curves) over the axes")
+class GridStrategy:
+    """Deterministic grid: every axis-value combination, one round.
+
+    ``options["mode"]``: ``"product"`` (default) enumerates the full
+    cartesian product, last axis fastest; ``"one_at_a_time"`` sweeps each
+    axis separately while the others stay at the base table (the classic
+    sensitivity-curve layout).  ``num_variants`` truncates the enumeration.
+    """
+
+    name = "grid"
+    supports_full_table = False
+    requires_num_variants = False
+
+    def __init__(self, axes: Sequence[ResolvedAxis],
+                 num_variants: Optional[int],
+                 options: Mapping[str, Any]) -> None:
+        _check_options(self.name, options, ("mode",))
+        mode = options.get("mode", "product")
+        if mode not in ("product", "one_at_a_time"):
+            raise ValueError(f"grid mode must be 'product' or 'one_at_a_time', "
+                             f"got {mode!r}")
+        if mode == "one_at_a_time":
+            assignments = [{axis.label: int(value)}
+                           for axis in axes for value in axis.values]
+        else:
+            assignments = [
+                {axis.label: int(value)
+                 for axis, value in zip(axes, combination)}
+                for combination in itertools.product(
+                    *[axis.values for axis in axes])]
+        if num_variants is not None:
+            assignments = assignments[:num_variants]
+        self._assignments = assignments
+        self._done = False
+
+    def propose(self, rng: np.random.Generator) -> Optional[CampaignRound]:
+        if self._done:
+            return None
+        self._done = True
+        return CampaignRound(0, self._assignments)
+
+    def observe(self, round_: CampaignRound, errors: Sequence[float]) -> None:
+        pass
+
+
+@STRATEGIES.register("random", summary="Uniform random sampling of the axes "
+                                       "(or whole tables when axis-free)")
+class RandomStrategy:
+    """``num_variants`` independent uniform draws, one round.
+
+    With axes, each variant draws every axis uniformly from its value list;
+    without axes, each variant is a whole parameter table drawn from the
+    adapter's sampling distribution (the sec5a random-tables experiment).
+    """
+
+    name = "random"
+    supports_full_table = True
+    requires_num_variants = True
+
+    def __init__(self, axes: Sequence[ResolvedAxis],
+                 num_variants: Optional[int],
+                 options: Mapping[str, Any]) -> None:
+        _check_options(self.name, options, ())
+        self._axes = list(axes)
+        self._num_variants = int(num_variants or 0)
+        self._done = False
+
+    def propose(self, rng: np.random.Generator) -> Optional[CampaignRound]:
+        if self._done:
+            return None
+        self._done = True
+        return CampaignRound(
+            0, _random_assignments(self._axes, self._num_variants, rng, 0))
+
+    def observe(self, round_: CampaignRound, errors: Sequence[float]) -> None:
+        pass
+
+
+@STRATEGIES.register("adaptive", aliases=("successive_halving",),
+                     summary="Successive halving: screen random variants on "
+                             "a block prefix, promote the best")
+class SuccessiveHalvingStrategy:
+    """Adaptive budget allocation over a random initial population.
+
+    Round 0 draws ``num_variants`` random variants and evaluates them on a
+    ``1/eta**(R-1)`` prefix of the blocks; each later round keeps the best
+    ``1/eta`` of the survivors and grows the prefix by ``eta``, until the
+    final survivors run on the full corpus.  ``options["eta"]`` (default 3)
+    sets the culling factor.
+    """
+
+    name = "adaptive"
+    supports_full_table = True
+    requires_num_variants = True
+
+    def __init__(self, axes: Sequence[ResolvedAxis],
+                 num_variants: Optional[int],
+                 options: Mapping[str, Any]) -> None:
+        _check_options(self.name, options, ("eta",))
+        eta = options.get("eta", 3)
+        if not isinstance(eta, int) or isinstance(eta, bool) or eta < 2:
+            raise ValueError(f"eta must be an int >= 2, got {eta!r}")
+        self._axes = list(axes)
+        self._eta = eta
+        populations = [int(num_variants or 0)]
+        while populations[-1] > 1:
+            populations.append(max(1, populations[-1] // eta))
+        self._populations = populations
+        self._round_index = 0
+        self._survivors: List[Assignment] = []
+
+    def propose(self, rng: np.random.Generator) -> Optional[CampaignRound]:
+        index = self._round_index
+        if index >= len(self._populations):
+            return None
+        num_rounds = len(self._populations)
+        fraction = 1.0 / float(self._eta ** (num_rounds - 1 - index))
+        if index == 0:
+            assignments = _random_assignments(
+                self._axes, self._populations[0], rng, 0)
+        else:
+            assignments = self._survivors
+        self._round_index += 1
+        return CampaignRound(index, assignments, fraction)
+
+    def observe(self, round_: CampaignRound, errors: Sequence[float]) -> None:
+        next_index = round_.index + 1
+        if next_index >= len(self._populations):
+            return
+        keep = self._populations[next_index]
+        # Stable (error, position) ranking keeps ties deterministic.
+        order = sorted(range(len(errors)), key=lambda i: (errors[i], i))
+        self._survivors = [round_.assignments[i] for i in order[:keep]]

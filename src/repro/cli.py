@@ -1,6 +1,6 @@
 """Command-line interface for the DiffTune reproduction.
 
-Eleven subcommands cover the day-to-day workflow:
+Twelve subcommands cover the day-to-day workflow:
 
 * ``dataset``  — generate and measure a BHive-like dataset and save it to JSON.
 * ``learn``    — run DiffTune on a dataset (or a freshly generated one) and
@@ -14,7 +14,12 @@ Eleven subcommands cover the day-to-day workflow:
 * ``timeline`` — print the llvm-mca style timeline / bottleneck report for a
   basic block under a (default or learned) parameter table.
 * ``sweep``    — sweep one global parameter and report the error curve
-  (the Figure 5 analysis) as a text plot.
+  (the Figure 5 analysis) as a text plot.  Internally a single-axis grid
+  campaign (see ``campaign``).
+* ``campaign`` — declarative sweep campaigns (:mod:`repro.campaigns`):
+  ``run`` a preset, a JSON spec file, or inline ``--axis`` flags through
+  the checkpointable campaign runner; ``list`` the registered presets and
+  sampling strategies; ``report`` summarizes a ``campaign_report.json``.
 * ``tune-baseline`` — run one of the black-box baselines (OpenTuner-style,
   genetic, annealing, coordinate descent, random search) for comparison
   with DiffTune.
@@ -45,6 +50,12 @@ Examples::
     python -m repro.cli compare --uarch zen2 --blocks 300
     python -m repro.cli timeline --block "addq %rax, %rbx; imulq %rbx, %rcx"
     python -m repro.cli sweep --dataset haswell.json --field DispatchWidth
+    python -m repro.cli campaign list
+    python -m repro.cli campaign run --preset sec6c --blocks 120
+    python -m repro.cli campaign run --dataset haswell.json \\
+        --axis "WriteLatency@ADD32rr=0:5" --axis "DispatchWidth=1,2,4,8" \\
+        --checkpoint-dir runs/campaign --output campaign_report.json
+    python -m repro.cli campaign report campaign_report.json
     python -m repro.cli tune-baseline --dataset haswell.json --method genetic
     python -m repro.cli bundle export --uarch haswell --table learned.json --output hsw.bundle
     python -m repro.cli bundle inspect hsw.bundle
@@ -225,7 +236,6 @@ def _command_timeline(arguments: argparse.Namespace) -> int:
 
 
 def _command_sweep(arguments: argparse.Namespace) -> int:
-    from repro.eval.metrics import error_and_tau
     from repro.eval.plots import Series, ascii_line_plot
 
     session = Session.from_spec(EvaluateSpec(simulator=arguments.simulator,
@@ -233,24 +243,123 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
                                              table_path=arguments.table,
                                              engine_workers=arguments.workers,
                                              engine_megabatch=arguments.megabatch))
-    test_blocks, test_timings = session.split("test")
-
     field = arguments.field
+    plugin = SIMULATORS.get(arguments.simulator)
+    if field not in plugin.sweep_fields:
+        supported = ", ".join(sorted(plugin.sweep_fields)) or "<none>"
+        raise SystemExit(f"simulator {plugin.name!r} cannot sweep {field!r}; "
+                         f"sweepable fields: {supported}")
     values = list(range(arguments.low, arguments.high + 1, arguments.step))
-    try:
-        candidates = session.sweep_tables(field, values)
-    except CapabilityError as error:
-        raise SystemExit(str(error))
-    # One batched engine call: the test blocks are compiled once for the
-    # whole sweep, and tables fan out across processes with --workers.
-    predictions = session.predict(test_blocks, candidates)
-    errors = [error_and_tau(row, test_timings)[0] * 100.0 for row in predictions]
+    # A single-axis grid campaign: one batched engine call — the test blocks
+    # are compiled once for the whole sweep, and tables fan out across
+    # processes with --workers.  `repro campaign run` is the general form.
+    result = session.run_campaign(
+        {"strategy": "grid", "axes": [{"field": field, "values": values}]})
+    errors = [variant["error"] * 100.0 for variant in result.variants]
     series = Series(field, x=[float(value) for value in values], y=errors)
     print(ascii_line_plot([series],
                           title=f"{field} sensitivity ({session.dataset().uarch_name})",
                           x_label=field, y_label="error %"))
     best = values[int(np.argmin(errors))]
     print(f"Best {field}: {best} (error {min(errors):.1f}%)")
+    return 0
+
+
+def _parse_axis(text: str) -> dict:
+    """Parse one ``--axis`` flag into an :class:`AxisSpec` payload dict.
+
+    Grammar: ``FIELD[@OPCODE][#PORT]=V1,V2,...`` or
+    ``FIELD[@OPCODE][#PORT]=LOW:HIGH[:STEP]`` — e.g. ``DispatchWidth=1,2,4``
+    or ``WriteLatency@ADD32rr=0:5`` or ``PortMap@XOR32rr#2=0,1``.
+    """
+    label, separator, values_text = text.partition("=")
+    if not separator or not label or not values_text:
+        raise SystemExit(f"bad --axis {text!r}: expected "
+                         f"FIELD[@OPCODE][#PORT]=V1,V2,... or =LOW:HIGH[:STEP]")
+    axis: dict = {}
+    try:
+        if "#" in label:
+            label, _, port = label.rpartition("#")
+            axis["port"] = int(port)
+        if "@" in label:
+            label, _, opcode = label.partition("@")
+            axis["opcode"] = opcode
+        axis["field"] = label
+        if ":" in values_text:
+            bounds = [int(part) for part in values_text.split(":")]
+            if len(bounds) not in (2, 3):
+                raise ValueError(values_text)
+            axis["low"], axis["high"] = bounds[0], bounds[1]
+            if len(bounds) == 3:
+                axis["step"] = bounds[2]
+        else:
+            axis["values"] = [int(part) for part in values_text.split(",")]
+    except ValueError:
+        raise SystemExit(f"bad --axis {text!r}: values must be integers "
+                         f"(V1,V2,... or LOW:HIGH[:STEP])")
+    return axis
+
+
+def _command_campaign(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import CAMPAIGNS, STRATEGIES
+    from repro.campaigns import CampaignSpec, format_report, run_campaign
+
+    if arguments.campaign_command == "list":
+        print("campaign presets (repro campaign run --preset NAME):")
+        for name in CAMPAIGNS.names():
+            entry = CAMPAIGNS.entry(name)
+            aliases = (f" (aliases: {', '.join(entry.aliases)})"
+                       if entry.aliases else "")
+            print(f"  {name:<26} {entry.summary}{aliases}")
+        print("sampling strategies (--strategy NAME):")
+        for name in STRATEGIES.names():
+            print(f"  {name:<26} {STRATEGIES.entry(name).summary}")
+        return 0
+
+    if arguments.campaign_command == "report":
+        with open(arguments.path) as stream:
+            print(format_report(json.load(stream)))
+        return 0
+
+    # run: preset / spec file / inline flags, merged in that order.
+    payload: dict = {}
+    if arguments.spec:
+        with open(arguments.spec) as stream:
+            payload.update(json.load(stream))
+    overrides = {key: value for key, value in (
+        ("target", arguments.uarch),
+        ("simulator", arguments.simulator),
+        ("dataset_path", arguments.dataset),
+        ("table_path", arguments.table),
+        ("strategy", arguments.strategy),
+        ("num_variants", arguments.num_variants),
+        ("num_blocks", arguments.blocks),
+        ("max_blocks", arguments.max_blocks),
+        ("seed", arguments.seed),
+        ("chunk_size", arguments.chunk_size),
+        ("checkpoint_dir", arguments.checkpoint_dir),
+        ("report_path", arguments.output),
+        ("engine_workers", arguments.workers),
+        ("engine_megabatch", arguments.megabatch),
+    ) if value is not None}
+    if arguments.axis:
+        overrides["axes"] = [_parse_axis(axis) for axis in arguments.axis]
+    if arguments.resume:
+        overrides["resume"] = True
+    if arguments.preset:
+        spec = CAMPAIGNS.get(arguments.preset)(**{**payload, **overrides})
+    else:
+        payload.update(overrides)
+        spec = CampaignSpec.from_dict(payload)
+    result = run_campaign(spec, log=print)
+    print(format_report(result.report))
+    if result.resumed_chunks:
+        print(f"  resumed {result.resumed_chunks} chunks from "
+              f"{spec.checkpoint_dir}")
+    if result.report_path:
+        print(f"  wrote report to {result.report_path}")
     return 0
 
 
@@ -467,6 +576,78 @@ def build_parser() -> argparse.ArgumentParser:
                                    "on; --no-megabatch restores the bit-identical "
                                    "per-block scalar path)")
     sweep_parser.set_defaults(handler=_command_sweep)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="declarative sweep campaigns: run / list / report "
+                         "(repro.campaigns)")
+    campaign_subparsers = campaign_parser.add_subparsers(dest="campaign_command",
+                                                         required=True)
+    campaign_run_parser = campaign_subparsers.add_parser(
+        "run", help="run a campaign from a preset, a JSON spec file, or "
+                    "inline --axis flags")
+    campaign_run_parser.add_argument("--preset", default=None,
+                                     help="named campaign preset (see "
+                                          "'repro campaign list'); other flags "
+                                          "override its spec fields")
+    campaign_run_parser.add_argument("--spec", default=None,
+                                     help="CampaignSpec JSON file (as written by "
+                                          "CampaignSpec.to_dict)")
+    campaign_run_parser.add_argument("--axis", action="append", default=None,
+                                     metavar="FIELD[@OPCODE][#PORT]=VALUES",
+                                     help="sweep axis, repeatable; VALUES is "
+                                          "V1,V2,... or LOW:HIGH[:STEP], e.g. "
+                                          "WriteLatency@ADD32rr=0:5")
+    campaign_run_parser.add_argument("--strategy", default=None,
+                                     help="sampling strategy (grid, random, "
+                                          "adaptive)")
+    campaign_run_parser.add_argument("--num-variants", type=int, default=None,
+                                     help="variant budget (required by the "
+                                          "random/adaptive strategies)")
+    campaign_run_parser.add_argument("--dataset", default=None,
+                                     help="dataset JSON (defaults to a "
+                                          "generated corpus for --uarch)")
+    campaign_run_parser.add_argument("--uarch", default=None,
+                                     choices=_target_choices())
+    campaign_run_parser.add_argument("--simulator", default=None,
+                                     choices=_simulator_choices())
+    campaign_run_parser.add_argument("--table", default=None,
+                                     help="base parameter table JSON (defaults "
+                                          "to the expert table)")
+    campaign_run_parser.add_argument("--blocks", type=int, default=None,
+                                     help="generated-corpus size when no "
+                                          "--dataset is given")
+    campaign_run_parser.add_argument("--max-blocks", type=int, default=None,
+                                     help="evaluate on only the first N split "
+                                          "blocks")
+    campaign_run_parser.add_argument("--seed", type=int, default=None)
+    campaign_run_parser.add_argument("--chunk-size", type=int, default=None,
+                                     help="variants per engine call / "
+                                          "checkpoint unit")
+    campaign_run_parser.add_argument("--checkpoint-dir", default=None,
+                                     help="persist per-chunk checkpoints here "
+                                          "(enables --resume)")
+    campaign_run_parser.add_argument("--resume", action="store_true",
+                                     help="replay completed chunks from "
+                                          "--checkpoint-dir (byte-identical "
+                                          "report)")
+    campaign_run_parser.add_argument("--output", default=None,
+                                     help="stream the campaign_report.json "
+                                          "here (rewritten after every chunk)")
+    campaign_run_parser.add_argument("--workers", type=int, default=None,
+                                     help="engine worker processes")
+    campaign_run_parser.add_argument("--megabatch",
+                                     action=argparse.BooleanOptionalAction,
+                                     default=None,
+                                     help="vectorized megabatch simulation "
+                                          "kernels")
+    campaign_run_parser.set_defaults(handler=_command_campaign)
+    campaign_list_parser = campaign_subparsers.add_parser(
+        "list", help="list registered campaign presets and sampling strategies")
+    campaign_list_parser.set_defaults(handler=_command_campaign)
+    campaign_report_parser = campaign_subparsers.add_parser(
+        "report", help="summarize a campaign_report.json")
+    campaign_report_parser.add_argument("path", help="campaign report JSON file")
+    campaign_report_parser.set_defaults(handler=_command_campaign)
 
     baseline_parser = subparsers.add_parser(
         "tune-baseline", help="run a black-box baseline tuner for comparison with DiffTune")

@@ -343,6 +343,25 @@ def _set_reorder_buffer_size(table: MCAParameterTable, value: int) -> None:
     table.reorder_buffer_size = max(1, int(value))
 
 
+def _set_mca_write_latency(table: MCAParameterTable, opcode_index: int,
+                           value: int) -> None:
+    table.write_latency[opcode_index] = max(0, int(value))
+
+
+def _set_mca_num_micro_ops(table: MCAParameterTable, opcode_index: int,
+                           value: int) -> None:
+    table.num_micro_ops[opcode_index] = max(1, int(value))
+
+
+def _set_mca_port_map(table: MCAParameterTable, opcode_index: int, port: int,
+                      value: int) -> None:
+    table.port_map[opcode_index, port] = max(0, int(value))
+
+
+_set_mca_port_map.accepts_port = True
+_set_mca_port_map.num_ports = NUM_PORTS
+
+
 def _mca_timeline_view(table: MCAParameterTable):
     from repro.llvm_mca.timeline import TimelineView
 
@@ -459,6 +478,20 @@ def _llvm_sim_engine_factory(num_workers: int = 0, megabatch: bool = True):
     return llvm_sim_engine(num_workers=num_workers, megabatch=megabatch)
 
 
+def _set_llvm_sim_write_latency(table: LLVMSimParameterTable, opcode_index: int,
+                                value: int) -> None:
+    table.write_latency[opcode_index] = max(0, int(value))
+
+
+def _set_llvm_sim_port_uops(table: LLVMSimParameterTable, opcode_index: int,
+                            port: int, value: int) -> None:
+    table.port_uops[opcode_index, port] = max(0, int(value))
+
+
+_set_llvm_sim_port_uops.accepts_port = True
+_set_llvm_sim_port_uops.num_ports = NUM_PORTS
+
+
 SIMULATORS.register(
     "mca",
     SimulatorPlugin(
@@ -470,6 +503,9 @@ SIMULATORS.register(
         timeline_factory=_mca_timeline_view,
         sweep_fields={"DispatchWidth": _set_dispatch_width,
                       "ReorderBufferSize": _set_reorder_buffer_size},
+        opcode_sweep_fields={"WriteLatency": _set_mca_write_latency,
+                             "NumMicroOps": _set_mca_num_micro_ops,
+                             "PortMap": _set_mca_port_map},
         supports_megabatch=True,
     ),
     aliases=("llvm-mca", "llvm_mca"))
@@ -482,6 +518,8 @@ SIMULATORS.register(
         adapter_factory=_llvm_sim_adapter_factory,
         load_table=LLVMSimParameterTable.load_json,
         engine_factory=_llvm_sim_engine_factory,
+        opcode_sweep_fields={"WriteLatency": _set_llvm_sim_write_latency,
+                             "PortMap": _set_llvm_sim_port_uops},
         supports_partial_learning=False,
         supports_megabatch=True,
     ),

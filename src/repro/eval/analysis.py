@@ -92,6 +92,9 @@ def global_parameter_sensitivity(table: MCAParameterTable, dataset: BasicBlockDa
                                  max_blocks: Optional[int] = None) -> List[Tuple[int, float]]:
     """Error of llvm-mca while sweeping one global parameter (Figure 5).
 
+    Deprecated thin shim over :func:`repro.campaigns.sweep_error_curve`
+    (bit-identical numbers); new code should call the campaign machinery.
+
     Args:
         table: Base parameter table (default or learned).
         dataset: Dataset whose test split is evaluated.
@@ -102,26 +105,19 @@ def global_parameter_sensitivity(table: MCAParameterTable, dataset: BasicBlockDa
     Returns:
         ``[(value, error), ...]`` in the order given.
     """
+    import warnings
+
+    warnings.warn(
+        "global_parameter_sensitivity() is deprecated; use "
+        "repro.campaigns.sweep_error_curve (or a one-at-a-time grid "
+        "campaign) — the campaign machinery produces identical numbers",
+        DeprecationWarning, stacklevel=2)
     if parameter not in ("DispatchWidth", "ReorderBufferSize"):
         raise ValueError("parameter must be DispatchWidth or ReorderBufferSize")
-    examples = dataset.test_examples
-    if max_blocks is not None:
-        examples = examples[:max_blocks]
-    blocks = [example.block for example in examples]
-    targets = np.array([example.timing for example in examples])
-    swept_tables = []
-    for value in values:
-        swept = table.copy()
-        if parameter == "DispatchWidth":
-            swept.dispatch_width = int(value)
-        else:
-            swept.reorder_buffer_size = int(value)
-        swept_tables.append(swept)
-    # A sweep is the canonical repeated-table workload: one batched engine
-    # call compiles each block once and reuses it for every swept value.
-    predictions = mca_engine().run(swept_tables, blocks)
-    return [(int(value), mean_absolute_percentage_error(row, targets))
-            for value, row in zip(values, predictions)]
+    from repro.campaigns.runner import sweep_error_curve
+
+    return sweep_error_curve(table, dataset, parameter, values,
+                             max_blocks=max_blocks, engine=mca_engine())
 
 
 # ----------------------------------------------------------------------

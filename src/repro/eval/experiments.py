@@ -25,9 +25,8 @@ from repro.core.config import fast_config
 from repro.core.difftune import DiffTune, DiffTuneConfig
 from repro.core.simulated_dataset import random_table_errors
 from repro.core.parameters import ParameterArrays
-from repro.eval.analysis import (case_study_report, global_parameter_sensitivity,
-                                 parameter_histograms, per_application_error,
-                                 per_category_error)
+from repro.eval.analysis import (case_study_report, parameter_histograms,
+                                 per_application_error, per_category_error)
 from repro.eval.metrics import error_and_tau, mean_absolute_percentage_error
 from repro.isa.parser import parse_block
 from repro.targets import get_uarch
@@ -261,15 +260,25 @@ def run_table6_and_figures(scale: Optional[ExperimentScale] = None,
     default_table = adapter.default_table()
     learned_table = adapter.table_from_arrays(learned_result.learned_arrays)
 
-    dispatch_sweep_default = global_parameter_sensitivity(
-        default_table, dataset, "DispatchWidth", list(range(1, 11)), max_blocks=60)
-    dispatch_sweep_learned = global_parameter_sensitivity(
-        learned_table, dataset, "DispatchWidth", list(range(1, 11)), max_blocks=60)
+    # One shared engine across the four sweeps: each block compiles once and
+    # its per-table results accumulate in the engine cache.
+    from repro.campaigns.runner import sweep_error_curve
+    from repro.engine.factories import mca_engine
+
+    engine = mca_engine()
+    dispatch_sweep_default = sweep_error_curve(
+        default_table, dataset, "DispatchWidth", list(range(1, 11)),
+        max_blocks=60, engine=engine)
+    dispatch_sweep_learned = sweep_error_curve(
+        learned_table, dataset, "DispatchWidth", list(range(1, 11)),
+        max_blocks=60, engine=engine)
     rob_values = [10, 25, 50, 75, 100, 150, 200, 250, 300, 400]
-    rob_sweep_default = global_parameter_sensitivity(
-        default_table, dataset, "ReorderBufferSize", rob_values, max_blocks=60)
-    rob_sweep_learned = global_parameter_sensitivity(
-        learned_table, dataset, "ReorderBufferSize", rob_values, max_blocks=60)
+    rob_sweep_default = sweep_error_curve(
+        default_table, dataset, "ReorderBufferSize", rob_values,
+        max_blocks=60, engine=engine)
+    rob_sweep_learned = sweep_error_curve(
+        learned_table, dataset, "ReorderBufferSize", rob_values,
+        max_blocks=60, engine=engine)
 
     return {
         "table6": {

@@ -150,7 +150,8 @@ class TestEvaluatePredict:
         blocks, _timings = tune_session.split("test")
         single = tune_session.predict(blocks)
         assert single.shape == (len(blocks),)
-        tables = tune_session.sweep_tables("DispatchWidth", [1, 2, 3])
+        with pytest.warns(DeprecationWarning, match="sweep_tables.*deprecated"):
+            tables = tune_session.sweep_tables("DispatchWidth", [1, 2, 3])
         batch = tune_session.predict(blocks, tables)
         assert batch.shape == (3, len(blocks))
 
@@ -232,7 +233,8 @@ class TestCapabilities:
     def test_sweep_missing_capability(self):
         session = Session.from_spec(EvaluateSpec(simulator="llvm_sim",
                                                  num_blocks=30))
-        with pytest.raises(CapabilityError, match="cannot sweep"):
+        with pytest.raises(CapabilityError, match="cannot sweep"), \
+                pytest.warns(DeprecationWarning):
             session.sweep_tables("DispatchWidth", [1, 2])
 
     def test_llvm_sim_rejects_learn_fields_at_validation(self):

@@ -27,6 +27,7 @@ EXPECTED_API_SURFACE = sorted([
     "SURROGATES",
     "BASELINES",
     "PRESETS",
+    "STRATEGIES",
     "registries",
     # plugin record types
     "SimulatorPlugin",
@@ -37,11 +38,18 @@ EXPECTED_API_SURFACE = sorted([
     "PredictSpec",
     "BundleSpec",
     "ServeSpec",
+    "CampaignSpec",
     "SpecValidationError",
     # session facade
     "Session",
     "SessionTuneResult",
     "CapabilityError",
+    # sweep campaigns
+    "AxisSpec",
+    "CampaignRunner",
+    "CampaignResult",
+    "run_campaign",
+    "CAMPAIGNS",
     # deployment bundles
     "BundleError",
     "BundleManifest",
@@ -74,7 +82,8 @@ class TestDescribe:
         description = repro.api.describe()
         assert description["version"] == repro.__version__
         assert sorted(description["registries"]) == [
-            "baselines", "presets", "simulators", "surrogates", "targets"]
+            "baselines", "presets", "simulators", "strategies", "surrogates",
+            "targets"]
         haswell = description["registries"]["targets"]["haswell"]
         assert haswell["aliases"] == ["hsw"]
         assert haswell["summary"]
@@ -82,16 +91,19 @@ class TestDescribe:
     def test_describe_lists_spec_fields(self):
         description = repro.api.describe()
         assert sorted(description["specs"]) == [
-            "BundleSpec", "EvaluateSpec", "PredictSpec", "ServeSpec",
-            "TuneSpec"]
+            "BundleSpec", "CampaignSpec", "EvaluateSpec", "PredictSpec",
+            "ServeSpec", "TuneSpec"]
         assert "target" in description["specs"]["ServeSpec"]
         assert "bundle_path" in description["specs"]["ServeSpec"]
         assert "table_path" in description["specs"]["BundleSpec"]
+        assert "axes" in description["specs"]["CampaignSpec"]
+        assert "strategy" in description["specs"]["CampaignSpec"]
 
     def test_registries_keys_acceptance(self):
-        # Acceptance criterion: repro.api.registries().keys() lists all five.
+        # Acceptance criterion: repro.api.registries().keys() lists all six.
         assert sorted(repro.api.registries().keys()) == [
-            "baselines", "presets", "simulators", "surrogates", "targets"]
+            "baselines", "presets", "simulators", "strategies", "surrogates",
+            "targets"]
 
     def test_describe_is_json_serializable(self):
         import json

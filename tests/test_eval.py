@@ -93,28 +93,31 @@ class TestAnalysis:
         assert write_latency["learned"][0] == len(haswell_default_table.opcode_table)
 
     def test_sensitivity_sweep_shape(self, small_dataset, haswell_default_table):
-        sweep = global_parameter_sensitivity(haswell_default_table, small_dataset,
-                                             "DispatchWidth", [1, 4, 8], max_blocks=10)
+        with pytest.warns(DeprecationWarning, match="sweep_error_curve"):
+            sweep = global_parameter_sensitivity(haswell_default_table, small_dataset,
+                                                 "DispatchWidth", [1, 4, 8], max_blocks=10)
         assert [value for value, _ in sweep] == [1, 4, 8]
         assert all(error > 0 for _, error in sweep)
 
     def test_sensitivity_dispatch_width_minimum_near_default(self, small_dataset,
                                                              haswell_default_table):
         """Error should be worse at DispatchWidth=1 than at the default 4 (Figure 5)."""
-        sweep = dict(global_parameter_sensitivity(haswell_default_table, small_dataset,
-                                                  "DispatchWidth", [1, 4], max_blocks=25))
+        with pytest.warns(DeprecationWarning):
+            sweep = dict(global_parameter_sensitivity(haswell_default_table, small_dataset,
+                                                      "DispatchWidth", [1, 4], max_blocks=25))
         assert sweep[1] > sweep[4]
 
     def test_sensitivity_rob_insensitive_above_threshold(self, small_dataset,
                                                          haswell_default_table):
         """Above ~70 entries the reorder buffer is rarely the bottleneck (Figure 5)."""
-        sweep = dict(global_parameter_sensitivity(haswell_default_table, small_dataset,
-                                                  "ReorderBufferSize", [100, 300],
-                                                  max_blocks=25))
+        with pytest.warns(DeprecationWarning):
+            sweep = dict(global_parameter_sensitivity(haswell_default_table, small_dataset,
+                                                      "ReorderBufferSize", [100, 300],
+                                                      max_blocks=25))
         assert sweep[100] == pytest.approx(sweep[300], rel=0.1)
 
     def test_sensitivity_invalid_parameter(self, small_dataset, haswell_default_table):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
             global_parameter_sensitivity(haswell_default_table, small_dataset, "Bogus", [1])
 
     def test_case_study_report(self, haswell_default_table, haswell_hardware):
