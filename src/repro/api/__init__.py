@@ -52,6 +52,7 @@ _LAZY_EXPORTS = {
     "PredictSpec": "repro.api.specs",
     "BundleSpec": "repro.api.specs",
     "ServeSpec": "repro.api.specs",
+    "CorpusSpec": "repro.api.specs",
     "SpecValidationError": "repro.api.specs",
     "BundleError": "repro.api.bundle",
     "BundleManifest": "repro.api.bundle",
@@ -68,7 +69,7 @@ _LAZY_EXPORTS = {
 
 #: Spec class name -> defining module; drives ``describe()["specs"]``.
 _SPEC_EXPORTS = ("TuneSpec", "EvaluateSpec", "PredictSpec", "BundleSpec",
-                 "ServeSpec", "CampaignSpec")
+                 "ServeSpec", "CorpusSpec", "CampaignSpec")
 
 __all__ = [
     # registry machinery
@@ -94,6 +95,7 @@ __all__ = [
     "PredictSpec",
     "BundleSpec",
     "ServeSpec",
+    "CorpusSpec",
     "CampaignSpec",
     "AxisSpec",
     "SpecValidationError",

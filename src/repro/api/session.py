@@ -30,12 +30,13 @@ import numpy as np
 
 from repro.api.plugins import SimulatorPlugin
 from repro.api.registries import PRESETS, SIMULATORS, SURROGATES, TARGETS
-from repro.api.specs import (BundleSpec, EvaluateSpec, PredictSpec,
+from repro.api.specs import (BundleSpec, CorpusSpec, EvaluateSpec, PredictSpec,
                              SpecValidationError, TuneSpec)
 from repro.campaigns.spec import CampaignSpec
 
 #: Specs a session can be created from.
-AnySpec = Union[TuneSpec, EvaluateSpec, PredictSpec, BundleSpec, CampaignSpec]
+AnySpec = Union[TuneSpec, EvaluateSpec, PredictSpec, BundleSpec, CorpusSpec,
+                CampaignSpec]
 
 
 class CapabilityError(RuntimeError):
@@ -76,13 +77,16 @@ class Session:
     def __init__(self, spec: AnySpec,
                  log: Optional[Callable[[str], None]] = None) -> None:
         if not isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec, BundleSpec,
-                                 CampaignSpec)):
+                                 CorpusSpec, CampaignSpec)):
             raise TypeError(f"expected TuneSpec/EvaluateSpec/PredictSpec/"
-                            f"BundleSpec/CampaignSpec, got {type(spec).__name__}")
+                            f"BundleSpec/CorpusSpec/CampaignSpec, "
+                            f"got {type(spec).__name__}")
         spec.validate()
         self.spec = spec
         self.log = log or (lambda message: None)
         self._dataset: Any = None
+        self._corpus: Any = None
+        self._featurization_store: Any = None
         self._adapter: Any = None
         self._config: Any = None
         #: path -> parsed table, so repeated predict/evaluate/timeline calls
@@ -123,7 +127,7 @@ class Session:
             payload.update(overrides)
             spec = TuneSpec.from_dict(payload)
         elif isinstance(spec, (TuneSpec, EvaluateSpec, PredictSpec, BundleSpec,
-                               CampaignSpec)):
+                               CorpusSpec, CampaignSpec)):
             if overrides:
                 known = {f.name for f in dataclasses.fields(spec)}
                 for key in overrides:
@@ -234,8 +238,86 @@ class Session:
                     seed=self._spec_get("seed", 0))
         return self._dataset
 
+    # ------------------------------------------------------------------
+    # Sharded corpora
+    # ------------------------------------------------------------------
+    def _corpus_directory(self) -> Optional[str]:
+        if isinstance(self.spec, CorpusSpec):
+            return self.spec.directory
+        return self._spec_get("corpus_path")
+
+    def corpus(self) -> Any:
+        """The session's sharded corpus, opened lazily (``None`` without one).
+
+        Available on :class:`~repro.api.specs.CorpusSpec` sessions and on
+        tune/evaluate specs carrying ``corpus_path``.  The on-disk uarch must
+        match the spec's target.
+        """
+        if self._corpus is None:
+            directory = self._corpus_directory()
+            if directory is None:
+                return None
+            from repro.corpus import ShardedCorpus
+
+            corpus = ShardedCorpus(directory)
+            if corpus.uarch_name.lower() != self.target_name.lower():
+                raise SpecValidationError(
+                    "corpus_path", f"corpus at {directory!r} was generated for "
+                                   f"{corpus.uarch_name!r}, not "
+                                   f"{self.target_name!r}")
+            self._corpus = corpus
+        return self._corpus
+
+    def build_corpus(self, progress: Optional[Callable] = None) -> Any:
+        """Build (or resume, or just open) the spec's corpus on disk.
+
+        Requires a :class:`~repro.api.specs.CorpusSpec`.  A complete corpus
+        with matching parameters is opened as-is; an interrupted build
+        continues bit-identically when the spec says ``resume=True``.  With
+        ``featurize=True`` the memory-mapped featurization store is
+        materialized next to the shards as well.
+        """
+        if not isinstance(self.spec, CorpusSpec):
+            raise TypeError("build_corpus() requires a CorpusSpec session")
+        from repro.corpus import ShardedCorpus
+
+        self._corpus = ShardedCorpus.build(
+            self.spec.directory, uarch_name=self.target_name,
+            num_blocks=self.spec.num_blocks, seed=self.spec.seed,
+            shard_size=self.spec.shard_size, resume=self.spec.resume,
+            progress=progress)
+        if self.spec.featurize:
+            self.featurization_store()
+        return self._corpus
+
+    def featurization_store(self) -> Any:
+        """The corpus's mmap featurization store, built/extended on first use."""
+        if self._featurization_store is None:
+            corpus = self.corpus()
+            if corpus is None:
+                return None
+            import os
+
+            from repro.core.surrogate import BlockFeaturizer
+            from repro.corpus import ShardedFeaturizationStore
+
+            self._featurization_store = ShardedFeaturizationStore(
+                os.path.join(corpus.directory, "featurization"),
+                BlockFeaturizer(self.adapter.opcode_table)).ensure(corpus)
+        return self._featurization_store
+
     def split(self, which: str = "test") -> Tuple[List[Any], np.ndarray]:
-        """``(blocks, timings)`` of one dataset split."""
+        """``(blocks, timings)`` of one dataset split.
+
+        Corpus-backed sessions return a lazy
+        :class:`~repro.corpus.sharded.CorpusView` (and support the
+        ``validation`` split); plain sessions materialize block lists from
+        the generated/loaded dataset.
+        """
+        corpus = self.corpus()
+        if corpus is not None:
+            view = corpus.split_view(which)
+            return view, view.timings()
         if which not in ("train", "test"):
             raise ValueError(f"expected 'train' or 'test', got {which!r}")
         examples = (self.dataset().train_examples if which == "train"
@@ -301,10 +383,13 @@ class Session:
             raise ValueError("timings must accompany explicit blocks")
         start_time = time.time()
         difftune = DiffTune(self.adapter, self.config, log=self.log)
+        store = (self.featurization_store()
+                 if own_dataset and self._corpus_directory() is not None else None)
         result = difftune.learn(blocks, np.asarray(timings, dtype=np.float64),
                                 checkpoint_dir=self._spec_get("checkpoint_dir"),
                                 resume=self._spec_get("resume", False),
-                                stop_after=self._spec_get("stop_after"))
+                                stop_after=self._spec_get("stop_after"),
+                                featurization_store=store)
         elapsed = time.time() - start_time
         if result is None:
             return SessionTuneResult(completed=False, elapsed_seconds=elapsed,
@@ -488,16 +573,21 @@ class Session:
         """One stats surface for the whole session.
 
         ``engine`` holds the shared engine's cache/execution counters
-        (``None`` for adapters without an engine); the ``predict_*`` counters
-        track this session's :meth:`predict` traffic.  The serving layer's
-        ``/stats`` endpoint re-exports exactly this payload.
+        (``None`` for adapters without an engine); ``featurization`` the
+        process-wide :class:`~repro.core.surrogate.FeaturizationCache`
+        hit/miss/eviction counters; the ``predict_*`` counters track this
+        session's :meth:`predict` traffic.  The serving layer's ``/stats``
+        endpoint re-exports exactly this payload.
         """
+        from repro.core.surrogate import featurization_cache_stats
+
         try:
             engine: Optional[Dict[str, int]] = dict(self.adapter.engine.stats)
         except NotImplementedError:
             engine = None
         return {
             "engine": engine,
+            "featurization": featurization_cache_stats(),
             "predict_calls": self._predict_calls,
             "predicted_blocks": self._predicted_blocks,
             "predicted_pairs": self._predicted_pairs,

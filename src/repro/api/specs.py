@@ -137,6 +137,10 @@ class TuneSpec(_SpecBase):
     num_blocks: int = 300
     seed: int = 0
     dataset_path: Optional[str] = None
+    #: Directory of a pre-built sharded corpus (see :class:`CorpusSpec` /
+    #: ``repro corpus build``).  Mutually exclusive with ``dataset_path``;
+    #: collection and surrogate training then stream from disk.
+    corpus_path: Optional[str] = None
     learn_fields: Optional[List[str]] = None
     narrow_sampling: bool = True
     batch_training: bool = True
@@ -157,6 +161,11 @@ class TuneSpec(_SpecBase):
         self._check_positive("num_blocks")
         self._check_type("seed", (int,))
         self._check_type("dataset_path", (str,), allow_none=True)
+        self._check_type("corpus_path", (str,), allow_none=True)
+        if self.dataset_path is not None and self.corpus_path is not None:
+            raise SpecValidationError(
+                "corpus_path", "mutually exclusive with dataset_path; a corpus "
+                               "carries its own blocks and timings")
         if self.learn_fields is not None:
             if (not isinstance(self.learn_fields, (list, tuple))
                     or not all(isinstance(item, str) for item in self.learn_fields)):
@@ -193,6 +202,9 @@ class EvaluateSpec(_SpecBase):
     num_blocks: int = 300
     seed: int = 0
     dataset_path: Optional[str] = None
+    #: Directory of a pre-built sharded corpus; mutually exclusive with
+    #: ``dataset_path``.
+    corpus_path: Optional[str] = None
     #: Learned table JSON; ``None`` evaluates the expert default table.
     table_path: Optional[str] = None
     split: str = "test"
@@ -204,10 +216,57 @@ class EvaluateSpec(_SpecBase):
         self._check_positive("num_blocks")
         self._check_type("seed", (int,))
         self._check_type("dataset_path", (str,), allow_none=True)
-        self._check_type("table_path", (str,), allow_none=True)
-        if self.split not in ("train", "test"):
+        self._check_type("corpus_path", (str,), allow_none=True)
+        if self.dataset_path is not None and self.corpus_path is not None:
             raise SpecValidationError(
-                "split", f"expected 'train' or 'test', got {self.split!r}")
+                "corpus_path", "mutually exclusive with dataset_path; a corpus "
+                               "carries its own blocks and timings")
+        self._check_type("table_path", (str,), allow_none=True)
+        if self.corpus_path is not None:
+            if self.split not in ("train", "validation", "test"):
+                raise SpecValidationError(
+                    "split", f"expected 'train', 'validation', or 'test', "
+                             f"got {self.split!r}")
+        elif self.split not in ("train", "test"):
+            raise SpecValidationError(
+                "split", f"expected 'train' or 'test' ('validation' needs a "
+                         f"corpus_path), got {self.split!r}")
+
+
+@dataclass
+class CorpusSpec(_SpecBase):
+    """Build (or open) a sharded on-disk block corpus for one target.
+
+    Describes the output of ``repro corpus build``: ``num_blocks`` synthetic
+    blocks with simulated-hardware timings, streamed into ``shard_size``-block
+    shards under ``directory`` with a digest-carrying manifest.  Building is
+    resumable at every shard boundary (``resume=True`` continues a killed
+    build bit-identically); ``featurize=True`` additionally materializes the
+    memory-mapped featurization store next to the shards.  A corpus directory
+    plugs into :class:`TuneSpec`/:class:`EvaluateSpec` via ``corpus_path``.
+    """
+
+    target: str = "haswell"
+    simulator: str = "mca"
+    directory: str = ""
+    num_blocks: int = 2000
+    shard_size: int = 1024
+    seed: int = 0
+    featurize: bool = False
+    resume: bool = False
+    engine_workers: int = 0
+    engine_megabatch: bool = True
+
+    def validate(self) -> None:
+        self._check_common()
+        self._check_type("directory", (str,))
+        if not self.directory:
+            raise SpecValidationError("directory", "must name the corpus directory")
+        self._check_positive("num_blocks")
+        self._check_positive("shard_size")
+        self._check_type("seed", (int,))
+        self._check_type("featurize", (bool,))
+        self._check_type("resume", (bool,))
 
 
 @dataclass

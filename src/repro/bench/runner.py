@@ -21,7 +21,8 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.bench.registry import (DEFAULT_REGISTRY, Scenario, ScenarioContext,
                                   ScenarioRegistry)
-from repro.bench.schema import SCHEMA_VERSION, jsonify, validate_payload
+from repro.bench.schema import (SCHEMA_MINOR_VERSION, SCHEMA_VERSION, jsonify,
+                                validate_payload)
 
 
 @dataclass
@@ -39,6 +40,24 @@ class RunnerConfig:
     @property
     def suite_name(self) -> str:
         return self.suite or self.tier
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Process high-water resident set size in bytes (None if unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; normalize to
+    bytes.  This is a whole-process high-water mark, so per-scenario values
+    are monotone across a suite — only the first scenario to hit a new peak
+    moves it.  Still useful: the committed smoke baseline records where the
+    suite's memory ceiling is, and a scenario suddenly dominating it shows
+    up as every later entry sharing its value.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
 
 
 def environment_fingerprint() -> Dict[str, Any]:
@@ -122,6 +141,7 @@ class Runner:
                 "mean": sum(durations) / len(durations),
             },
             "metrics": jsonify(metrics),
+            "peak_rss_bytes": peak_rss_bytes(),
         }
 
     # ------------------------------------------------------------------
@@ -150,6 +170,7 @@ class Runner:
             "scenarios": entries,
             "total_wall_time_seconds": sum(
                 entry["wall_time_seconds"]["min"] for entry in entries.values()),
+            "schema_minor": SCHEMA_MINOR_VERSION,
         }
         return validate_payload(payload)
 

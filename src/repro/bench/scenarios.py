@@ -894,3 +894,144 @@ def campaign_throughput(ctx: ScenarioContext):
         "reports_identical": float(identical),
         "engine_stats": engine.stats,
     }
+
+
+def _format_corpus_streaming(metrics) -> str:
+    build = metrics["build"]
+    rows = [["corpus build", f"{build['blocks_per_second']:.0f} blocks/s",
+             f"{build['seconds']:.3f}s", ""]]
+    for label in ("streaming", "in_memory"):
+        phase = metrics["phases"][label]
+        rows.append([f"collect ({label})",
+                     f"{phase['examples_per_second']:.0f} examples/s",
+                     f"{phase['seconds']:.3f}s",
+                     f"{phase['peak_traced_mb']:.1f} MB"])
+    rows.append(["memory ratio (streaming/in-memory)",
+                 f"{metrics['memory_ratio_streaming_vs_in_memory']:.2f}x", "", ""])
+    rows.append(["bit-identical dataset",
+                 "yes" if metrics["arrays_bit_identical"] else "NO", "", ""])
+    return format_table(["Phase", "Rate", "Wall time", "Peak traced"], rows,
+                        title="Corpus-scale streaming collection "
+                              "(sharded corpus vs in-memory)")
+
+
+@scenario("corpus_streaming", tags=("perf", "ci"),
+          formatter=_format_corpus_streaming)
+def corpus_streaming(ctx: ScenarioContext):
+    """Blocks/sec, examples/sec, and peak memory of corpus-scale collection.
+
+    Three phases over one scratch corpus: (1) ``ShardedCorpus.build``
+    streams generated+measured blocks to disk shards; (2) streaming
+    collection draws the simulated dataset straight off the corpus through
+    its bounded block LRU into flat arrays; (3) the classic in-memory path
+    materializes every parsed block and per-example object.  The streaming
+    arrays must be byte-identical to the in-memory collector's, and its
+    Python-allocation peak (tracemalloc, measured identically for both
+    phases) must stay under half the in-memory peak — the tentpole claim
+    that corpus size bounds disk, not RAM.  Per-process ``peak_rss_bytes``
+    lands in the runner's result entry separately; tracemalloc is used for
+    the per-phase assertion because RSS high-water marks are monotone
+    across a suite.
+    """
+    import tempfile
+    import tracemalloc
+
+    from repro.core.simulated_dataset import collect_simulated_dataset
+    from repro.corpus import ShardedCorpus, collect_simulated_dataset_streaming
+    from repro.pipeline.stages import _examples_to_arrays
+
+    # 10^4 generated blocks at smoke, the acceptance-criterion 10^5 at quick
+    # and full; the collection draw is one example per eight kept blocks.
+    num_blocks = ctx.by_tier(smoke=10_000, quick=100_000, full=100_000)
+    shard_size = 1024
+    blocks_per_table = 16
+    adapter = ctx.mca_adapter("haswell", narrow_sampling=True)
+
+    with tempfile.TemporaryDirectory(prefix="repro-corpus-bench-") as scratch:
+        start = time.perf_counter()
+        # The block LRU is capped at an eighth of the corpus so streaming
+        # random access re-parses on miss instead of accumulating the corpus.
+        corpus = ShardedCorpus.build(
+            scratch, uarch_name="haswell", num_blocks=num_blocks,
+            seed=ctx.seed, shard_size=shard_size,
+            cache_blocks=max(256, num_blocks // 8))
+        build_seconds = time.perf_counter() - start
+        num_examples = len(corpus) // 8
+
+        def collect_streaming():
+            return collect_simulated_dataset_streaming(
+                adapter, corpus, num_examples,
+                np.random.default_rng(ctx.seed + 1),
+                blocks_per_table=blocks_per_table)
+
+        def collect_in_memory():
+            blocks = list(corpus.iter_blocks())
+            examples = collect_simulated_dataset(
+                adapter, blocks, num_examples,
+                np.random.default_rng(ctx.seed + 1),
+                blocks_per_table=blocks_per_table)
+            return _examples_to_arrays(examples)
+
+        # Untimed warm-up (engine_throughput's methodology): both timed
+        # phases run over hot compile/operand caches and a full block LRU,
+        # so neither is charged for one-time global allocations that the
+        # other then inherits.  The engine result cache is cleared before
+        # each timed phase so both re-simulate every drawn example.
+        engine = adapter.engine
+        collect_streaming()
+        # tracemalloc measures both collection phases identically (its
+        # overhead cancels in the ratio); the build phase is timed without
+        # it so blocks/sec reflects the real generation pipeline.
+        phases: Dict[str, Dict[str, float]] = {}
+        outputs: Dict[str, Dict[str, np.ndarray]] = {}
+        tracemalloc.start()
+        try:
+            for label, runner in (("streaming", collect_streaming),
+                                  ("in_memory", collect_in_memory)):
+                engine.clear_results()
+                before, _ = tracemalloc.get_traced_memory()
+                tracemalloc.reset_peak()
+                start = time.perf_counter()
+                result = runner()
+                elapsed = time.perf_counter() - start
+                _, peak = tracemalloc.get_traced_memory()
+                outputs[label] = (result.to_arrays() if label == "streaming"
+                                  else result)
+                phases[label] = {
+                    "seconds": elapsed,
+                    "examples_per_second": num_examples / max(elapsed, 1e-9),
+                    "peak_traced_mb": (peak - before) / (1024 * 1024),
+                }
+        finally:
+            tracemalloc.stop()
+        corpus_summary = {"num_generated": num_blocks, "num_kept": len(corpus),
+                          "num_shards": corpus.num_shards,
+                          "shard_size": shard_size}
+
+    identical = (outputs["streaming"].keys() == outputs["in_memory"].keys()
+                 and all(np.array_equal(outputs["streaming"][key],
+                                        outputs["in_memory"][key])
+                         for key in outputs["streaming"]))
+    assert identical, "streaming collection diverged from the in-memory path"
+    ratio = (phases["streaming"]["peak_traced_mb"]
+             / max(phases["in_memory"]["peak_traced_mb"], 1e-9))
+    assert ratio < 0.5, (
+        f"streaming peak memory is {ratio:.2f}x the in-memory peak "
+        f"(must stay under 0.5x)")
+
+    return {
+        "workload": {"num_blocks": num_blocks, "num_examples": num_examples,
+                     "blocks_per_table": blocks_per_table,
+                     "shard_size": shard_size, "seed": ctx.seed,
+                     "uarch": "haswell"},
+        "corpus": corpus_summary,
+        "build": {"seconds": build_seconds,
+                  "blocks_per_second": num_blocks / max(build_seconds, 1e-9)},
+        "phases": phases,
+        "examples_per_second": {
+            label: phases[label]["examples_per_second"] for label in phases},
+        "peak_traced_mb": {
+            label: phases[label]["peak_traced_mb"] for label in phases},
+        "memory_ratio_streaming_vs_in_memory": ratio,
+        "arrays_bit_identical": float(identical),
+    }

@@ -19,11 +19,22 @@ Every runner invocation emits one payload with this shape::
           "scale": {"num_blocks": ..., ...},     # ExperimentScale.describe()
           "rounds": 1, "warmup": 0,
           "wall_time_seconds": {"rounds": [..], "min": .., "mean": ..},
-          "metrics": {...}                       # scenario-specific, JSON-pure
+          "metrics": {...},                      # scenario-specific, JSON-pure
+          "peak_rss_bytes": ...                  # minor v1: process high-water RSS
         }
       },
-      "total_wall_time_seconds": ...
+      "total_wall_time_seconds": ...,
+      "schema_minor": 1                          # optional-field revision
     }
+
+Minor revisions add *optional* fields only: ``schema_minor`` (top level)
+and ``peak_rss_bytes`` (per scenario entry, the ``ru_maxrss`` high-water
+mark after the scenario's rounds) arrived in minor version 1.  They are
+deliberately absent from the required-key tuples below so payloads written
+before the revision — committed baselines in particular — still validate,
+and ``repro.bench compare`` never gates on them (entry-level keys are
+invisible to the metric flattener).  Breaking shape changes bump
+:data:`SCHEMA_VERSION` instead.
 
 :func:`validate_payload` checks this structure and is used by the test
 suite and by ``repro.bench compare`` before gating regressions.
@@ -34,6 +45,8 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 SCHEMA_VERSION = 1
+#: Revision counter for backwards-compatible (optional-field) additions.
+SCHEMA_MINOR_VERSION = 1
 
 _TOP_LEVEL_KEYS = ("schema_version", "suite", "tier", "workers", "environment",
                    "scenarios", "total_wall_time_seconds")

@@ -14,7 +14,7 @@ hardware model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -106,9 +106,19 @@ class BlockGenerator:
         return BasicBlock(instructions=tuple(instructions),
                           source_applications=tuple(applications))
 
+    def iter_blocks(self, count: int) -> Iterator[BasicBlock]:
+        """Stream ``count`` blocks across the application mix.
+
+        A true generator: blocks are produced lazily, one at a time, drawing
+        from the same rng stream as :meth:`generate_blocks`, so corpus-scale
+        callers can shard to disk without materializing the whole list.
+        """
+        for _ in range(count):
+            yield self.generate_block()
+
     def generate_blocks(self, count: int) -> List[BasicBlock]:
         """Generate ``count`` blocks across the application mix."""
-        return [self.generate_block() for _ in range(count)]
+        return list(self.iter_blocks(count))
 
     # ------------------------------------------------------------------
     # Internals

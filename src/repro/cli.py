@@ -1,8 +1,14 @@
 """Command-line interface for the DiffTune reproduction.
 
-Twelve subcommands cover the day-to-day workflow:
+Thirteen subcommands cover the day-to-day workflow:
 
 * ``dataset``  — generate and measure a BHive-like dataset and save it to JSON.
+* ``corpus``   — build / inspect sharded on-disk block corpora
+  (:mod:`repro.corpus`): ``build`` streams generation and measurement into
+  fixed-size shards (resumable at every shard boundary, ``--featurize`` adds
+  the memory-mapped featurization store); ``stat`` prints — and with
+  ``--verify`` digest-checks — a corpus's manifest.  A corpus plugs into
+  ``tune --corpus`` and ``TuneSpec(corpus_path=...)``.
 * ``learn``    — run DiffTune on a dataset (or a freshly generated one) and
   save the learned parameter table.
 * ``tune``     — the pipeline-backed multi-target tuner: one checkpointable
@@ -42,6 +48,11 @@ registries rather than hard-coded.
 Examples::
 
     python -m repro.cli dataset --uarch haswell --blocks 500 --output haswell.json
+    python -m repro.cli corpus build --uarch haswell --blocks 100000 \\
+        --directory corpora/haswell --featurize
+    python -m repro.cli corpus stat corpora/haswell --verify
+    python -m repro.cli tune --targets haswell --corpus corpora/haswell \\
+        --checkpoint-dir runs/
     python -m repro.cli learn --dataset haswell.json --output learned.json
     python -m repro.cli tune --targets haswell skylake --checkpoint-dir runs/
     python -m repro.cli tune --targets haswell skylake --checkpoint-dir runs/ --resume
@@ -157,6 +168,9 @@ def _command_tune(arguments: argparse.Namespace) -> int:
              preset=arguments.config, num_blocks=arguments.blocks,
              seed=arguments.seed, learn_fields=arguments.learn_fields).validate()
 
+    if arguments.corpus is not None and len(arguments.targets) > 1:
+        raise SystemExit("--corpus names one target's corpus directory; "
+                         "pass a single --targets entry with it")
     os.makedirs(arguments.output_dir, exist_ok=True)
     sequential = arguments.workers <= 1 or len(arguments.targets) == 1
     specs = [TargetSpec(
@@ -164,6 +178,7 @@ def _command_tune(arguments: argparse.Namespace) -> int:
         simulator=arguments.simulator,
         num_blocks=arguments.blocks,
         seed=arguments.seed,
+        corpus_path=arguments.corpus,
         config_preset=arguments.config,
         checkpoint_dir=os.path.join(arguments.checkpoint_dir, target),
         resume=arguments.resume,
@@ -439,6 +454,43 @@ def _command_bundle(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_corpus(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import CorpusSpec, Session
+
+    if arguments.corpus_command == "build":
+        session = Session.from_spec(CorpusSpec(
+            target=arguments.uarch,
+            directory=arguments.directory,
+            num_blocks=arguments.blocks,
+            shard_size=arguments.shard_size,
+            seed=arguments.seed,
+            featurize=arguments.featurize,
+            resume=arguments.resume))
+        corpus = session.build_corpus(
+            progress=lambda done, total: print(
+                f"[corpus] generated {done}/{total} blocks"))
+        stats = corpus.describe()
+        print(f"Built {stats['num_blocks']} blocks "
+              f"({stats['num_shards']} shards of <= {stats['shard_size']}) "
+              f"for {stats['uarch']} at {arguments.directory}")
+        if arguments.featurize:
+            print(f"  featurization store: "
+                  f"{len(session.featurization_store())} blocks mmap-ready")
+        return 0
+    # stat: open, optionally verify every shard digest, print the summary.
+    from repro.corpus import ShardedCorpus
+
+    corpus = ShardedCorpus(arguments.directory)
+    if arguments.verify:
+        corpus.verify()
+        print(f"verified {corpus.num_shards} shard digests "
+              f"and {len(corpus)} block digests")
+    print(json.dumps(corpus.describe(), indent=2, sort_keys=True))
+    return 0
+
+
 def _command_bench(arguments: argparse.Namespace) -> int:
     # Forward to the benchmark subsystem's own CLI so `repro bench ...` and
     # `python -m repro.bench ...` stay identical.
@@ -502,6 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simulator_argument(tune_parser)
     tune_parser.add_argument("--blocks", type=int, default=300,
                              help="measured blocks per target dataset")
+    tune_parser.add_argument("--corpus", default=None,
+                             help="tune against a pre-built sharded corpus "
+                                  "directory ('repro corpus build') instead of "
+                                  "generating an in-memory dataset; single "
+                                  "target only")
     tune_parser.add_argument("--seed", type=int, default=0)
     tune_parser.add_argument("--config", default="fast", choices=PRESETS.names(),
                              help="configuration preset (test = tiny smoke scale)")
@@ -707,6 +764,40 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="verify a bundle's digests and print its manifest summary")
     inspect_parser.add_argument("path", help="bundle file to inspect")
     inspect_parser.set_defaults(handler=_command_bundle)
+
+    corpus_parser = subparsers.add_parser(
+        "corpus", help="build / inspect sharded on-disk block corpora "
+                       "(repro.corpus)")
+    corpus_subparsers = corpus_parser.add_subparsers(dest="corpus_command",
+                                                     required=True)
+    corpus_build_parser = corpus_subparsers.add_parser(
+        "build", help="generate, measure, and shard a block corpus to disk "
+                      "(resumable at every shard boundary)")
+    corpus_build_parser.add_argument("--uarch", default="haswell",
+                                     choices=_target_choices())
+    corpus_build_parser.add_argument("--directory", required=True,
+                                     help="corpus directory to create")
+    corpus_build_parser.add_argument("--blocks", type=int, default=2000,
+                                     help="blocks to generate and measure")
+    corpus_build_parser.add_argument("--shard-size", type=int, default=1024,
+                                     help="blocks per on-disk shard")
+    corpus_build_parser.add_argument("--seed", type=int, default=0)
+    corpus_build_parser.add_argument("--featurize", action="store_true",
+                                     help="also materialize the memory-mapped "
+                                          "featurization store")
+    corpus_build_parser.add_argument("--resume", action="store_true",
+                                     help="continue an interrupted build from "
+                                          "its last complete shard "
+                                          "(bit-identical to uninterrupted)")
+    corpus_build_parser.set_defaults(handler=_command_corpus)
+    corpus_stat_parser = corpus_subparsers.add_parser(
+        "stat", help="print a corpus's manifest summary (optionally verifying "
+                     "every shard and block digest)")
+    corpus_stat_parser.add_argument("directory", help="corpus directory")
+    corpus_stat_parser.add_argument("--verify", action="store_true",
+                                    help="re-hash every shard payload and "
+                                         "block entry against the manifest")
+    corpus_stat_parser.set_defaults(handler=_command_corpus)
 
     bench_parser = subparsers.add_parser(
         "bench", add_help=False,

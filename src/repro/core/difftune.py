@@ -116,7 +116,8 @@ class DiffTune:
         return build_surrogate(self.adapter.parameter_spec(), self.featurizer,
                                self.config.surrogate)
 
-    def pipeline(self, checkpoint_dir: Optional[str] = None):
+    def pipeline(self, checkpoint_dir: Optional[str] = None,
+                 featurization_store=None):
         """The underlying :class:`~repro.pipeline.pipeline.TuningPipeline`.
 
         Imported lazily: :mod:`repro.pipeline` itself imports ``repro.core``
@@ -127,7 +128,8 @@ class DiffTune:
 
         return TuningPipeline(self.adapter, self.config, log=self._log,
                               featurizer=self.featurizer,
-                              checkpoint_dir=checkpoint_dir)
+                              checkpoint_dir=checkpoint_dir,
+                              featurization_store=featurization_store)
 
     # ------------------------------------------------------------------
     # End-to-end run
@@ -135,7 +137,8 @@ class DiffTune:
     def learn(self, blocks: Sequence[BasicBlock], true_timings: np.ndarray,
               simulated_examples: Optional[Sequence[SimulatedExample]] = None,
               checkpoint_dir: Optional[str] = None, resume: bool = False,
-              stop_after: Optional[str] = None) -> Optional[DiffTuneResult]:
+              stop_after: Optional[str] = None,
+              featurization_store=None) -> Optional[DiffTuneResult]:
         """Run DiffTune end to end on a ground-truth training set.
 
         Args:
@@ -151,12 +154,17 @@ class DiffTune:
             stop_after: Stop once the named stage has completed (and been
                 checkpointed).  Returns ``None`` when the run stops before
                 the final stage — resume later to finish it.
+            featurization_store: Optional
+                :class:`~repro.corpus.store.ShardedFeaturizationStore`
+                serving memory-mapped per-block arrays to surrogate training
+                (corpus-backed runs only).
         """
         start_time = time.time()
         true_timings = np.asarray(true_timings, dtype=np.float64)
         if len(blocks) != len(true_timings):
             raise ValueError("blocks and true_timings must be aligned")
-        state = self.pipeline(checkpoint_dir).run(
+        state = self.pipeline(checkpoint_dir,
+                              featurization_store=featurization_store).run(
             blocks, true_timings, simulated_examples=simulated_examples,
             resume=resume, stop_after=stop_after)
         if state.learned_arrays is None:

@@ -17,7 +17,7 @@ cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,10 +69,50 @@ def collect_simulated_dataset(adapter: SimulatorAdapter, blocks: Sequence[BasicB
     Returns:
         A list of :class:`SimulatedExample`.
     """
+    examples: List[SimulatedExample] = []
+    for arrays, block_indices, selected, timings in iter_simulated_rounds(
+            adapter, blocks, num_examples, rng, blocks_per_table=blocks_per_table,
+            table_sampler=table_sampler):
+        for block_index, block, timing in zip(block_indices, selected, timings):
+            examples.append(SimulatedExample(arrays=arrays, block_index=int(block_index),
+                                             block=block, simulated_timing=float(timing)))
+        if progress is not None:
+            progress(len(examples), num_examples)
+    return examples
+
+
+def iter_simulated_rounds(adapter: SimulatorAdapter, blocks: Sequence[BasicBlock],
+                          num_examples: int, rng: np.random.Generator,
+                          blocks_per_table: int = 16,
+                          table_sampler: Optional[Callable[[np.random.Generator],
+                                                           ParameterArrays]] = None,
+                          already_collected: int = 0
+                          ) -> Iterator[Tuple[ParameterArrays, np.ndarray,
+                                              List[BasicBlock], np.ndarray]]:
+    """Stream the simulated dataset one sampled table at a time.
+
+    Yields ``(arrays, block_indices, selected_blocks, timings)`` per sampled
+    table, in exactly the order :func:`collect_simulated_dataset` records
+    examples.  The rng draw stream is invariant to the engine's round
+    grouping: each table draw is followed immediately by its block-index
+    draw, and the chunk size depends only on how many examples are planned
+    so far — so a run resumed from ``already_collected`` examples (with the
+    rng restored to its position at that point) continues bit-identically,
+    whatever worker count either run used.
+
+    Args:
+        already_collected: Number of examples already produced by a previous
+            (checkpointed) run; iteration resumes mid-stream after them.
+            Must sit on a table boundary — i.e. be a value some prefix of
+            rounds adds up to — which every multiple of ``blocks_per_table``
+            (and ``num_examples`` itself) is.
+    """
     if num_examples < 1:
         raise ValueError("num_examples must be >= 1")
-    if not blocks:
+    if len(blocks) == 0:
         raise ValueError("need at least one block to build the simulated dataset")
+    if already_collected < 0 or already_collected > num_examples:
+        raise ValueError("already_collected must be within [0, num_examples]")
     spec = adapter.parameter_spec()
     try:
         engine = adapter.engine
@@ -85,9 +125,9 @@ def collect_simulated_dataset(adapter: SimulatorAdapter, blocks: Sequence[BasicB
     parallel = engine is not None and engine.num_workers > 1
     tables_per_round = engine.num_workers * 2 if parallel else 1
 
-    examples: List[SimulatedExample] = []
-    while len(examples) < num_examples:
-        planned = len(examples)
+    collected = already_collected
+    while collected < num_examples:
+        planned = collected
         drawn = []
         while len(drawn) < tables_per_round and planned < num_examples:
             arrays = table_sampler(rng) if table_sampler is not None else spec.sample(rng)
@@ -103,12 +143,8 @@ def collect_simulated_dataset(adapter: SimulatorAdapter, blocks: Sequence[BasicB
             timing_rows = [adapter.predict_timings(arrays, selected)
                            for arrays, _, selected in drawn]
         for (arrays, block_indices, selected), timings in zip(drawn, timing_rows):
-            for block_index, block, timing in zip(block_indices, selected, timings):
-                examples.append(SimulatedExample(arrays=arrays, block_index=int(block_index),
-                                                 block=block, simulated_timing=float(timing)))
-            if progress is not None:
-                progress(len(examples), num_examples)
-    return examples
+            collected += len(block_indices)
+            yield arrays, block_indices, selected, np.asarray(timings, dtype=np.float64)
 
 
 def random_table_errors(adapter: SimulatorAdapter, blocks: Sequence[BasicBlock],

@@ -27,7 +27,9 @@ and output a positive scalar timing prediction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -220,6 +222,117 @@ class PackedBlockBatch:
         return int(self.token_ids.shape[2])
 
 
+def featurized_block_digest(featurized: FeaturizedBlock) -> str:
+    """Content digest of a featurized block (stable across processes).
+
+    Every field of :class:`FeaturizedBlock` is a nested tuple of ints/floats,
+    so ``repr`` is a canonical serialization; blake2b over it gives a key
+    that identical block content maps to in any process — the property the
+    on-disk featurization store and the LRU caches are keyed on.
+    """
+    payload = repr((featurized.token_ids, featurized.opcode_indices,
+                    featurized.structural_features,
+                    featurized.dependency_producers,
+                    featurized.loop_carried_writers))
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def table_digest(arrays: ParameterArrays) -> str:
+    """Content digest of a sampled parameter table."""
+    digest = hashlib.blake2b(digest_size=16)
+    per = np.ascontiguousarray(arrays.per_instruction_values)
+    global_values = np.ascontiguousarray(arrays.global_values)
+    digest.update(repr(per.shape).encode())
+    digest.update(per.tobytes())
+    digest.update(global_values.tobytes())
+    return digest.hexdigest()
+
+
+def build_block_arrays(featurized: FeaturizedBlock) -> Dict[str, np.ndarray]:
+    """Per-block packed arrays (unpadded) for one featurized block."""
+    length = len(featurized.opcode_indices)
+    max_tokens = max((len(ids) for ids in featurized.token_ids), default=1)
+    token_ids = np.zeros((length, max_tokens), dtype=np.int64)
+    token_mask = np.zeros((length, max_tokens), dtype=np.float64)
+    for row, ids in enumerate(featurized.token_ids):
+        token_ids[row, :len(ids)] = ids
+        token_mask[row, :len(ids)] = 1.0
+    dependency = np.zeros((length, length), dtype=np.float64)
+    for consumer, producers in enumerate(featurized.dependency_producers):
+        for producer in producers:
+            dependency[consumer, producer] = 1.0
+    loop_carried = np.zeros(length, dtype=np.float64)
+    for writer in featurized.loop_carried_writers:
+        loop_carried[writer] = 1.0
+    return {
+        "token_ids": token_ids,
+        "token_mask": token_mask,
+        "opcode_indices": np.asarray(featurized.opcode_indices, dtype=np.int64),
+        "structural_features": np.asarray(featurized.structural_features,
+                                          dtype=np.float64),
+        "dependency_mask": dependency,
+        "loop_carried_mask": loop_carried,
+    }
+
+
+def pack_block_arrays(per_block: Sequence[Dict[str, np.ndarray]]) -> PackedBlockBatch:
+    """Pad a list of per-block array dicts into one :class:`PackedBlockBatch`.
+
+    Accepts the dicts produced by :func:`build_block_arrays` — or memory-
+    mapped views of them from the on-disk featurization store — so both the
+    in-memory and the shard-streaming training paths share one packer.
+    """
+    if not per_block:
+        raise ValueError("cannot pack an empty batch")
+    batch = len(per_block)
+    max_instructions = max(arrays["token_ids"].shape[0] for arrays in per_block)
+    max_tokens = max(arrays["token_ids"].shape[1] for arrays in per_block)
+    token_ids = np.zeros((batch, max_instructions, max_tokens), dtype=np.int64)
+    token_mask = np.zeros((batch, max_instructions, max_tokens), dtype=np.float64)
+    opcode_indices = np.zeros((batch, max_instructions), dtype=np.int64)
+    instruction_mask = np.zeros((batch, max_instructions), dtype=np.float64)
+    structural = np.zeros((batch, max_instructions, NUM_STRUCTURAL_FEATURES),
+                          dtype=np.float64)
+    lengths = np.zeros(batch, dtype=np.int64)
+    dependency = np.zeros((batch, max_instructions, max_instructions),
+                          dtype=np.float64)
+    loop_carried = np.zeros((batch, max_instructions), dtype=np.float64)
+    for row, arrays in enumerate(per_block):
+        length, tokens = arrays["token_ids"].shape
+        token_ids[row, :length, :tokens] = arrays["token_ids"]
+        token_mask[row, :length, :tokens] = arrays["token_mask"]
+        opcode_indices[row, :length] = arrays["opcode_indices"]
+        instruction_mask[row, :length] = 1.0
+        structural[row, :length] = arrays["structural_features"]
+        lengths[row] = length
+        dependency[row, :length, :length] = arrays["dependency_mask"]
+        loop_carried[row, :length] = arrays["loop_carried_mask"]
+    return PackedBlockBatch(
+        token_ids=token_ids, token_mask=token_mask,
+        opcode_indices=opcode_indices, instruction_mask=instruction_mask,
+        structural_features=structural, lengths=lengths,
+        dependency_mask=dependency, loop_carried_mask=loop_carried)
+
+
+#: Process-wide featurization-cache counters, aggregated across every
+#: :class:`FeaturizationCache` instance and surfaced by ``Session.stats()``.
+_CACHE_COUNTERS: Dict[str, int] = {
+    "block_hits": 0, "block_misses": 0, "block_evictions": 0,
+    "table_hits": 0, "table_misses": 0, "table_evictions": 0,
+}
+
+
+def featurization_cache_stats() -> Dict[str, int]:
+    """A snapshot of the process-wide featurization-cache counters."""
+    return dict(_CACHE_COUNTERS)
+
+
+def reset_featurization_cache_stats() -> None:
+    """Zero the process-wide counters (test/bench isolation)."""
+    for key in _CACHE_COUNTERS:
+        _CACHE_COUNTERS[key] = 0
+
+
 class FeaturizationCache:
     """Featurizes each basic block once per dataset and packs minibatches.
 
@@ -233,14 +346,24 @@ class FeaturizationCache:
       (:meth:`ParameterSpec.normalize_for_surrogate_training`) is memoized
       per sampled table, so a table shared by ``blocks_per_table`` examples
       is normalized once per dataset rather than once per example per epoch.
+
+    Both memos are keyed by *content digest* (not object identity), so equal
+    content hits regardless of which object carries it, and both are bounded
+    LRUs: corpus-scale runs stream millions of blocks through a cache whose
+    footprint stays at ``max_blocks``/``max_tables`` entries.  Hit, miss, and
+    eviction counters aggregate process-wide
+    (:func:`featurization_cache_stats`).
     """
 
-    def __init__(self, featurizer: BlockFeaturizer) -> None:
+    def __init__(self, featurizer: BlockFeaturizer, max_blocks: int = 65536,
+                 max_tables: int = 8192) -> None:
+        if max_blocks <= 0 or max_tables <= 0:
+            raise ValueError("cache bounds must be positive")
         self.featurizer = featurizer
-        self._block_arrays: Dict[int, Tuple[FeaturizedBlock, Dict[str, np.ndarray]]] = {}
-        #: id(arrays) -> (arrays kept alive, normalized copy); keeping the
-        #: original referenced makes the id() key stable.
-        self._normalized: Dict[int, Tuple[ParameterArrays, ParameterArrays]] = {}
+        self.max_blocks = max_blocks
+        self.max_tables = max_tables
+        self._block_arrays: "OrderedDict[str, Dict[str, np.ndarray]]" = OrderedDict()
+        self._normalized: "OrderedDict[str, ParameterArrays]" = OrderedDict()
 
     def featurize(self, block: BasicBlock) -> FeaturizedBlock:
         return self.featurizer.featurize(block)
@@ -248,79 +371,45 @@ class FeaturizationCache:
     def normalized_arrays(self, spec: ParameterSpec,
                           arrays: ParameterArrays) -> ParameterArrays:
         """``arrays`` normalized for surrogate training, memoized per table."""
-        key = id(arrays)
+        key = table_digest(arrays)
         cached = self._normalized.get(key)
-        if cached is not None and cached[0] is arrays:
-            return cached[1]
+        if cached is not None:
+            _CACHE_COUNTERS["table_hits"] += 1
+            self._normalized.move_to_end(key)
+            return cached
+        _CACHE_COUNTERS["table_misses"] += 1
         normalized = spec.normalize_for_surrogate_training(arrays)
-        self._normalized[key] = (arrays, normalized)
+        self._normalized[key] = normalized
+        while len(self._normalized) > self.max_tables:
+            self._normalized.popitem(last=False)
+            _CACHE_COUNTERS["table_evictions"] += 1
         return normalized
 
+    def arrays_for(self, featurized: FeaturizedBlock) -> Dict[str, np.ndarray]:
+        """Per-block packed arrays (unpadded), memoized by content digest."""
+        return self._arrays_for(featurized)
+
     def _arrays_for(self, featurized: FeaturizedBlock) -> Dict[str, np.ndarray]:
-        """Per-block packed arrays (unpadded), computed once per block."""
-        key = id(featurized)
+        key = featurized_block_digest(featurized)
         cached = self._block_arrays.get(key)
-        if cached is not None and cached[0] is featurized:
-            return cached[1]
-        length = len(featurized.opcode_indices)
-        max_tokens = max((len(ids) for ids in featurized.token_ids), default=1)
-        token_ids = np.zeros((length, max_tokens), dtype=np.int64)
-        token_mask = np.zeros((length, max_tokens), dtype=np.float64)
-        for row, ids in enumerate(featurized.token_ids):
-            token_ids[row, :len(ids)] = ids
-            token_mask[row, :len(ids)] = 1.0
-        dependency = np.zeros((length, length), dtype=np.float64)
-        for consumer, producers in enumerate(featurized.dependency_producers):
-            for producer in producers:
-                dependency[consumer, producer] = 1.0
-        loop_carried = np.zeros(length, dtype=np.float64)
-        for writer in featurized.loop_carried_writers:
-            loop_carried[writer] = 1.0
-        arrays = {
-            "token_ids": token_ids,
-            "token_mask": token_mask,
-            "opcode_indices": np.asarray(featurized.opcode_indices, dtype=np.int64),
-            "structural_features": np.asarray(featurized.structural_features,
-                                              dtype=np.float64),
-            "dependency_mask": dependency,
-            "loop_carried_mask": loop_carried,
-        }
-        self._block_arrays[key] = (featurized, arrays)
+        if cached is not None:
+            _CACHE_COUNTERS["block_hits"] += 1
+            self._block_arrays.move_to_end(key)
+            return cached
+        _CACHE_COUNTERS["block_misses"] += 1
+        arrays = build_block_arrays(featurized)
+        self._block_arrays[key] = arrays
+        while len(self._block_arrays) > self.max_blocks:
+            self._block_arrays.popitem(last=False)
+            _CACHE_COUNTERS["block_evictions"] += 1
         return arrays
 
     def pack(self, featurized_blocks: Sequence[FeaturizedBlock]) -> PackedBlockBatch:
         """Pad a list of featurized blocks into one :class:`PackedBlockBatch`."""
         if not featurized_blocks:
             raise ValueError("cannot pack an empty batch")
-        per_block = [self._arrays_for(featurized) for featurized in featurized_blocks]
-        batch = len(per_block)
-        max_instructions = max(arrays["token_ids"].shape[0] for arrays in per_block)
-        max_tokens = max(arrays["token_ids"].shape[1] for arrays in per_block)
-        token_ids = np.zeros((batch, max_instructions, max_tokens), dtype=np.int64)
-        token_mask = np.zeros((batch, max_instructions, max_tokens), dtype=np.float64)
-        opcode_indices = np.zeros((batch, max_instructions), dtype=np.int64)
-        instruction_mask = np.zeros((batch, max_instructions), dtype=np.float64)
-        structural = np.zeros((batch, max_instructions, NUM_STRUCTURAL_FEATURES),
-                              dtype=np.float64)
-        lengths = np.zeros(batch, dtype=np.int64)
-        dependency = np.zeros((batch, max_instructions, max_instructions),
-                              dtype=np.float64)
-        loop_carried = np.zeros((batch, max_instructions), dtype=np.float64)
-        for row, arrays in enumerate(per_block):
-            length, tokens = arrays["token_ids"].shape
-            token_ids[row, :length, :tokens] = arrays["token_ids"]
-            token_mask[row, :length, :tokens] = arrays["token_mask"]
-            opcode_indices[row, :length] = arrays["opcode_indices"]
-            instruction_mask[row, :length] = 1.0
-            structural[row, :length] = arrays["structural_features"]
-            lengths[row] = length
-            dependency[row, :length, :length] = arrays["dependency_mask"]
-            loop_carried[row, :length] = arrays["loop_carried_mask"]
-        return PackedBlockBatch(
-            token_ids=token_ids, token_mask=token_mask,
-            opcode_indices=opcode_indices, instruction_mask=instruction_mask,
-            structural_features=structural, lengths=lengths,
-            dependency_mask=dependency, loop_carried_mask=loop_carried)
+        return pack_block_arrays(
+            [self._arrays_for(featurized) for featurized in featurized_blocks])
 
     def pack_blocks(self, blocks: Sequence[BasicBlock]) -> PackedBlockBatch:
         """Featurize (cached) and pack a list of raw basic blocks."""

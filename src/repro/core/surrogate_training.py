@@ -29,7 +29,8 @@ from repro.autodiff.tensor import no_grad
 from repro.core.losses import mape_loss_value, surrogate_loss
 from repro.core.parameters import ParameterSpec
 from repro.core.simulated_dataset import SimulatedExample
-from repro.core.surrogate import FeaturizationCache, _SurrogateBase
+from repro.core.surrogate import (FeaturizationCache, _SurrogateBase,
+                                  pack_block_arrays)
 from repro.core.training_loop import run_minibatch_loop
 
 
@@ -92,6 +93,34 @@ def _batch_inputs(spec: ParameterSpec, cache: FeaturizationCache,
     return packed, per_instruction, global_values, targets
 
 
+def is_streaming_examples(examples: Sequence) -> bool:
+    """Whether ``examples`` is an index-addressed streaming source.
+
+    Streaming sources (e.g. :class:`repro.corpus.streaming.StreamingExamples`)
+    expose per-index accessors instead of per-example objects, so training
+    never materializes a featurized list for the whole dataset.
+    """
+    return hasattr(examples, "block_arrays")
+
+
+def _streaming_batch_inputs(spec: ParameterSpec, cache: FeaturizationCache,
+                            examples, batch_indices: np.ndarray):
+    """Streaming counterpart of :func:`_batch_inputs` (same float math)."""
+    rows = [int(index) for index in batch_indices]
+    packed = pack_block_arrays([examples.block_arrays(row) for row in rows])
+    per_instruction = np.zeros((len(rows), packed.max_instructions,
+                                spec.per_instruction_dim))
+    global_values = np.zeros((len(rows), spec.global_dim))
+    for position, row in enumerate(rows):
+        normalized = cache.normalized_arrays(spec, examples.table(row))
+        opcodes = examples.opcode_indices(row)
+        per_instruction[position, :len(opcodes)] = \
+            normalized.per_instruction_values[opcodes]
+        global_values[position] = normalized.global_values
+    targets = [examples.timing(row) for row in rows]
+    return packed, per_instruction, global_values, targets
+
+
 def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExample],
                     config: SurrogateTrainingConfig,
                     progress: Optional[Callable[[int, int, float], None]] = None
@@ -115,15 +144,23 @@ def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExamp
     optimizer = Adam(surrogate.parameters(), lr=config.learning_rate)
     rng = np.random.default_rng(config.seed)
     use_batched = bool(config.batched) and surrogate.supports_batched_forward
+    streaming = is_streaming_examples(examples)
 
     # Featurize each distinct block once for the whole run; the cache also
-    # memoizes per-table normalization and per-block packed arrays.
+    # memoizes per-table normalization and per-block packed arrays.  A
+    # streaming source serves per-block arrays itself (possibly memory-mapped
+    # from disk), so no whole-dataset featurized list is materialized.
     cache = FeaturizationCache(surrogate.featurizer)
-    featurized = [cache.featurize(example.block) for example in examples]
+    featurized = ([] if streaming
+                  else [cache.featurize(example.block) for example in examples])
 
     def _batched_loss(batch_indices: np.ndarray):
-        packed, per_instruction, global_values, targets = _batch_inputs(
-            spec, cache, examples, featurized, batch_indices)
+        if streaming:
+            packed, per_instruction, global_values, targets = \
+                _streaming_batch_inputs(spec, cache, examples, batch_indices)
+        else:
+            packed, per_instruction, global_values, targets = _batch_inputs(
+                spec, cache, examples, featurized, batch_indices)
         predictions = surrogate.forward_batch(packed, per_instruction, global_values)
         return surrogate_loss(predictions, targets)
 
@@ -131,13 +168,23 @@ def train_surrogate(surrogate: _SurrogateBase, examples: Sequence[SimulatedExamp
         predictions = []
         targets = []
         for example_index in batch_indices:
-            example = examples[int(example_index)]
-            example_featurized = featurized[int(example_index)]
-            per_instruction, global_values = _normalized_inputs(
-                spec, example, example_featurized.opcode_indices, cache)
+            row = int(example_index)
+            if streaming:
+                example_featurized = examples.featurized(row)
+                normalized = cache.normalized_arrays(spec, examples.table(row))
+                per_instruction = normalized.per_instruction_values[
+                    list(example_featurized.opcode_indices)]
+                global_values = normalized.global_values
+                target = examples.timing(row)
+            else:
+                example = examples[row]
+                example_featurized = featurized[row]
+                per_instruction, global_values = _normalized_inputs(
+                    spec, example, example_featurized.opcode_indices, cache)
+                target = example.simulated_timing
             predictions.append(surrogate.forward(
                 example_featurized, per_instruction, global_values))
-            targets.append(example.simulated_timing)
+            targets.append(target)
         return surrogate_loss(predictions, targets)
 
     surrogate.train()
@@ -172,21 +219,39 @@ def evaluate_surrogate(surrogate: _SurrogateBase,
     """
     spec = surrogate.spec
     cache = cache or FeaturizationCache(surrogate.featurizer)
+    streaming = is_streaming_examples(examples)
     predictions: List[float] = []
-    targets = [example.simulated_timing for example in examples]
+    if streaming:
+        targets = [examples.timing(row) for row in range(len(examples))]
+    else:
+        targets = [example.simulated_timing for example in examples]
     use_batched = batch_size > 0 and surrogate.supports_batched_forward
     with no_grad():
         if use_batched:
-            featurized = [cache.featurize(example.block) for example in examples]
+            featurized = ([] if streaming else
+                          [cache.featurize(example.block) for example in examples])
             for chunk_start in range(0, len(examples), batch_size):
                 chunk = np.arange(chunk_start,
                                   min(chunk_start + batch_size, len(examples)))
-                packed, per_instruction, global_values, _ = _batch_inputs(
-                    spec, cache, examples, featurized, chunk)
+                if streaming:
+                    packed, per_instruction, global_values, _ = \
+                        _streaming_batch_inputs(spec, cache, examples, chunk)
+                else:
+                    packed, per_instruction, global_values, _ = _batch_inputs(
+                        spec, cache, examples, featurized, chunk)
                 chunk_predictions = surrogate.forward_batch(
                     packed, per_instruction, global_values)
                 predictions.extend(float(value)
                                    for value in chunk_predictions.numpy())
+        elif streaming:
+            for row in range(len(examples)):
+                featurized_block = examples.featurized(row)
+                normalized = cache.normalized_arrays(spec, examples.table(row))
+                per_instruction = normalized.per_instruction_values[
+                    list(featurized_block.opcode_indices)]
+                predictions.append(surrogate.forward(
+                    featurized_block, per_instruction,
+                    normalized.global_values).item())
         else:
             for example in examples:
                 featurized_block = cache.featurize(example.block)

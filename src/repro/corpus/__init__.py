@@ -1,0 +1,31 @@
+"""Corpus-scale streaming dataset layer.
+
+Sharded, disk-backed block corpora (:mod:`repro.corpus.sharded`), a
+digest-keyed memory-mapped featurization store (:mod:`repro.corpus.store`),
+and streaming simulated-dataset collection with mid-stage checkpoints
+(:mod:`repro.corpus.streaming`).  Together they let generation, collection,
+and surrogate training run at 10^5–10^6+ blocks with flat peak RSS, shared
+featurization across processes, and bit-identical ``--resume`` at every
+shard/checkpoint boundary.
+"""
+
+from repro.corpus.sharded import (CorpusError, CorpusShard, CorpusView,
+                                  ShardedCorpus, block_content_digest)
+from repro.corpus.store import ShardedFeaturizationStore, vocabulary_digest
+from repro.corpus.streaming import (CollectionCheckpoint, StreamingExamples,
+                                    StreamingSimulatedDataset,
+                                    collect_simulated_dataset_streaming)
+
+__all__ = [
+    "CorpusError",
+    "CorpusShard",
+    "CorpusView",
+    "ShardedCorpus",
+    "block_content_digest",
+    "ShardedFeaturizationStore",
+    "vocabulary_digest",
+    "CollectionCheckpoint",
+    "StreamingExamples",
+    "StreamingSimulatedDataset",
+    "collect_simulated_dataset_streaming",
+]

@@ -36,6 +36,14 @@ class TargetSpec:
     simulator: str = "mca"
     num_blocks: int = 300
     seed: int = 0
+    #: Directory of a pre-built :class:`~repro.corpus.sharded.ShardedCorpus`
+    #: to tune against instead of building an in-memory dataset.  The corpus
+    #: is opened read-only in every pool worker — its shards and the mmap
+    #: featurization store next to it are shared OS pages, not copies.
+    corpus_path: Optional[str] = None
+    #: Build/open the mmap featurization store beside the corpus and serve
+    #: per-block arrays from it during surrogate training.
+    corpus_featurize: bool = True
     config_preset: str = "fast"  # any key of the PRESETS registry
     checkpoint_dir: Optional[str] = None
     resume: bool = False
@@ -94,13 +102,28 @@ def tune_target(spec: TargetSpec) -> TargetOutcome:
     import numpy as np
 
     start_time = time.time()
-    dataset = build_dataset(spec.target, num_blocks=spec.num_blocks, seed=spec.seed)
-    train = dataset.train_examples
-    test = dataset.test_examples
-    train_blocks = [example.block for example in train]
-    train_timings = np.array([example.timing for example in train])
-    test_blocks = [example.block for example in test]
-    test_timings = np.array([example.timing for example in test])
+    corpus = None
+    if spec.corpus_path is not None:
+        from repro.corpus import ShardedCorpus
+
+        corpus = ShardedCorpus(spec.corpus_path)
+        if corpus.uarch_name.lower() != spec.target.lower():
+            raise ValueError(
+                f"corpus at {spec.corpus_path!r} was generated for "
+                f"{corpus.uarch_name!r}, not {spec.target!r}")
+        train_blocks = corpus.split_view("train")
+        test_blocks = corpus.split_view("test")
+        train_timings = train_blocks.timings()
+        test_timings = test_blocks.timings()
+    else:
+        dataset = build_dataset(spec.target, num_blocks=spec.num_blocks,
+                                seed=spec.seed)
+        train = dataset.train_examples
+        test = dataset.test_examples
+        train_blocks = [example.block for example in train]
+        train_timings = np.array([example.timing for example in train])
+        test_blocks = [example.block for example in test]
+        test_timings = np.array([example.timing for example in test])
 
     kwargs = {"narrow_sampling": spec.narrow_sampling,
               "engine_workers": spec.engine_workers}
@@ -110,10 +133,21 @@ def tune_target(spec: TargetSpec) -> TargetOutcome:
         TARGETS.get(spec.target), **kwargs)
     log = (lambda message: print(f"[{spec.target}] {message}")) if spec.verbose \
         else (lambda message: None)
+    featurization_store = None
+    if corpus is not None and spec.corpus_featurize:
+        import os
+
+        from repro.core.surrogate import BlockFeaturizer
+        from repro.corpus import ShardedFeaturizationStore
+
+        featurization_store = ShardedFeaturizationStore(
+            os.path.join(spec.corpus_path, "featurization"),
+            BlockFeaturizer(adapter.opcode_table)).ensure(corpus)
     difftune = DiffTune(adapter, _config_from_preset(spec), log=log)
     result = difftune.learn(train_blocks, train_timings,
                             checkpoint_dir=spec.checkpoint_dir,
-                            resume=spec.resume, stop_after=spec.stop_after)
+                            resume=spec.resume, stop_after=spec.stop_after,
+                            featurization_store=featurization_store)
     elapsed = time.time() - start_time
     if result is None:
         return TargetOutcome(target=spec.target, completed=False,

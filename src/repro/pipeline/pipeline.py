@@ -42,8 +42,13 @@ def run_fingerprint(adapter: Any, config: Any, blocks: Sequence[Any],
     digest.update(repr(config).encode())
     digest.update(np.ascontiguousarray(
         np.asarray(true_timings, dtype=np.float64)).tobytes())
-    for block in blocks:
-        digest.update(repr(block.structural_key()).encode())
+    if hasattr(blocks, "content_fingerprint"):
+        # Corpus-backed sources carry a digest over their shard manifest;
+        # hashing it avoids parsing every block just to fingerprint the run.
+        digest.update(blocks.content_fingerprint().encode())
+    else:
+        for block in blocks:
+            digest.update(repr(block.structural_key()).encode())
     return digest.hexdigest()[:16]
 
 
@@ -53,12 +58,14 @@ class TuningPipeline:
     def __init__(self, adapter: Any, config: Any,
                  log: Optional[Callable[[str], None]] = None,
                  featurizer: Optional[BlockFeaturizer] = None,
-                 checkpoint_dir: Optional[str] = None) -> None:
+                 checkpoint_dir: Optional[str] = None,
+                 featurization_store: Any = None) -> None:
         self.adapter = adapter
         self.config = config
         self.log = log or (lambda message: None)
         self.featurizer = featurizer or BlockFeaturizer(adapter.opcode_table)
         self.checkpoint_dir = checkpoint_dir
+        self.featurization_store = featurization_store
 
     def stage_names(self) -> list:
         return [stage.name for stage in build_stages(self.config)]
@@ -100,12 +107,20 @@ class TuningPipeline:
         elif resume:
             raise ValueError("resume=True requires a checkpoint directory")
 
+        # Corpus-backed block sources stay lazy (list() would parse the whole
+        # corpus); plain iterables are materialized as before.
+        kept_blocks = (blocks if hasattr(blocks, "content_fingerprint")
+                       else list(blocks))
+        if simulated_examples is not None and not hasattr(simulated_examples,
+                                                          "block_arrays"):
+            simulated_examples = list(simulated_examples)
         state = PipelineState(
-            adapter=self.adapter, config=self.config, blocks=list(blocks),
+            adapter=self.adapter, config=self.config, blocks=kept_blocks,
             true_timings=true_timings, rng=np.random.default_rng(self.config.seed),
             featurizer=self.featurizer, log=self.log,
-            simulated_examples=(list(simulated_examples)
-                                if simulated_examples is not None else None))
+            simulated_examples=simulated_examples,
+            featurization_store=self.featurization_store,
+            checkpoint_store=store, resume=resume)
 
         for stage in stages:
             if store is not None and resume and store.is_complete(stage.name):

@@ -31,12 +31,26 @@ from repro.core.extraction import extract_parameter_arrays
 from repro.core.losses import mape_loss_value
 from repro.core.parameters import ParameterArrays
 from repro.core.simulated_dataset import SimulatedExample, collect_simulated_dataset
-from repro.core.surrogate import BlockFeaturizer, build_surrogate
+from repro.core.surrogate import (BlockFeaturizer, FeaturizationCache,
+                                  build_surrogate)
 from repro.core.surrogate_training import (SurrogateTrainingConfig, SurrogateTrainingResult,
                                            train_surrogate)
 from repro.core.table_optimization import (TableOptimizationResult,
                                            optimize_parameter_table)
+from repro.corpus.streaming import (CollectionCheckpoint, StreamingExamples,
+                                    StreamingSimulatedDataset,
+                                    collect_simulated_dataset_streaming)
 from repro.pipeline.checkpoint import CheckpointStore
+
+
+def corpus_backed(blocks: Any) -> bool:
+    """Whether ``blocks`` is a corpus-backed (disk-sharded, lazy) source.
+
+    Corpus views advertise a :meth:`content_fingerprint`; plain block lists
+    do not.  Corpus-backed runs stream dataset collection and training so
+    peak memory stays proportional to one shard, not the corpus.
+    """
+    return hasattr(blocks, "content_fingerprint")
 
 
 @dataclass
@@ -55,7 +69,15 @@ class PipelineState:
     featurizer: BlockFeaturizer
     log: Callable[[str], None] = lambda message: None
 
-    simulated_examples: Optional[List[SimulatedExample]] = None
+    simulated_examples: Optional[Sequence[Any]] = None
+    #: Round-grouped streaming dataset backing ``simulated_examples`` when the
+    #: run is corpus-backed (collection streamed to/from disk).
+    streaming_dataset: Optional[StreamingSimulatedDataset] = None
+    #: Optional mmap featurization store serving per-block arrays to training.
+    featurization_store: Any = None
+    #: Set by the pipeline when checkpointing, for mid-stage partial saves.
+    checkpoint_store: Optional[CheckpointStore] = None
+    resume: bool = False
     surrogate: Any = None
     surrogate_result: Optional[SurrogateTrainingResult] = None
     table_result: Optional[TableOptimizationResult] = None
@@ -168,8 +190,29 @@ def collect_examples(adapter: Any, config: Any, blocks: Sequence[Any],
 # ----------------------------------------------------------------------
 # Concrete stages
 # ----------------------------------------------------------------------
+def _streaming_examples(state: PipelineState,
+                        dataset: StreamingSimulatedDataset) -> StreamingExamples:
+    """Index-addressed training view over a streamed dataset."""
+    return StreamingExamples(dataset, state.blocks,
+                             FeaturizationCache(state.featurizer),
+                             store=state.featurization_store)
+
+
+def _collection_checkpoint_interval(blocks: Any, config: Any) -> int:
+    """Examples between partial saves: one corpus shard's worth (floor 1)."""
+    corpus = getattr(blocks, "corpus", blocks)
+    return max(int(getattr(corpus, "shard_size", 0)) or 1024, 1)
+
+
 class CollectDatasetStage(Stage):
-    """Stage 1: sample parameter tables and record the simulator's timings."""
+    """Stage 1: sample parameter tables and record the simulator's timings.
+
+    With corpus-backed blocks the stage streams: examples accumulate in a
+    :class:`~repro.corpus.streaming.StreamingSimulatedDataset` (arrays, not
+    per-example objects), partial progress checkpoints to the stage directory
+    every corpus-shard's worth of examples, and a killed run resumes from the
+    last partial bit-identically (the rng stream position is saved with it).
+    """
 
     name = "collect_dataset"
     DATASET_FILE = "simulated_dataset.npz"
@@ -179,19 +222,61 @@ class CollectDatasetStage(Stage):
             # A pre-collected dataset was handed in (tests, shared-dataset
             # ablations); nothing to do — and nothing was logged before.
             return
+        if corpus_backed(state.blocks):
+            self._run_streaming(state)
+            return
         state.log(f"collecting simulated dataset "
                   f"({state.config.simulated_dataset_size} examples)")
         state.simulated_examples = collect_examples(state.adapter, state.config,
                                                     state.blocks, state.rng)
         state.log_engine_stats()
 
+    def _run_streaming(self, state: PipelineState) -> None:
+        config = state.config
+        state.log(f"collecting simulated dataset "
+                  f"({config.simulated_dataset_size} examples, streaming)")
+        spec = state.adapter.parameter_spec()
+
+        def table_sampler(generator: np.random.Generator) -> ParameterArrays:
+            return state.adapter.freeze_unlearned_fields(spec.sample(generator))
+
+        checkpoint = None
+        checkpoint_every = 0
+        if state.checkpoint_store is not None:
+            checkpoint = CollectionCheckpoint(
+                state.checkpoint_store.stage_dir(self.name))
+            if not state.resume:
+                # reset_stages() only clears completion entries; a stale
+                # partial from an earlier run must not leak into this one.
+                checkpoint.clear()
+            checkpoint_every = _collection_checkpoint_interval(state.blocks,
+                                                               config)
+        dataset = collect_simulated_dataset_streaming(
+            state.adapter, state.blocks, config.simulated_dataset_size,
+            state.rng, blocks_per_table=config.blocks_per_table,
+            table_sampler=table_sampler, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every)
+        state.streaming_dataset = dataset
+        state.simulated_examples = _streaming_examples(state, dataset)
+        state.log_engine_stats()
+
     def save(self, state: PipelineState, store: CheckpointStore) -> None:
+        dataset = (state.streaming_dataset
+                   or getattr(state.simulated_examples, "dataset", None))
+        if dataset is not None:
+            store.save_arrays(self.name, self.DATASET_FILE, dataset.to_arrays())
+            return
         store.save_arrays(self.name, self.DATASET_FILE,
                           _examples_to_arrays(state.simulated_examples))
 
     def load(self, state: PipelineState, store: CheckpointStore) -> None:
-        state.simulated_examples = _examples_from_arrays(
-            store.load_arrays(self.name, self.DATASET_FILE), state.blocks)
+        arrays = store.load_arrays(self.name, self.DATASET_FILE)
+        if corpus_backed(state.blocks):
+            state.streaming_dataset = StreamingSimulatedDataset.from_arrays(arrays)
+            state.simulated_examples = _streaming_examples(
+                state, state.streaming_dataset)
+            return
+        state.simulated_examples = _examples_from_arrays(arrays, state.blocks)
 
 
 def _save_surrogate_outcome(stage_name: str, state: PipelineState,

@@ -38,6 +38,7 @@ EXPECTED_API_SURFACE = sorted([
     "PredictSpec",
     "BundleSpec",
     "ServeSpec",
+    "CorpusSpec",
     "CampaignSpec",
     "SpecValidationError",
     # session facade
@@ -91,9 +92,11 @@ class TestDescribe:
     def test_describe_lists_spec_fields(self):
         description = repro.api.describe()
         assert sorted(description["specs"]) == [
-            "BundleSpec", "CampaignSpec", "EvaluateSpec", "PredictSpec",
-            "ServeSpec", "TuneSpec"]
+            "BundleSpec", "CampaignSpec", "CorpusSpec", "EvaluateSpec",
+            "PredictSpec", "ServeSpec", "TuneSpec"]
         assert "target" in description["specs"]["ServeSpec"]
+        assert "directory" in description["specs"]["CorpusSpec"]
+        assert "shard_size" in description["specs"]["CorpusSpec"]
         assert "bundle_path" in description["specs"]["ServeSpec"]
         assert "table_path" in description["specs"]["BundleSpec"]
         assert "axes" in description["specs"]["CampaignSpec"]
