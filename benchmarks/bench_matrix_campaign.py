@@ -1,0 +1,16 @@
+"""Matrix campaign — process-pool cell fan-out vs sequential inline cells.
+
+Thin wrapper over the registered ``matrix_campaign`` scenario
+(:mod:`repro.bench.scenarios`): one campaign body fanned across a
+targets x simulators cell grid through :mod:`repro.distributed`, timing the
+``pool`` executor against the ``inline`` reference with the aggregate
+matrix reports asserted byte-identical.  Run it without pytest via::
+
+    PYTHONPATH=src python -m repro.bench run matrix_campaign --tier quick
+"""
+
+from conftest import run_scenario_benchmark
+
+
+def bench_matrix_campaign(benchmark, bench_runner):
+    run_scenario_benchmark(benchmark, bench_runner, "matrix_campaign")

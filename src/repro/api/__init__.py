@@ -3,9 +3,9 @@
 Three layers:
 
 1. **Registries** (:data:`TARGETS`, :data:`SIMULATORS`, :data:`SURROGATES`,
-   :data:`BASELINES`, :data:`PRESETS`, :data:`STRATEGIES`;
-   :func:`registries`) — string-keyed component catalogs with decorator
-   registration, did-you-mean diagnostics,
+   :data:`BASELINES`, :data:`PRESETS`, :data:`STRATEGIES`,
+   :data:`EXECUTORS`; :func:`registries`) — string-keyed component catalogs
+   with decorator registration, did-you-mean diagnostics,
    and entry-point plugin discovery.  Everything the system can construct is
    listed here, and third-party packages can add entries without touching
    this repository.
@@ -38,8 +38,8 @@ from typing import Any, Dict, List
 
 from repro.api.registry import (DuplicateKeyError, Registry, RegistryEntry,
                                 RegistryError, UnknownKeyError)
-from repro.api.registries import (BASELINES, PRESETS, SIMULATORS, STRATEGIES,
-                                  SURROGATES, TARGETS, registries)
+from repro.api.registries import (BASELINES, EXECUTORS, PRESETS, SIMULATORS,
+                                  STRATEGIES, SURROGATES, TARGETS, registries)
 from repro.api.plugins import BaselinePlugin, SimulatorPlugin
 
 #: name -> defining module for the lazily imported part of the surface.
@@ -65,11 +65,15 @@ _LAZY_EXPORTS = {
     "CampaignResult": "repro.campaigns.runner",
     "run_campaign": "repro.campaigns.runner",
     "CAMPAIGNS": "repro.campaigns.presets",
+    "MatrixCampaignSpec": "repro.distributed.spec",
+    "MatrixResult": "repro.distributed.scheduler",
+    "run_matrix": "repro.distributed.scheduler",
 }
 
 #: Spec class name -> defining module; drives ``describe()["specs"]``.
 _SPEC_EXPORTS = ("TuneSpec", "EvaluateSpec", "PredictSpec", "BundleSpec",
-                 "ServeSpec", "CorpusSpec", "CampaignSpec")
+                 "ServeSpec", "CorpusSpec", "CampaignSpec",
+                 "MatrixCampaignSpec")
 
 __all__ = [
     # registry machinery
@@ -85,6 +89,7 @@ __all__ = [
     "BASELINES",
     "PRESETS",
     "STRATEGIES",
+    "EXECUTORS",
     "registries",
     # plugin record types
     "SimulatorPlugin",
@@ -97,6 +102,7 @@ __all__ = [
     "ServeSpec",
     "CorpusSpec",
     "CampaignSpec",
+    "MatrixCampaignSpec",
     "AxisSpec",
     "SpecValidationError",
     # session facade
@@ -108,6 +114,9 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "CAMPAIGNS",
+    # distributed matrix campaigns
+    "MatrixResult",
+    "run_matrix",
     # deployment bundles
     "BundleError",
     "BundleManifest",

@@ -1,4 +1,4 @@
-"""The six component registries backing the public API.
+"""The seven component registries backing the public API.
 
 Components register themselves when their defining module is imported:
 
@@ -13,7 +13,9 @@ Components register themselves when their defining module is imported:
   (``fast``, ``paper``, ``test``);
 * :mod:`repro.baselines` registers the seven baselines of Table IV;
 * :mod:`repro.campaigns.strategies` registers the campaign sampling
-  strategies (``grid``, ``random``, ``adaptive``).
+  strategies (``grid``, ``random``, ``adaptive``);
+* :mod:`repro.distributed.executors` registers the matrix-campaign cell
+  executors (``inline``, ``pool``, ``remote``).
 
 To keep ``import repro.api`` cheap, none of those modules is imported here;
 each registry lazily runs :func:`_bootstrap_components` on its first lookup.
@@ -26,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.api.registry import Registry
+from repro.api.registry import Registry, RegistryError
 
 
 def _bootstrap_components() -> None:
@@ -41,6 +43,11 @@ def _bootstrap_components() -> None:
 def _bootstrap_strategies() -> None:
     """Import the module that self-registers the built-in strategies."""
     import repro.campaigns.strategies  # noqa: F401
+
+
+def _bootstrap_executors() -> None:
+    """Import the module that self-registers the matrix cell executors."""
+    import repro.distributed.executors  # noqa: F401
 
 
 def _normalize_target(key: str) -> str:
@@ -60,6 +67,24 @@ PRESETS = Registry("preset", entry_point_group="repro.presets",
                    bootstrap=_bootstrap_components)
 STRATEGIES = Registry("strategy", entry_point_group="repro.strategies",
                       bootstrap=_bootstrap_strategies)
+EXECUTORS = Registry("executor", entry_point_group="repro.executors",
+                     bootstrap=_bootstrap_executors)
+
+
+def same_target(first: str, second: str) -> bool:
+    """Whether two target names refer to the same uarch.
+
+    Registered names resolve through :data:`TARGETS` so display names match
+    their registry keys (``"Zen 2"`` == ``"zen2"``); unregistered names fall
+    back to punctuation-insensitive string comparison.
+    """
+    def canonical(name: str) -> str:
+        try:
+            return TARGETS.resolve(name)
+        except RegistryError:
+            return _normalize_target(name)
+
+    return canonical(first) == canonical(second)
 
 
 def registries() -> Dict[str, Registry]:
@@ -71,4 +96,5 @@ def registries() -> Dict[str, Registry]:
         "baselines": BASELINES,
         "presets": PRESETS,
         "strategies": STRATEGIES,
+        "executors": EXECUTORS,
     }

@@ -260,7 +260,9 @@ class Session:
             from repro.corpus import ShardedCorpus
 
             corpus = ShardedCorpus(directory)
-            if corpus.uarch_name.lower() != self.target_name.lower():
+            from repro.api.registries import same_target
+
+            if not same_target(corpus.uarch_name, self.target_name):
                 raise SpecValidationError(
                     "corpus_path", f"corpus at {directory!r} was generated for "
                                    f"{corpus.uarch_name!r}, not "
@@ -509,9 +511,9 @@ class Session:
         if spec is None or isinstance(spec, dict):
             payload: Dict[str, Any] = {
                 "simulator": SIMULATORS.resolve(self.spec.simulator)}
-            for name in ("target", "dataset_path", "num_blocks", "seed",
-                         "table_path", "narrow_sampling", "engine_workers",
-                         "engine_megabatch"):
+            for name in ("target", "dataset_path", "corpus_path", "num_blocks",
+                         "seed", "table_path", "narrow_sampling",
+                         "engine_workers", "engine_megabatch"):
                 value = self._spec_get(name)
                 if value is not None:
                     payload[name] = value
@@ -531,6 +533,39 @@ class Session:
             raise TypeError(f"expected a CampaignSpec, dict, or keyword "
                             f"arguments; got {type(spec).__name__}")
         return CampaignRunner(spec, session=self, log=self.log).run()
+
+    def run_matrix(self, spec: Optional[Union[Any, Dict[str, Any]]] = None,
+                   **overrides: Any) -> Any:
+        """Fan one campaign across a ``(target, simulator)`` cell matrix.
+
+        ``spec`` may be a
+        :class:`~repro.distributed.spec.MatrixCampaignSpec`, a plain spec
+        dict, or ``None`` (fields come entirely from ``overrides``).  Unlike
+        :meth:`run_campaign` nothing is inherited from this session's
+        identity — a matrix spans targets and simulators, so each cell
+        builds its own session — but the scheduler logs through this
+        session's log.  Returns a
+        :class:`~repro.distributed.scheduler.MatrixResult`.
+        """
+        from repro.distributed.scheduler import run_matrix
+        from repro.distributed.spec import MatrixCampaignSpec
+
+        if spec is None or isinstance(spec, dict):
+            payload = dict(spec or {})
+            payload.update(overrides)
+            spec = MatrixCampaignSpec.from_dict(payload)
+        elif isinstance(spec, MatrixCampaignSpec):
+            if overrides:
+                known = {f.name for f in dataclasses.fields(spec)}
+                for key in overrides:
+                    if key not in known:
+                        raise SpecValidationError(
+                            key, "unknown field for MatrixCampaignSpec")
+                spec = dataclasses.replace(spec, **overrides)
+        else:
+            raise TypeError(f"expected a MatrixCampaignSpec, dict, or "
+                            f"keyword arguments; got {type(spec).__name__}")
+        return run_matrix(spec, log=self.log)
 
     def sweep_tables(self, field_name: str, values: Sequence[int],
                      table: Optional[Any] = None) -> List[Any]:

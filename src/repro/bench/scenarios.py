@@ -1035,3 +1035,87 @@ def corpus_streaming(ctx: ScenarioContext):
         "memory_ratio_streaming_vs_in_memory": ratio,
         "arrays_bit_identical": float(identical),
     }
+
+
+def _format_matrix_campaign(metrics) -> str:
+    rows = [[name, f"{row['seconds']:.3f}s", f"{row['cells_per_sec']:.2f}"]
+            for name, row in metrics["paths"].items()]
+    rows.append(["speedup (pool/inline)",
+                 f"{metrics['speedup']['pool']:.2f}x", ""])
+    rows.append(["byte-identical reports",
+                 "yes" if metrics["reports_identical"] else "NO", ""])
+    return format_table(["Executor", "Wall time", "Cells/sec"], rows,
+                        title="Matrix campaign (process-pool fan-out vs "
+                              "sequential cells)")
+
+
+@scenario("matrix_campaign", tags=("perf", "ci"),
+          formatter=_format_matrix_campaign)
+def matrix_campaign(ctx: ScenarioContext):
+    """Matrix-campaign fan-out: process-pool executor vs sequential inline.
+
+    One campaign body spread across a targets x simulators cell grid
+    (:mod:`repro.distributed`), with the per-target corpora pre-built
+    untimed and shared by both paths.  Each timed cell carries a fixed
+    injected latency (``delay_cells``, an execution-only knob) standing in
+    for the per-cell simulator startup cost a real fleet pays, so the
+    benchmark measures dispatch overlap rather than raw CPU parallelism
+    and holds on single-core CI runners.  The pool path must beat inline
+    on wall time while producing a byte-identical ``matrix_report`` — the
+    executor may only change scheduling, never results.
+    """
+    import json
+    import tempfile
+
+    from repro.distributed import MatrixCampaignSpec, cell_key, run_matrix
+
+    targets = ctx.by_tier(smoke=["haswell", "zen2"],
+                          quick=["haswell", "skylake", "zen2"],
+                          full=list(ALL_UARCHES))
+    num_blocks = ctx.by_tier(smoke=64, quick=120, full=200)
+    base = {
+        "campaign": {
+            "axes": [{"field": "WriteLatency", "opcode": "ADD32rr",
+                      "values": [1, 2, 3, 4, 5, 6]}],
+            "num_blocks": num_blocks, "seed": ctx.seed, "chunk_size": 8,
+        },
+        "targets": targets,
+        "simulators": ["mca", "llvm_sim"],
+    }
+    pool_workers = max(2, ctx.workers)
+    cell_latency = 0.25
+    delays = {cell_key(target, simulator): cell_latency
+              for target in targets for simulator in ("mca", "llvm_sim")}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-matrix-") as root:
+        base["corpus_dir"] = f"{root}/corpora"
+        # Untimed warm-up builds the shared corpora and warms the process
+        # caches both timed paths inherit (the pool executor forks).
+        warmup = run_matrix(MatrixCampaignSpec.from_dict(base))
+        assert warmup.status == "complete", warmup.report
+        reference = json.dumps(warmup.report, sort_keys=True)
+        num_cells = warmup.report["num_cells"]
+
+        paths: Dict[str, Dict[str, float]] = {}
+        for label, overrides in (("inline", {}),
+                                 ("pool", {"executor": "pool",
+                                           "workers": pool_workers})):
+            spec = MatrixCampaignSpec.from_dict(
+                dict(base, delay_cells=delays, **overrides))
+            start = time.perf_counter()
+            result = run_matrix(spec)
+            elapsed = time.perf_counter() - start
+            assert json.dumps(result.report, sort_keys=True) == reference, \
+                f"{label} executor report diverged from the warm-up reference"
+            paths[label] = {"seconds": elapsed,
+                            "cells_per_sec": num_cells / max(elapsed, 1e-9)}
+
+    return {
+        "workload": {"targets": targets, "simulators": ["mca", "llvm_sim"],
+                     "num_cells": num_cells, "num_blocks": num_blocks,
+                     "pool_workers": pool_workers,
+                     "cell_latency_seconds": cell_latency, "seed": ctx.seed},
+        "paths": paths,
+        "speedup": {"pool": (paths["inline"]["seconds"]
+                             / max(paths["pool"]["seconds"], 1e-9))},
+        "reports_identical": 1.0,
+    }

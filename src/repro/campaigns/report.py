@@ -126,6 +126,57 @@ def write_report(path: str, report: Dict[str, Any]) -> None:
         raise
 
 
+def _percent(value: Any) -> str:
+    return "-" if value is None else f"{float(value) * 100:.2f}%"
+
+
+def render_assignment(assignment: Dict[str, Any]) -> str:
+    """One variant assignment as ``axis=value`` text (CLI/report tables)."""
+    if not assignment:
+        return "<base table>"
+    return ", ".join(
+        f"random table #{value}" if key == "__sample__" else f"{key}={value}"
+        for key, value in sorted(assignment.items()))
+
+
+def error_stats_table(stats_by_label: Dict[str, Dict[str, Any]],
+                      title: str = "error distribution") -> str:
+    """Quantile table of one or many error distributions.
+
+    Keyed by a row label: the single campaign report passes one row, the
+    matrix report one row per cell — the same renderer serves
+    ``repro campaign report`` and ``repro matrix report``.
+    """
+    from repro.eval.tables import format_table
+
+    headers = ["", "count", "mean", "std", "min", "p05", "p25", "p50",
+               "p75", "p95", "max"]
+    rows = []
+    for label, stats in stats_by_label.items():
+        quantiles = stats.get("quantiles", {})
+        rows.append([label, stats["count"], _percent(stats["mean"]),
+                     _percent(stats["std"]), _percent(stats["min"])]
+                    + [_percent(quantiles.get(f"p{int(q * 100):02d}"))
+                       for q in _QUANTILES]
+                    + [_percent(stats["max"])])
+    return format_table(headers, rows, title=title)
+
+
+def sensitivity_table(sensitivity: Sequence[Dict[str, Any]],
+                      title: str = "axis sensitivity (most sensitive first)"
+                      ) -> str:
+    """Axis-sensitivity ranking table (spread of mean error per axis)."""
+    from repro.eval.tables import format_table
+
+    rows = []
+    for rank, entry in enumerate(sensitivity, start=1):
+        by_value = ", ".join(f"{value}: {_percent(mean)}"
+                             for value, mean in entry["mean_error_by_value"])
+        rows.append([rank, entry["axis"], _percent(entry["spread"]), by_value])
+    return format_table(["#", "axis", "spread", "mean error by value"], rows,
+                        title=title)
+
+
 def format_report(report: Dict[str, Any]) -> str:
     """Human-readable summary of a campaign report (CLI ``campaign report``)."""
     lines = [
@@ -136,26 +187,25 @@ def format_report(report: Dict[str, Any]) -> str:
         f"simulator: {report['spec']['simulator']}",
         f"  variants evaluated: {report['num_variants']} "
         f"({report['num_full_corpus_variants']} on the full corpus)",
-        f"  baseline error: {report['baseline_error'] * 100:.2f}%",
+        f"  baseline error: {_percent(report['baseline_error'])}",
     ]
     stats = report.get("error_stats")
     if stats:
-        quantiles = stats["quantiles"]
-        lines.append(
-            f"  error: mean {stats['mean'] * 100:.2f}%  "
-            f"p05 {quantiles['p05'] * 100:.2f}%  "
-            f"p50 {quantiles['p50'] * 100:.2f}%  "
-            f"p95 {quantiles['p95'] * 100:.2f}%")
-    for rank, variant in enumerate(report.get("best_variants", []), start=1):
-        assignment = variant["assignment"] or {"<base table>": ""}
-        rendered = ", ".join(
-            f"random table #{value}" if key == "__sample__" else f"{key}={value}"
-            for key, value in sorted(assignment.items()))
-        lines.append(f"  best #{rank}: {variant['error'] * 100:.2f}%  {rendered}")
+        lines.append("")
+        lines.append(error_stats_table({"error": stats}))
+    best = report.get("best_variants", [])
+    if best:
+        from repro.eval.tables import format_table
+
+        lines.append("")
+        lines.append(format_table(
+            ["#", "error", "variant"],
+            [[rank, _percent(variant["error"]),
+              render_assignment(variant["assignment"])]
+             for rank, variant in enumerate(best, start=1)],
+            title="best variants"))
     sensitivity = report.get("axis_sensitivity", [])
     if sensitivity:
-        lines.append("  most sensitive axes:")
-        for entry in sensitivity:
-            lines.append(f"    {entry['axis']}: spread "
-                         f"{entry['spread'] * 100:.2f}%")
+        lines.append("")
+        lines.append(sensitivity_table(sensitivity))
     return "\n".join(lines)

@@ -110,7 +110,7 @@ class CampaignRunner:
         if theirs != ours:
             raise ValueError(f"session simulator {theirs!r} does not match "
                              f"campaign simulator {ours!r}")
-        for field_name in ("dataset_path", "num_blocks", "seed",
+        for field_name in ("dataset_path", "corpus_path", "num_blocks", "seed",
                            "narrow_sampling"):
             theirs = session._spec_get(field_name)
             ours = getattr(spec, field_name)

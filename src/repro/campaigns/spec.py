@@ -233,6 +233,11 @@ class CampaignSpec(_SpecBase):
     num_blocks: int = 300
     seed: int = 0
     dataset_path: Optional[str] = None
+    #: Directory of a pre-built sharded corpus (``repro corpus build``);
+    #: mutually exclusive with ``dataset_path``.  Evaluation then streams
+    #: blocks lazily from disk, and several campaigns (e.g. the cells of one
+    #: matrix campaign, see :mod:`repro.distributed`) can share one corpus.
+    corpus_path: Optional[str] = None
     split: str = "test"
     #: Evaluate on only the first ``max_blocks`` examples of the split.
     max_blocks: Optional[int] = None
@@ -286,7 +291,17 @@ class CampaignSpec(_SpecBase):
         self._check_positive("num_blocks")
         self._check_type("seed", (int,))
         self._check_type("dataset_path", (str,), allow_none=True)
-        if self.split not in ("train", "test"):
+        self._check_type("corpus_path", (str,), allow_none=True)
+        if self.dataset_path is not None and self.corpus_path is not None:
+            raise SpecValidationError(
+                "corpus_path", "mutually exclusive with dataset_path; a corpus "
+                               "carries its own blocks and timings")
+        if self.corpus_path is not None:
+            if self.split not in ("train", "validation", "test"):
+                raise SpecValidationError(
+                    "split", f"expected 'train', 'validation', or 'test', "
+                             f"got {self.split!r}")
+        elif self.split not in ("train", "test"):
             raise SpecValidationError(
                 "split", f"expected 'train' or 'test', got {self.split!r}")
         if self.max_blocks is not None:
@@ -308,10 +323,14 @@ class CampaignSpec(_SpecBase):
         Excludes execution-only knobs (checkpointing, report destination,
         worker count, kernel selection) that never change the numbers, so an
         interrupted run and its resumed continuation fingerprint alike and
-        emit byte-identical reports.
+        emit byte-identical reports.  ``corpus_path`` is excluded too: the
+        corpus *content* is what determines results, and
+        :func:`~repro.campaigns.runner.campaign_fingerprint` digests the
+        actual blocks and timings — so moving a corpus directory (or
+        sharing one across matrix cells) never changes a report.
         """
         payload = self.to_dict()
-        for key in ("checkpoint_dir", "resume", "report_path",
+        for key in ("checkpoint_dir", "resume", "report_path", "corpus_path",
                     "engine_workers", "engine_megabatch"):
             payload.pop(key)
         return payload

@@ -1,6 +1,6 @@
 """Command-line interface for the DiffTune reproduction.
 
-Thirteen subcommands cover the day-to-day workflow:
+Fifteen subcommands cover the day-to-day workflow:
 
 * ``dataset``  — generate and measure a BHive-like dataset and save it to JSON.
 * ``corpus``   — build / inspect sharded on-disk block corpora
@@ -26,6 +26,14 @@ Thirteen subcommands cover the day-to-day workflow:
   ``run`` a preset, a JSON spec file, or inline ``--axis`` flags through
   the checkpointable campaign runner; ``list`` the registered presets and
   sampling strategies; ``report`` summarizes a ``campaign_report.json``.
+* ``matrix``   — distributed matrix campaigns (:mod:`repro.distributed`):
+  ``run`` fans one campaign body across every ``target x simulator`` cell
+  through a fault-tolerant scheduler (inline / process-pool / remote
+  executors, per-cell retry with backoff, checkpointed ``--resume`` that
+  skips completed cells); ``report`` summarizes a ``matrix_report.json``;
+  ``list`` shows the registered executors and the default cell grid.
+* ``worker``   — serve matrix cells over HTTP for ``matrix run --executor
+  remote`` (``POST /run``, ``GET /healthz``).
 * ``tune-baseline`` — run one of the black-box baselines (OpenTuner-style,
   genetic, annealing, coordinate descent, random search) for comparison
   with DiffTune.
@@ -67,6 +75,11 @@ Examples::
         --axis "WriteLatency@ADD32rr=0:5" --axis "DispatchWidth=1,2,4,8" \\
         --checkpoint-dir runs/campaign --output campaign_report.json
     python -m repro.cli campaign report campaign_report.json
+    python -m repro.cli matrix run --axis "WriteLatency@ADD32rr=1,3,5" \\
+        --executor pool --workers 4 --checkpoint-dir runs/matrix \\
+        --output matrix_report.json
+    python -m repro.cli matrix report matrix_report.json
+    python -m repro.cli worker --port 8101
     python -m repro.cli tune-baseline --dataset haswell.json --method genetic
     python -m repro.cli bundle export --uarch haswell --table learned.json --output hsw.bundle
     python -m repro.cli bundle inspect hsw.bundle
@@ -335,7 +348,11 @@ def _command_campaign(arguments: argparse.Namespace) -> int:
 
     if arguments.campaign_command == "report":
         with open(arguments.path) as stream:
-            print(format_report(json.load(stream)))
+            report = json.load(stream)
+        if arguments.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_report(report))
         return 0
 
     # run: preset / spec file / inline flags, merged in that order.
@@ -375,6 +392,90 @@ def _command_campaign(arguments: argparse.Namespace) -> int:
               f"{spec.checkpoint_dir}")
     if result.report_path:
         print(f"  wrote report to {result.report_path}")
+    return 0
+
+
+def _command_matrix(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import EXECUTORS
+    from repro.distributed import (MatrixCampaignSpec, format_matrix_report,
+                                   run_matrix)
+
+    if arguments.matrix_command == "list":
+        print("cell executors (repro matrix run --executor NAME):")
+        for name in EXECUTORS.names():
+            entry = EXECUTORS.entry(name)
+            aliases = (f" (aliases: {', '.join(entry.aliases)})"
+                       if entry.aliases else "")
+            print(f"  {name:<10} {entry.summary}{aliases}")
+        print("default cell grid (targets x simulators):")
+        for target in TARGETS.names():
+            for simulator in SIMULATORS.names():
+                print(f"  {target}__{simulator}")
+        return 0
+
+    if arguments.matrix_command == "report":
+        with open(arguments.path) as stream:
+            report = json.load(stream)
+        if arguments.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_matrix_report(report))
+        return 0
+
+    # run: spec file merged with inline flags; campaign-body flags nest
+    # under the shared "campaign" payload, matrix flags sit at the top.
+    payload: dict = {}
+    if arguments.spec:
+        with open(arguments.spec) as stream:
+            payload.update(json.load(stream))
+    campaign = dict(payload.get("campaign", {}))
+    for key, value in (("strategy", arguments.strategy),
+                       ("num_variants", arguments.num_variants),
+                       ("num_blocks", arguments.blocks),
+                       ("max_blocks", arguments.max_blocks),
+                       ("seed", arguments.seed),
+                       ("chunk_size", arguments.chunk_size),
+                       ("engine_workers", arguments.engine_workers)):
+        if value is not None:
+            campaign[key] = value
+    if arguments.axis:
+        campaign["axes"] = [_parse_axis(axis) for axis in arguments.axis]
+    payload["campaign"] = campaign
+    for key, value in (("targets", arguments.targets),
+                       ("simulators", arguments.simulators),
+                       ("executor", arguments.executor),
+                       ("workers", arguments.workers),
+                       ("worker_urls", arguments.worker_url),
+                       ("max_retries", arguments.max_retries),
+                       ("retry_backoff_seconds", arguments.retry_backoff),
+                       ("cell_timeout_seconds", arguments.cell_timeout),
+                       ("corpus_dir", arguments.corpus_dir),
+                       ("checkpoint_dir", arguments.checkpoint_dir),
+                       ("report_path", arguments.output),
+                       ("cell_report_dir", arguments.cell_report_dir)):
+        if value is not None:
+            payload[key] = value
+    if arguments.resume:
+        payload["resume"] = True
+    result = run_matrix(MatrixCampaignSpec.from_dict(payload), log=print)
+    print(format_matrix_report(result.report))
+    if result.resumed_cells:
+        print(f"  resumed {len(result.resumed_cells)} completed cells from "
+              f"{payload.get('checkpoint_dir')}")
+    if result.report_path:
+        print(f"  wrote matrix report to {result.report_path}")
+    return 1 if result.failed_cells else 0
+
+
+def _command_worker(arguments: argparse.Namespace) -> int:
+    from repro.distributed import CampaignWorker
+
+    worker = CampaignWorker(host=arguments.host, port=arguments.port,
+                            log=lambda message: print(f"[worker] {message}"),
+                            drain_seconds=arguments.drain_seconds)
+    worker.serve()
     return 0
 
 
@@ -704,7 +805,110 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_report_parser = campaign_subparsers.add_parser(
         "report", help="summarize a campaign_report.json")
     campaign_report_parser.add_argument("path", help="campaign report JSON file")
+    campaign_report_parser.add_argument("--json", action="store_true",
+                                        help="print the raw report JSON "
+                                             "instead of the summary tables")
     campaign_report_parser.set_defaults(handler=_command_campaign)
+
+    matrix_parser = subparsers.add_parser(
+        "matrix", help="matrix campaigns: fan one campaign across "
+                       "target x simulator cells (repro.distributed)")
+    matrix_subparsers = matrix_parser.add_subparsers(dest="matrix_command",
+                                                     required=True)
+    matrix_run_parser = matrix_subparsers.add_parser(
+        "run", help="run a matrix campaign from a JSON spec file and/or "
+                    "inline flags")
+    matrix_run_parser.add_argument("--spec", default=None,
+                                   help="MatrixCampaignSpec JSON file (as "
+                                        "written by MatrixCampaignSpec.to_dict)")
+    matrix_run_parser.add_argument("--axis", action="append", default=None,
+                                   metavar="FIELD[@OPCODE][#PORT]=VALUES",
+                                   help="campaign sweep axis, repeatable "
+                                        "(same grammar as campaign run)")
+    matrix_run_parser.add_argument("--targets", nargs="+", default=None,
+                                   choices=_target_choices(),
+                                   help="cell targets (default: every "
+                                        "registered target)")
+    matrix_run_parser.add_argument("--simulators", nargs="+", default=None,
+                                   choices=_simulator_choices(),
+                                   help="cell simulators (default: every "
+                                        "registered simulator)")
+    matrix_run_parser.add_argument("--executor", default=None,
+                                   help="cell executor from the EXECUTORS "
+                                        "registry (inline, pool, remote)")
+    matrix_run_parser.add_argument("--workers", type=int, default=None,
+                                   help="concurrent cells for --executor pool")
+    matrix_run_parser.add_argument("--worker-url", action="append", default=None,
+                                   metavar="URL",
+                                   help="worker base URL for --executor "
+                                        "remote, repeatable (start workers "
+                                        "with 'repro worker')")
+    matrix_run_parser.add_argument("--max-retries", type=int, default=None,
+                                   help="retries per failed cell before it "
+                                        "lands in the failed-cell ledger")
+    matrix_run_parser.add_argument("--retry-backoff", type=float, default=None,
+                                   help="first-retry delay in seconds "
+                                        "(doubles per retry)")
+    matrix_run_parser.add_argument("--cell-timeout", type=float, default=None,
+                                   help="cancel a cell attempt running "
+                                        "longer than this many seconds")
+    matrix_run_parser.add_argument("--strategy", default=None,
+                                   help="campaign sampling strategy")
+    matrix_run_parser.add_argument("--num-variants", type=int, default=None,
+                                   help="campaign variant budget")
+    matrix_run_parser.add_argument("--blocks", type=int, default=None,
+                                   help="shared-corpus blocks per target")
+    matrix_run_parser.add_argument("--max-blocks", type=int, default=None,
+                                   help="evaluate on only the first N split "
+                                        "blocks")
+    matrix_run_parser.add_argument("--seed", type=int, default=None)
+    matrix_run_parser.add_argument("--chunk-size", type=int, default=None,
+                                   help="variants per engine call / "
+                                        "checkpoint unit within a cell")
+    matrix_run_parser.add_argument("--engine-workers", type=int, default=None,
+                                   help="engine worker processes inside each "
+                                        "cell (compose carefully with "
+                                        "--executor pool)")
+    matrix_run_parser.add_argument("--corpus-dir", default=None,
+                                   help="directory for the shared per-target "
+                                        "corpora (default: under "
+                                        "--checkpoint-dir, or a temp dir)")
+    matrix_run_parser.add_argument("--checkpoint-dir", default=None,
+                                   help="persist per-cell outcomes and "
+                                        "per-chunk checkpoints here "
+                                        "(enables --resume)")
+    matrix_run_parser.add_argument("--resume", action="store_true",
+                                   help="skip cells already completed in "
+                                        "--checkpoint-dir (byte-identical "
+                                        "aggregate report)")
+    matrix_run_parser.add_argument("--output", default=None,
+                                   help="write the aggregate "
+                                        "matrix_report.json here")
+    matrix_run_parser.add_argument("--cell-report-dir", default=None,
+                                   help="directory for per-cell "
+                                        "campaign_report.json files")
+    matrix_run_parser.set_defaults(handler=_command_matrix)
+    matrix_list_parser = matrix_subparsers.add_parser(
+        "list", help="list registered cell executors and the default cell grid")
+    matrix_list_parser.set_defaults(handler=_command_matrix)
+    matrix_report_parser = matrix_subparsers.add_parser(
+        "report", help="summarize a matrix_report.json")
+    matrix_report_parser.add_argument("path", help="matrix report JSON file")
+    matrix_report_parser.add_argument("--json", action="store_true",
+                                      help="print the raw report JSON "
+                                           "instead of the summary tables")
+    matrix_report_parser.set_defaults(handler=_command_matrix)
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="run a matrix-campaign worker serving cells over HTTP "
+                       "(for 'repro matrix run --executor remote')")
+    worker_parser.add_argument("--host", default="127.0.0.1")
+    worker_parser.add_argument("--port", type=int, default=8100,
+                               help="TCP port (0 picks an ephemeral port)")
+    worker_parser.add_argument("--drain-seconds", type=float, default=0.5,
+                               help="how long shutdown waits for an in-flight "
+                                    "cell before dropping the connection")
+    worker_parser.set_defaults(handler=_command_worker)
 
     baseline_parser = subparsers.add_parser(
         "tune-baseline", help="run a black-box baseline tuner for comparison with DiffTune")

@@ -506,7 +506,11 @@ class CorpusView(Sequence):
     def __len__(self) -> int:
         return len(self.indices)
 
-    def __getitem__(self, position: int) -> BasicBlock:
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            # Slicing stays lazy: `view[:max_blocks]` narrows the index map
+            # without parsing a single block.
+            return CorpusView(self.corpus, self.indices[position])
         return self.corpus.block(int(self.indices[int(position)]))
 
     def __iter__(self) -> Iterator[BasicBlock]:

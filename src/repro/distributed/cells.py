@@ -1,0 +1,64 @@
+"""Cell tasks: the unit of work a matrix executor runs.
+
+A *cell task* is a plain JSON-serializable dict — picklable for the process
+pool, POST-able to a remote worker — carrying everything one cell attempt
+needs: the concrete :class:`~repro.campaigns.spec.CampaignSpec` payload
+(identity + corpus + per-cell checkpoint/report paths already injected by
+the scheduler) plus the attempt number and any injected fault/delay.
+:func:`execute_cell` runs it and returns a plain *outcome* dict — never
+raises — so every executor transports failures the same way: as data.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback as traceback_module
+from typing import Any, Dict
+
+
+class InjectedCellFault(RuntimeError):
+    """Deterministic failure raised by fault injection (``fail_cells``)."""
+
+
+def make_task(cell: str, target: str, simulator: str, attempt: int,
+              campaign: Dict[str, Any], fail_attempts: int = 0,
+              delay_seconds: float = 0.0) -> Dict[str, Any]:
+    """Assemble one attempt's task dict (see module docstring)."""
+    return {"cell": cell, "target": target, "simulator": simulator,
+            "attempt": attempt, "campaign": campaign,
+            "fail_attempts": fail_attempts, "delay_seconds": delay_seconds}
+
+
+def execute_cell(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell attempt; failures come back as data, not exceptions.
+
+    Module-level and dict-in/dict-out so the process-pool executor can pickle
+    it and the remote worker can serve it over JSON unchanged.  Fault
+    injection fires on attempt numbers (``fail_attempts < 0`` = every
+    attempt), which keeps injected failures deterministic across executors
+    and across resume — attempt counts, not wall clocks, decide the outcome.
+    """
+    cell = task.get("cell", "?")
+    attempt = int(task.get("attempt", 1))
+    started = time.perf_counter()
+    try:
+        delay = float(task.get("delay_seconds", 0.0) or 0.0)
+        if delay > 0:
+            time.sleep(delay)
+        fail_attempts = int(task.get("fail_attempts", 0) or 0)
+        if fail_attempts < 0 or attempt <= fail_attempts:
+            raise InjectedCellFault(
+                f"injected fault for cell {cell} (attempt {attempt})")
+        from repro.campaigns import run_campaign
+
+        result = run_campaign(dict(task["campaign"]))
+        return {"status": "ok", "cell": cell, "attempt": attempt,
+                "report": result.report, "num_variants": result.num_variants,
+                "resumed_chunks": result.resumed_chunks,
+                "executed_chunks": result.executed_chunks,
+                "elapsed_seconds": time.perf_counter() - started}
+    except Exception as error:  # noqa: BLE001 - converted to outcome data
+        return {"status": "error", "cell": cell, "attempt": attempt,
+                "error": f"{type(error).__name__}: {error}",
+                "traceback": traceback_module.format_exc(),
+                "elapsed_seconds": time.perf_counter() - started}

@@ -1,0 +1,151 @@
+"""Matrix report assembly and formatting.
+
+Like the single-campaign report (:mod:`repro.campaigns.report`) this is a
+schema-versioned plain-JSON document containing only *result-determined*
+data — cell outcomes, error statistics, the failed-cell ledger — and none
+of the execution story (no wall clocks, no executor choice, no worker
+URLs).  That restriction is what makes the acceptance guarantees hold: the
+same matrix run inline, across a process pool, or against remote workers,
+interrupted and resumed, aggregates to a byte-identical ``matrix_report.json``.
+
+Per-cell detail beyond the summary (full variant lists, histograms) lives
+in the per-cell ``campaign_report.json`` files; the matrix report keeps the
+cross-cell view: per-cell error quantiles, a comparison table, the best
+variant of each cell, and the ledger of cells that exhausted their retries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.campaigns.report import (_percent, error_stats_table,
+                                    render_assignment, write_report)
+from repro.eval.tables import format_table
+
+#: Bump when the matrix report layout changes shape (consumers check this).
+MATRIX_REPORT_VERSION = 1
+
+__all__ = ["MATRIX_REPORT_VERSION", "build_matrix_report",
+           "format_matrix_report", "write_report"]
+
+
+def _cell_summary(outcome: Dict[str, Any]) -> Dict[str, Any]:
+    """The per-cell entry of the report's ``cells`` mapping."""
+    summary = {"target": outcome["target"], "simulator": outcome["simulator"],
+               "status": outcome["status"], "attempts": outcome["attempts"]}
+    if outcome["status"] == "ok":
+        report = outcome["report"]
+        best = report.get("best_variants", [])
+        summary.update({
+            "baseline_error": report["baseline_error"],
+            "num_variants": report["num_variants"],
+            "error_stats": report.get("error_stats"),
+            "best_error": best[0]["error"] if best else None,
+        })
+    else:
+        summary["error"] = outcome["error"]
+    return summary
+
+
+def build_matrix_report(spec: Any, outcomes: Dict[str, Dict[str, Any]],
+                        status: str) -> Dict[str, Any]:
+    """Aggregate terminal cell outcomes into the matrix report.
+
+    ``outcomes`` maps cell key to its terminal outcome payload (the shape
+    the scheduler checkpoints: ``status`` ``"ok"`` with the cell's campaign
+    report, or ``"failed"`` with error + traceback).  Cells not yet terminal
+    are simply absent — an interrupted matrix reports what finished.
+    """
+    cell_order = [f"{target}__{simulator}"
+                  for target, simulator in spec.resolve_cells()]
+    cells = {key: _cell_summary(outcomes[key])
+             for key in cell_order if key in outcomes}
+    comparison: List[Dict[str, Any]] = []
+    best_variant_per_cell: Dict[str, Any] = {}
+    failed: List[Dict[str, Any]] = []
+    for key in cell_order:
+        outcome = outcomes.get(key)
+        if outcome is None:
+            continue
+        if outcome["status"] == "ok":
+            report = outcome["report"]
+            best = report.get("best_variants", [])
+            best_error = best[0]["error"] if best else None
+            comparison.append({
+                "cell": key, "target": outcome["target"],
+                "simulator": outcome["simulator"], "status": "ok",
+                "baseline_error": report["baseline_error"],
+                "best_error": best_error,
+                "improvement": (None if best_error is None
+                                else report["baseline_error"] - best_error),
+            })
+            if best:
+                best_variant_per_cell[key] = best[0]
+        else:
+            comparison.append({"cell": key, "target": outcome["target"],
+                               "simulator": outcome["simulator"],
+                               "status": "failed", "baseline_error": None,
+                               "best_error": None, "improvement": None})
+            failed.append({"cell": key, "target": outcome["target"],
+                           "simulator": outcome["simulator"],
+                           "attempts": outcome["attempts"],
+                           "error": outcome["error"],
+                           "traceback": outcome.get("traceback")})
+    return {
+        "schema_version": MATRIX_REPORT_VERSION,
+        "status": status,
+        "spec": spec.identity_dict(),
+        "num_cells": len(cell_order),
+        "num_completed_cells": sum(
+            1 for cell in cells.values() if cell["status"] == "ok"),
+        "cells": cells,
+        "comparison": comparison,
+        "best_variant_per_cell": best_variant_per_cell,
+        "failed_cells": failed,
+    }
+
+
+def format_matrix_report(report: Dict[str, Any]) -> str:
+    """Human-readable matrix summary (CLI ``repro matrix report``).
+
+    Shares its table renderers with ``repro campaign report`` so the two
+    commands read the same way.
+    """
+    lines = [
+        f"matrix report (schema v{report.get('schema_version', '?')}, "
+        f"status: {report.get('status', '?')})",
+        f"  cells: {report['num_completed_cells']}/{report['num_cells']} "
+        f"completed, {len(report['failed_cells'])} failed",
+        f"  strategy: {report['spec']['campaign'].get('strategy', 'grid')}",
+    ]
+    comparison = report.get("comparison", [])
+    if comparison:
+        rows = []
+        for row in comparison:
+            best = report["best_variant_per_cell"].get(row["cell"])
+            rows.append([row["target"], row["simulator"], row["status"],
+                         _percent(row["baseline_error"]),
+                         _percent(row["best_error"]),
+                         _percent(row["improvement"]),
+                         "-" if best is None
+                         else render_assignment(best["assignment"])])
+        lines.append("")
+        lines.append(format_table(
+            ["target", "simulator", "status", "baseline", "best",
+             "improvement", "best variant"],
+            rows, title="cell comparison"))
+    stats_by_cell = {key: cell["error_stats"]
+                     for key, cell in report.get("cells", {}).items()
+                     if cell.get("error_stats")}
+    if stats_by_cell:
+        lines.append("")
+        lines.append(error_stats_table(stats_by_cell,
+                                       title="per-cell error distribution"))
+    if report["failed_cells"]:
+        lines.append("")
+        lines.append(format_table(
+            ["cell", "attempts", "error"],
+            [[entry["cell"], entry["attempts"], entry["error"]]
+             for entry in report["failed_cells"]],
+            title="failed cells (retries exhausted)"))
+    return "\n".join(lines)

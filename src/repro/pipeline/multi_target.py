@@ -70,6 +70,15 @@ class TargetOutcome:
     resumed_stages: List[str] = field(default_factory=list)
     output_path: Optional[str] = None
     stopped_after: Optional[str] = None
+    #: ``"ExceptionType: message"`` when the target's pipeline raised (the
+    #: fan-out records the failure instead of sinking its siblings).
+    error: Optional[str] = None
+    #: Full traceback text of the failure, for post-mortem without re-running.
+    traceback: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 def _config_from_preset(spec: TargetSpec):
@@ -106,8 +115,10 @@ def tune_target(spec: TargetSpec) -> TargetOutcome:
     if spec.corpus_path is not None:
         from repro.corpus import ShardedCorpus
 
+        from repro.api.registries import same_target
+
         corpus = ShardedCorpus(spec.corpus_path)
-        if corpus.uarch_name.lower() != spec.target.lower():
+        if not same_target(corpus.uarch_name, spec.target):
             raise ValueError(
                 f"corpus at {spec.corpus_path!r} was generated for "
                 f"{corpus.uarch_name!r}, not {spec.target!r}")
@@ -170,19 +181,45 @@ def tune_target(spec: TargetSpec) -> TargetOutcome:
                          output_path=output_path)
 
 
+def _tune_target_guarded(spec: TargetSpec) -> TargetOutcome:
+    """``tune_target`` with failures captured as data (module-level: picklable).
+
+    One crashing target must not abort the pool fan-out; the exception and
+    its traceback come back in the outcome instead, so siblings finish and
+    the caller decides what a partial result is worth.
+    """
+    import traceback as traceback_module
+
+    start_time = time.time()
+    try:
+        return tune_target(spec)
+    except Exception as error:  # noqa: BLE001 - converted to outcome data
+        return TargetOutcome(
+            target=spec.target, completed=False,
+            elapsed_seconds=time.time() - start_time,
+            error=f"{type(error).__name__}: {error}",
+            traceback=traceback_module.format_exc())
+
+
 def tune_targets(specs: Sequence[TargetSpec], workers: int = 0,
-                 log: Optional[Callable[[str], None]] = None
-                 ) -> Dict[str, TargetOutcome]:
+                 log: Optional[Callable[[str], None]] = None,
+                 strict: bool = False) -> Dict[str, TargetOutcome]:
     """Tune every target, fanning out across processes when ``workers > 1``.
 
     Returns outcomes keyed by target name, in input order.  The parallel
     path produces the same outcomes as the sequential one — each target's
     pipeline is fully determined by its spec.
+
+    A target whose pipeline raises is recorded as a failed
+    :class:`TargetOutcome` (``error`` + ``traceback`` set) while its
+    siblings run to completion; pass ``strict=True`` to re-raise the first
+    failure instead (the historical abort-the-fan-out behavior).
     """
     log = log or (lambda message: None)
     names = [spec.target for spec in specs]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate targets: {names}")
+    task = tune_target if strict else _tune_target_guarded
     if workers > 1 and len(specs) > 1:
         start_methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
@@ -190,10 +227,13 @@ def tune_targets(specs: Sequence[TargetSpec], workers: int = 0,
         processes = min(workers, len(specs))
         log(f"tuning {len(specs)} targets across {processes} worker processes")
         with context.Pool(processes=processes) as pool:
-            outcomes = pool.map(tune_target, list(specs))
+            outcomes = pool.map(task, list(specs))
     else:
         outcomes = []
         for spec in specs:
             log(f"tuning target {spec.target}")
-            outcomes.append(tune_target(spec))
+            outcomes.append(task(spec))
+    for outcome in outcomes:
+        if outcome.error is not None:
+            log(f"target {outcome.target} failed: {outcome.error}")
     return {outcome.target: outcome for outcome in outcomes}

@@ -1,8 +1,9 @@
 """The stdlib-only inference server: deployment bundles behind HTTP/JSON.
 
 :class:`InferenceServer` binds a :class:`~repro.api.session.Session` (built
-from a deployment bundle or a spec) to an ``asyncio`` TCP server speaking
-just enough HTTP/1.1 for three endpoints:
+from a deployment bundle or a spec) to the shared
+:class:`~repro.serving.http.JsonHttpServer` plumbing, speaking just enough
+HTTP/1.1 for three endpoints:
 
 * ``POST /predict`` — ``{"blocks": ["add rax, rbx; ..."]}`` in, predicted
   timings out.  Requests hitting the sharded result cache are answered
@@ -21,10 +22,8 @@ connections die.  Everything here is standard library — ``asyncio``,
 
 from __future__ import annotations
 
-import asyncio
 import json
-import threading
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.api.session import Session
 from repro.api.specs import PredictSpec, ServeSpec
@@ -32,77 +31,25 @@ from repro.engine.binding import parameter_arrays_digest
 from repro.isa.parser import ParseError, parse_block
 from repro.serving.cache import ShardedResultCache
 from repro.serving.coalescer import RequestCoalescer
+# Re-exported for compatibility: these names lived here before the generic
+# HTTP plumbing moved to repro.serving.http.
+from repro.serving.http import (MAX_BODY_BYTES, MAX_HEADER_BYTES,  # noqa: F401
+                                _STATUS_TEXT, JsonHttpServer, ServerHandle,
+                                ServingError)
 from repro.serving.stats import ServerStats
 
-#: Request bodies above this are refused with 413 (a DoS guard, not a limit
-#: any legitimate block corpus approaches).
-MAX_BODY_BYTES = 8 << 20
 
-#: Longest request line / header section we accept.
-MAX_HEADER_BYTES = 64 << 10
-
-_STATUS_TEXT = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-
-class ServingError(Exception):
-    """An HTTP-mappable request failure."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
-
-class ServerHandle:
-    """A running server on a background thread (see ``start_in_thread``)."""
-
-    def __init__(self, server: "InferenceServer",
-                 thread: threading.Thread) -> None:
-        self.server = server
-        self.thread = thread
-
-    @property
-    def host(self) -> str:
-        return self.server.host
-
-    @property
-    def port(self) -> int:
-        return self.server.port
-
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
-    def stop(self, timeout: float = 10.0) -> None:
-        """Request graceful shutdown and wait for the server thread."""
-        self.server.request_stop()
-        self.thread.join(timeout)
-        if self.thread.is_alive():
-            raise RuntimeError("server thread did not stop within "
-                               f"{timeout} seconds")
-
-
-class InferenceServer:
+class InferenceServer(JsonHttpServer):
     """Serves one session's predictions over HTTP/JSON (see module doc)."""
+
+    thread_name = "repro-serving"
 
     def __init__(self, session: Session, *, host: str = "127.0.0.1",
                  port: int = 8000, max_batch_size: int = 64,
                  max_batch_wait_ms: float = 2.0, cache_size: int = 4096,
                  log: Optional[Callable[[str], None]] = None) -> None:
+        super().__init__(host=host, port=port, log=log)
         self.session = session
-        self.host = host
-        self.requested_port = port
-        #: The bound port — equals ``requested_port`` unless that was 0
-        #: (ephemeral); set once the listening socket exists.
-        self.port: Optional[int] = None
-        self.log = log or (lambda message: None)
         self._table = session.load_table_or_default(
             getattr(session.spec, "table_path", None))
         self.table_digest = parameter_arrays_digest(
@@ -113,12 +60,6 @@ class InferenceServer:
             self._simulate_batch, max_batch_size=max_batch_size,
             max_wait=max_batch_wait_ms / 1e3,
             on_batch=self.stats.record_batch)
-        self._draining = False
-        self._active_requests = 0
-        self._connections: Set[asyncio.StreamWriter] = set()
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._stop_event: Optional[asyncio.Event] = None
-        self._startup_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
     # Construction from specs / bundles
@@ -265,182 +206,24 @@ class InferenceServer:
                               f"/healthz, /stats)"}
 
     # ------------------------------------------------------------------
-    # HTTP plumbing
+    # JsonHttpServer hooks
     # ------------------------------------------------------------------
-    async def _read_request(
-            self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        """One HTTP/1.1 request, or ``None`` on clean EOF between requests."""
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as error:
-            if not error.partial:
-                return None
-            raise ServingError(400, "truncated HTTP request")
-        except asyncio.LimitOverrunError:
-            raise ServingError(400, "request headers too large")
-        if len(head) > MAX_HEADER_BYTES:
-            raise ServingError(400, "request headers too large")
-        lines = head.decode("latin-1").split("\r\n")
-        parts = lines[0].split()
-        if len(parts) != 3:
-            raise ServingError(400, f"malformed request line {lines[0]!r}")
-        method, path, _version = parts
-        headers: Dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, _separator, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            content_length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise ServingError(400, "malformed Content-Length header")
-        if content_length > MAX_BODY_BYTES:
-            raise ServingError(
-                413, f"request body of {content_length} bytes exceeds the "
-                     f"{MAX_BODY_BYTES}-byte limit")
-        body = (await reader.readexactly(content_length)
-                if content_length else b"")
-        return method, path.split("?", 1)[0], headers, body
+    def _clock(self) -> float:
+        return self.stats._clock()
 
-    @staticmethod
-    def _encode_response(status: int, payload: Dict[str, Any],
-                         keep_alive: bool) -> bytes:
-        body = (json.dumps(payload) + "\n").encode("utf-8")
-        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-                f"\r\n")
-        return head.encode("latin-1") + body
+    def _record_request(self, path: str, seconds: float,
+                        payload: Any, status: int) -> None:
+        num_blocks = (len(payload.get("timings", []))
+                      if isinstance(payload, dict) else 0)
+        self.stats.record_request(path, seconds, num_blocks=num_blocks,
+                                  error=status >= 400)
 
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
-        self._connections.add(writer)
-        try:
-            while True:
-                try:
-                    request = await self._read_request(reader)
-                except ServingError as error:
-                    writer.write(self._encode_response(
-                        error.status, {"error": str(error)}, False))
-                    await writer.drain()
-                    break
-                if request is None:
-                    break
-                method, path, headers, body = request
-                keep_alive = (headers.get("connection", "keep-alive").lower()
-                              != "close")
-                self._active_requests += 1
-                started = self.stats._clock()
-                try:
-                    status, payload = await self._dispatch(method, path, body)
-                except asyncio.CancelledError:
-                    raise
-                except Exception as error:  # noqa: BLE001 - last-resort 500
-                    status, payload = 500, {"error": f"internal error: {error}"}
-                finally:
-                    self._active_requests -= 1
-                num_blocks = (len(payload.get("timings", []))
-                              if isinstance(payload, dict) else 0)
-                self.stats.record_request(
-                    path, self.stats._clock() - started,
-                    num_blocks=num_blocks, error=status >= 400)
-                if self._draining:
-                    keep_alive = False
-                writer.write(self._encode_response(status, payload, keep_alive))
-                await writer.drain()
-                if not keep_alive:
-                    break
-        except (ConnectionResetError, BrokenPipeError,
-                asyncio.IncompleteReadError):
-            pass
-        finally:
-            self._connections.discard(writer)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError,
-                    asyncio.CancelledError):
-                # CancelledError here means the loop is tearing the handler
-                # down during shutdown; the connection is closed either way.
-                pass
+    async def _on_drain(self) -> None:
+        # Refuse new predict work but finish everything already coalesced.
+        await self.coalescer.drain()
 
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    def request_stop(self) -> None:
-        """Trigger graceful shutdown (safe to call from any thread)."""
-        loop, stop_event = self._loop, self._stop_event
-        if loop is None or stop_event is None:
-            return
-        if loop.is_running():
-            loop.call_soon_threadsafe(stop_event.set)
-
-    async def _serve_async(
-            self, ready: Optional[threading.Event] = None) -> None:
-        self._loop = asyncio.get_running_loop()
-        self._stop_event = asyncio.Event()
-        server = await asyncio.start_server(
-            self._handle_connection, self.host, self.requested_port)
-        self.port = server.sockets[0].getsockname()[1]
-        if threading.current_thread() is threading.main_thread():
-            import signal
-
-            for signum in (signal.SIGINT, signal.SIGTERM):
-                try:
-                    self._loop.add_signal_handler(signum,
-                                                  self._stop_event.set)
-                except (NotImplementedError, RuntimeError):
-                    break
-        self.log(f"serving {self.session.target_name}/"
-                 f"{self.session.spec.simulator} on "
-                 f"http://{self.host}:{self.port} "
-                 f"(table {self.table_digest[:12]}...)")
-        if ready is not None:
-            ready.set()
-        try:
-            await self._stop_event.wait()
-        finally:
-            # Graceful shutdown: stop accepting, refuse new predict work,
-            # finish everything already submitted, then close connections.
-            self._draining = True
-            server.close()
-            await server.wait_closed()
-            await self.coalescer.drain()
-            deadline = self._loop.time() + 10.0
-            while self._active_requests > 0 and self._loop.time() < deadline:
-                await asyncio.sleep(0.005)
-            for writer in list(self._connections):
-                writer.close()
-            self.log("server stopped")
-
-    def serve(self) -> None:
-        """Run the server on this thread until SIGINT/SIGTERM (blocking)."""
-        try:
-            asyncio.run(self._serve_async())
-        except KeyboardInterrupt:
-            pass
-
-    def start_in_thread(self) -> ServerHandle:
-        """Run the server on a daemon thread; returns once the port is bound."""
-        ready = threading.Event()
-
-        def _run() -> None:
-            try:
-                asyncio.run(self._serve_async(ready))
-            except BaseException as error:  # noqa: BLE001 - reported to caller
-                self._startup_error = error
-            finally:
-                ready.set()
-
-        thread = threading.Thread(target=_run, name="repro-serving",
-                                  daemon=True)
-        thread.start()
-        if not ready.wait(timeout=30.0):
-            raise RuntimeError("server did not start within 30 seconds")
-        if self._startup_error is not None:
-            raise RuntimeError(
-                f"server failed to start: {self._startup_error}")
-        return ServerHandle(self, thread)
+    def _startup_message(self) -> str:
+        return (f"serving {self.session.target_name}/"
+                f"{self.session.spec.simulator} on "
+                f"http://{self.host}:{self.port} "
+                f"(table {self.table_digest[:12]}...)")

@@ -28,6 +28,7 @@ EXPECTED_API_SURFACE = sorted([
     "BASELINES",
     "PRESETS",
     "STRATEGIES",
+    "EXECUTORS",
     "registries",
     # plugin record types
     "SimulatorPlugin",
@@ -40,6 +41,7 @@ EXPECTED_API_SURFACE = sorted([
     "ServeSpec",
     "CorpusSpec",
     "CampaignSpec",
+    "MatrixCampaignSpec",
     "SpecValidationError",
     # session facade
     "Session",
@@ -51,6 +53,9 @@ EXPECTED_API_SURFACE = sorted([
     "CampaignResult",
     "run_campaign",
     "CAMPAIGNS",
+    # distributed matrix campaigns
+    "MatrixResult",
+    "run_matrix",
     # deployment bundles
     "BundleError",
     "BundleManifest",
@@ -83,8 +88,8 @@ class TestDescribe:
         description = repro.api.describe()
         assert description["version"] == repro.__version__
         assert sorted(description["registries"]) == [
-            "baselines", "presets", "simulators", "strategies", "surrogates",
-            "targets"]
+            "baselines", "executors", "presets", "simulators", "strategies",
+            "surrogates", "targets"]
         haswell = description["registries"]["targets"]["haswell"]
         assert haswell["aliases"] == ["hsw"]
         assert haswell["summary"]
@@ -93,7 +98,9 @@ class TestDescribe:
         description = repro.api.describe()
         assert sorted(description["specs"]) == [
             "BundleSpec", "CampaignSpec", "CorpusSpec", "EvaluateSpec",
-            "PredictSpec", "ServeSpec", "TuneSpec"]
+            "MatrixCampaignSpec", "PredictSpec", "ServeSpec", "TuneSpec"]
+        assert "executor" in description["specs"]["MatrixCampaignSpec"]
+        assert "fail_cells" in description["specs"]["MatrixCampaignSpec"]
         assert "target" in description["specs"]["ServeSpec"]
         assert "directory" in description["specs"]["CorpusSpec"]
         assert "shard_size" in description["specs"]["CorpusSpec"]
@@ -103,10 +110,10 @@ class TestDescribe:
         assert "strategy" in description["specs"]["CampaignSpec"]
 
     def test_registries_keys_acceptance(self):
-        # Acceptance criterion: repro.api.registries().keys() lists all six.
+        # Acceptance criterion: repro.api.registries().keys() lists all seven.
         assert sorted(repro.api.registries().keys()) == [
-            "baselines", "presets", "simulators", "strategies", "surrogates",
-            "targets"]
+            "baselines", "executors", "presets", "simulators", "strategies",
+            "surrogates", "targets"]
 
     def test_describe_is_json_serializable(self):
         import json

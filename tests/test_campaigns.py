@@ -422,7 +422,9 @@ class TestCLI:
     def test_campaign_run_preset_with_overrides(self, dataset_path, capsys):
         assert cli.main(["campaign", "run", "--preset", "sec6c",
                          "--dataset", dataset_path, "--max-blocks", "6"]) == 0
-        assert "most sensitive axes" in capsys.readouterr().out
+        output = capsys.readouterr().out
+        assert "axis sensitivity (most sensitive first)" in output
+        assert "error distribution" in output
 
     def test_campaign_list(self, capsys):
         assert cli.main(["campaign", "list"]) == 0

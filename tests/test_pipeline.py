@@ -217,6 +217,26 @@ class TestMultiTarget:
             tune_target(TargetSpec(target="haswell", num_blocks=60,
                                    config_preset="huge"))
 
+    def test_failing_target_recorded_without_sinking_siblings(self):
+        specs = [TargetSpec(target="haswell", num_blocks=60, seed=0,
+                            config_preset="test"),
+                 TargetSpec(target="zen2", num_blocks=60, seed=0,
+                            config_preset="bogus")]
+        outcomes = tune_targets(specs, workers=0)
+        assert outcomes["haswell"].completed
+        assert not outcomes["haswell"].failed
+        failed = outcomes["zen2"]
+        assert failed.failed and not failed.completed
+        assert failed.error.startswith("ValueError")
+        assert "unknown config preset" in failed.error
+        assert "Traceback" in failed.traceback
+
+    def test_strict_reraises_first_failure(self):
+        specs = [TargetSpec(target="haswell", num_blocks=60, seed=0,
+                            config_preset="bogus")]
+        with pytest.raises(ValueError, match="unknown config preset"):
+            tune_targets(specs, workers=0, strict=True)
+
 
 class TestSerializationExtensions:
     def _training_step(self, module, optimizer, value):
